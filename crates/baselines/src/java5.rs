@@ -1,0 +1,451 @@
+//! The Java SE 5.0 `SynchronousQueue` (paper Listing 4).
+//!
+//! One entry lock protects two wait lists — `waiting_producers` and
+//! `waiting_consumers` — which are FIFO queues in fair mode and LIFO stacks
+//! in unfair mode. An arriving thread that finds a counterpart waiting
+//! performs a single synchronization operation (the entry lock); otherwise
+//! it enqueues a node carrying its own little synchronizer and blocks on
+//! it. Three synchronization events per transfer versus Hanson's six — but
+//! the coarse-grained lock serializes *all* operations, which is the
+//! scalability bottleneck the paper's lock-free structures remove.
+//!
+//! In fair mode the entry lock itself is FIFO-fair
+//! ([`synq_primitives::TicketLock`]), matching the Java implementation's
+//! fair-mode `ReentrantLock`: "the fair-mode version uses a fair-mode entry
+//! lock to ensure FIFO wait ordering. This causes pileups that block the
+//! threads that will fulfill waiting threads" — the effect ablation A2
+//! isolates.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use synq::{impl_channels_via_transferer, Deadline, TransferOutcome, Transferer};
+use synq_primitives::{CancelToken, TicketLock};
+
+/// Per-waiter synchronizer (the Listing 4 `Node` with its AQS replaced by
+/// a mutex/condvar pair).
+#[derive(Debug)]
+struct Node<T> {
+    state: Mutex<NodeState<T>>,
+    cvar: Condvar,
+}
+
+#[derive(Debug)]
+struct NodeState<T> {
+    /// For producer nodes: the offered item (until taken). For consumer
+    /// nodes: the delivered item (once fulfilled).
+    item: Option<T>,
+    done: bool,
+    cancelled: bool,
+}
+
+#[derive(Debug)]
+struct Lists<T> {
+    waiting_producers: VecDeque<Arc<Node<T>>>,
+    waiting_consumers: VecDeque<Arc<Node<T>>>,
+}
+
+impl<T> Lists<T> {
+    /// Pops per the configured discipline, discarding cancelled nodes.
+    /// The popped node's lock is NOT yet taken; the caller revalidates.
+    fn pop(deque: &mut VecDeque<Arc<Node<T>>>, fair: bool) -> Option<Arc<Node<T>>> {
+        if fair {
+            deque.pop_front()
+        } else {
+            deque.pop_back()
+        }
+    }
+}
+
+/// The Listing 4 queue. `fair` selects FIFO wait lists + a FIFO entry
+/// lock; unfair uses LIFO lists + an ordinary (barging) mutex.
+///
+/// Unlike [`crate::HansonSQ`], this design supports the full rich
+/// interface, so it implements [`Transferer`] and participates in the
+/// `ThreadPoolExecutor` benchmark (Figure 6).
+///
+/// # Examples
+///
+/// ```
+/// use synq_baselines::Java5SQ;
+/// use synq::{SyncChannel, TimedSyncChannel};
+/// use std::sync::Arc;
+/// use std::thread;
+///
+/// let q = Arc::new(Java5SQ::fair());
+/// let q2 = Arc::clone(&q);
+/// let t = thread::spawn(move || q2.take());
+/// q.put(3u32);
+/// assert_eq!(t.join().unwrap(), 3);
+/// assert_eq!(q.poll(), None);
+/// ```
+#[derive(Debug)]
+pub struct Java5SQ<T> {
+    /// Present in fair mode: the FIFO entry lock taken around every list
+    /// operation, dominating the inner mutex (which is then uncontended).
+    fair_entry: Option<TicketLock>,
+    lists: Mutex<Lists<T>>,
+    fair: bool,
+}
+
+impl<T: Send> Java5SQ<T> {
+    /// Fair (queue-based) mode with a FIFO entry lock.
+    pub fn fair() -> Self {
+        Self::with_mode(true)
+    }
+
+    /// Unfair (stack-based) mode with an ordinary mutex.
+    pub fn unfair() -> Self {
+        Self::with_mode(false)
+    }
+
+    /// Explicit-mode constructor (used by ablation A2, which also pairs
+    /// fair lists with an unfair lock via [`Java5SQ::fair_lists_unfair_lock`]).
+    pub fn with_mode(fair: bool) -> Self {
+        Java5SQ {
+            fair_entry: fair.then(TicketLock::new),
+            lists: Mutex::new(Lists {
+                waiting_producers: VecDeque::new(),
+                waiting_consumers: VecDeque::new(),
+            }),
+            fair,
+        }
+    }
+
+    /// Ablation A2: FIFO wait lists but a barging entry lock — isolates
+    /// how much of fair-mode's cost is the fair *lock* rather than FIFO
+    /// pairing.
+    pub fn fair_lists_unfair_lock() -> Self {
+        Java5SQ {
+            fair_entry: None,
+            lists: Mutex::new(Lists {
+                waiting_producers: VecDeque::new(),
+                waiting_consumers: VecDeque::new(),
+            }),
+            fair: true,
+        }
+    }
+
+    /// True if this queue pairs FIFO.
+    pub fn is_fair(&self) -> bool {
+        self.fair
+    }
+
+    fn with_lists<R>(&self, f: impl FnOnce(&mut Lists<T>) -> R) -> R {
+        let _entry = self.fair_entry.as_ref().map(|l| l.lock());
+        let mut lists = self.lists.lock().unwrap();
+        f(&mut lists)
+    }
+
+
+    /// Blocks on `node` until fulfilled, timed out, or cancelled.
+    fn await_node(
+        &self,
+        node: &Node<T>,
+        is_producer: bool,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        let mut st = node.state.lock().unwrap();
+        loop {
+            if st.done {
+                return if is_producer {
+                    TransferOutcome::Transferred(None)
+                } else {
+                    debug_assert!(st.item.is_some());
+                    TransferOutcome::Transferred(st.item.take())
+                };
+            }
+            let cancelled = token.is_some_and(|tk| tk.is_cancelled());
+            if cancelled || deadline.expired() {
+                st.cancelled = true;
+                let item = st.item.take(); // producer reclaims its item
+                return if cancelled {
+                    TransferOutcome::Cancelled(item)
+                } else {
+                    TransferOutcome::Timeout(item)
+                };
+            }
+            // Condvar waits cannot be interrupted by a CancelToken, so wait
+            // in slices when a token is present.
+            let slice = match (deadline, token) {
+                (Deadline::At(d), None) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        continue;
+                    }
+                    Some(d - now)
+                }
+                (Deadline::At(d), Some(_)) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        continue;
+                    }
+                    Some((d - now).min(Duration::from_millis(2)))
+                }
+                (_, Some(_)) => Some(Duration::from_millis(2)),
+                (_, None) => None,
+            };
+            st = match slice {
+                Some(s) => node.cvar.wait_timeout(st, s).unwrap().0,
+                None => node.cvar.wait(st).unwrap(),
+            };
+        }
+    }
+}
+
+/// Result of the single-lock pop-or-push step of `transfer`.
+enum Step<T> {
+    /// A counterpart was fulfilled while holding the entry lock; for
+    /// consumers the payload is the received item.
+    Done(Option<T>),
+    /// We were enqueued and must wait on our node.
+    MustWait(Arc<Node<T>>),
+    /// No counterpart and waiting is not permitted; the item is handed
+    /// back to the caller.
+    FailFast(Option<T>),
+}
+
+impl<T: Send> Transferer<T> for Java5SQ<T> {
+    fn transfer(
+        &self,
+        item: Option<T>,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        let is_producer = item.is_some();
+        let cancelled_on_entry = token.is_some_and(|tk| tk.is_cancelled());
+        let mut give = item;
+        // Listing 4 lines 18–22 / 33–37: the pop-of-the-counterpart-list
+        // and the push-onto-our-own-list happen under ONE hold of the
+        // entry lock. (Doing them as two separate acquisitions admits a
+        // race where a producer and a consumer each observe "empty" and
+        // both enqueue, stranding the pair forever.)
+        let step = self.with_lists(|lists| {
+            let counterpart = if is_producer {
+                &mut lists.waiting_consumers
+            } else {
+                &mut lists.waiting_producers
+            };
+            while let Some(node) = Lists::pop(counterpart, self.fair) {
+                let mut st = node.state.lock().unwrap();
+                if st.cancelled {
+                    continue; // discard and try the next waiter
+                }
+                if is_producer {
+                    st.item = give.take();
+                } else {
+                    give = st.item.take();
+                    debug_assert!(give.is_some(), "producer node without item");
+                }
+                st.done = true;
+                drop(st);
+                node.cvar.notify_one();
+                return Step::Done(if is_producer { None } else { give.take() });
+            }
+            if deadline.is_now() || cancelled_on_entry {
+                return Step::FailFast(give.take());
+            }
+            let node = Arc::new(Node {
+                state: Mutex::new(NodeState {
+                    item: give.take(),
+                    done: false,
+                    cancelled: false,
+                }),
+                cvar: Condvar::new(),
+            });
+            let own = if is_producer {
+                &mut lists.waiting_producers
+            } else {
+                &mut lists.waiting_consumers
+            };
+            own.push_back(Arc::clone(&node));
+            Step::MustWait(node)
+        });
+        match step {
+            Step::Done(v) => TransferOutcome::Transferred(v),
+            Step::FailFast(v) => {
+                if cancelled_on_entry {
+                    TransferOutcome::Cancelled(v)
+                } else {
+                    TransferOutcome::Timeout(v)
+                }
+            }
+            Step::MustWait(node) => self.await_node(&node, is_producer, deadline, token),
+        }
+    }
+}
+
+impl_channels_via_transferer!(Java5SQ);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synq::{SyncChannel, TimedSyncChannel};
+    use std::thread;
+
+    fn both_modes() -> Vec<Java5SQ<u32>> {
+        vec![
+            Java5SQ::fair(),
+            Java5SQ::unfair(),
+            Java5SQ::fair_lists_unfair_lock(),
+        ]
+    }
+
+    #[test]
+    fn put_take_pair_all_modes() {
+        for q in both_modes() {
+            let q = Arc::new(q);
+            let q2 = Arc::clone(&q);
+            let t = thread::spawn(move || q2.take());
+            q.put(77);
+            assert_eq!(t.join().unwrap(), 77);
+        }
+    }
+
+    #[test]
+    fn poll_offer_fail_on_empty() {
+        for q in both_modes() {
+            assert_eq!(q.poll(), None);
+            assert_eq!(q.offer(1), Err(1));
+        }
+    }
+
+    #[test]
+    fn offer_succeeds_with_waiting_consumer() {
+        let q = Arc::new(Java5SQ::fair());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        // Wait for the consumer node to be enqueued.
+        loop {
+            match q.offer(13) {
+                Ok(()) => break,
+                Err(_) => thread::yield_now(),
+            }
+        }
+        assert_eq!(t.join().unwrap(), 13);
+    }
+
+    #[test]
+    fn timed_poll_expires() {
+        let q: Java5SQ<u32> = Java5SQ::unfair();
+        let start = Instant::now();
+        assert_eq!(q.poll_timeout(Duration::from_millis(25)), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn timed_offer_returns_item() {
+        let q: Java5SQ<u32> = Java5SQ::fair();
+        assert_eq!(q.offer_timeout(5, Duration::from_millis(10)), Err(5));
+    }
+
+    #[test]
+    fn fair_mode_pairs_fifo() {
+        let q = Arc::new(Java5SQ::fair());
+        let mut producers = Vec::new();
+        for i in 0..5 {
+            let q2 = Arc::clone(&q);
+            producers.push(thread::spawn(move || q2.put(i)));
+            // Ensure arrival order: wait until producer i is queued.
+            loop {
+                let len = q.lists.lock().unwrap().waiting_producers.len();
+                if len >= (i + 1) as usize {
+                    break;
+                }
+                thread::yield_now();
+            }
+        }
+        for expect in 0..5 {
+            assert_eq!(q.take(), expect);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn unfair_mode_pairs_lifo() {
+        let q = Arc::new(Java5SQ::unfair());
+        let mut producers = Vec::new();
+        for i in 0..4 {
+            let q2 = Arc::clone(&q);
+            producers.push(thread::spawn(move || q2.put(i)));
+            loop {
+                let len = q.lists.lock().unwrap().waiting_producers.len();
+                if len >= (i + 1) as usize {
+                    break;
+                }
+                thread::yield_now();
+            }
+        }
+        for expect in (0..4).rev() {
+            assert_eq!(q.take(), expect);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cancellation_interrupts_take() {
+        let q: Arc<Java5SQ<u32>> = Arc::new(Java5SQ::fair());
+        let token = CancelToken::new();
+        let canceller = token.canceller();
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take_with(Deadline::Never, Some(&token)));
+        thread::sleep(Duration::from_millis(20));
+        canceller.cancel();
+        match t.join().unwrap() {
+            TransferOutcome::Cancelled(None) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_nodes_are_skipped_by_fulfillers() {
+        let q: Arc<Java5SQ<u32>> = Arc::new(Java5SQ::fair());
+        // A consumer times out, leaving a cancelled node in the list.
+        assert_eq!(q.poll_timeout(Duration::from_millis(5)), None);
+        // A fresh consumer then a producer: the producer must skip the
+        // cancelled node and fulfill the live one.
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        loop {
+            match q.offer(21) {
+                Ok(()) => break,
+                Err(_) => thread::yield_now(),
+            }
+        }
+        assert_eq!(t.join().unwrap(), 21);
+    }
+
+    #[test]
+    fn stress_conserves_values() {
+        const N: usize = 4;
+        const PER: usize = 300;
+        for q in [Java5SQ::fair(), Java5SQ::unfair()] {
+            let q = Arc::new(q);
+            let mut handles = Vec::new();
+            for p in 0..N {
+                let q = Arc::clone(&q);
+                handles.push(thread::spawn(move || {
+                    for i in 0..PER {
+                        q.put((p * PER + i) as u32);
+                    }
+                }));
+            }
+            let consumers: Vec<_> = (0..N)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    thread::spawn(move || (0..PER).map(|_| q.take() as usize).sum::<usize>())
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(total, (0..N * PER).sum::<usize>());
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Baseline synchronous queues from the paper's evaluation (§3.1–§3.2).
+//!
+//! These are the algorithms the paper's two new structures are measured
+//! against:
+//!
+//! * [`NaiveSQ`] — the monitor-based queue of Listing 3. One lock, one
+//!   item slot, `notify_all` at every state change: a number of wake-ups
+//!   *quadratic* in the number of waiting threads.
+//! * [`HansonSQ`] — Hanson's queue (Listing 1): three semaphores, six
+//!   scheduler synchronization events per transfer, blocking on nearly
+//!   every operation. No way to support `poll`/`offer` or time-out.
+//! * [`Java5SQ`] — the Java SE 5.0 `SynchronousQueue` (Listing 4): one
+//!   entry lock protecting two wait lists (queues in fair mode, stacks in
+//!   unfair mode), one parked waiter per node. Three synchronization
+//!   events per transfer, but the single coarse-grained lock is the
+//!   serialization bottleneck the paper eliminates. The fair variant uses
+//!   a strictly FIFO entry lock ([`synq_primitives::TicketLock`]), which
+//!   reproduces the "pileups that block the threads that will fulfill
+//!   waiting threads".
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod hanson;
+pub mod java5;
+pub mod naive;
+
+pub use hanson::{HansonFastSQ, HansonSQ};
+pub use java5::Java5SQ;
+pub use naive::NaiveSQ;

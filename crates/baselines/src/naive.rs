@@ -1,0 +1,153 @@
+//! The naive monitor-based synchronous queue (paper Listing 3).
+//!
+//! One monitor serializes access to a single `item` slot and a `putting`
+//! flag. At every point where an action might unblock another thread, all
+//! candidates are awakened (`notify_all`) — producing a number of wake-ups
+//! quadratic in the number of waiting threads, which "coupled with the high
+//! cost of blocking or unblocking a thread, results in poor performance".
+//! Included as the textbook baseline.
+
+use std::sync::{Condvar, Mutex};
+use synq::SyncChannel;
+
+#[derive(Debug)]
+struct State<T> {
+    putting: bool,
+    item: Option<T>,
+}
+
+/// The Listing 3 queue: a single monitor, `notify_all` everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use synq_baselines::NaiveSQ;
+/// use synq::SyncChannel;
+/// use std::sync::Arc;
+/// use std::thread;
+///
+/// let q = Arc::new(NaiveSQ::new());
+/// let q2 = Arc::clone(&q);
+/// let t = thread::spawn(move || q2.take());
+/// q.put(1u32);
+/// assert_eq!(t.join().unwrap(), 1);
+/// ```
+#[derive(Debug)]
+pub struct NaiveSQ<T> {
+    monitor: Mutex<State<T>>,
+    cvar: Condvar,
+}
+
+impl<T> Default for NaiveSQ<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> NaiveSQ<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        NaiveSQ {
+            monitor: Mutex::new(State {
+                putting: false,
+                item: None,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+}
+
+impl<T: Send> SyncChannel<T> for NaiveSQ<T> {
+    fn put(&self, value: T) {
+        let mut st = self.monitor.lock().unwrap();
+        // Listing 3 lines 15–16: wait for any in-progress put to finish.
+        while st.putting {
+            st = self.cvar.wait(st).unwrap();
+        }
+        st.putting = true;
+        st.item = Some(value);
+        self.cvar.notify_all(); // line 19
+        // Lines 20–21: wait for a consumer to take the item.
+        while st.item.is_some() {
+            st = self.cvar.wait(st).unwrap();
+        }
+        st.putting = false;
+        self.cvar.notify_all(); // line 23
+    }
+
+    fn take(&self) -> T {
+        let mut st = self.monitor.lock().unwrap();
+        // Lines 05–06: await the presence of an item.
+        loop {
+            if let Some(v) = st.item.take() {
+                self.cvar.notify_all(); // line 09
+                return v;
+            }
+            st = self.cvar.wait(st).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn put_take_pair() {
+        let q = Arc::new(NaiveSQ::new());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        q.put(7u32);
+        assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn producer_blocks_until_taken() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let q = Arc::new(NaiveSQ::new());
+        let returned = Arc::new(AtomicBool::new(false));
+        let q2 = Arc::clone(&q);
+        let r2 = Arc::clone(&returned);
+        let producer = thread::spawn(move || {
+            q2.put(1u8);
+            r2.store(true, Ordering::SeqCst);
+        });
+        thread::sleep(std::time::Duration::from_millis(30));
+        assert!(
+            !returned.load(Ordering::SeqCst),
+            "put returned before a take"
+        );
+        assert_eq!(q.take(), 1);
+        producer.join().unwrap();
+        assert!(returned.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn many_pairs_conserve_values() {
+        const N: usize = 4;
+        const PER: usize = 200;
+        let q = Arc::new(NaiveSQ::new());
+        let mut handles = Vec::new();
+        for p in 0..N {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    q.put(p * PER + i);
+                }
+            }));
+        }
+        let consumers: Vec<_> = (0..N)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || (0..PER).map(|_| q.take()).sum::<usize>())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, (0..N * PER).sum::<usize>());
+    }
+}

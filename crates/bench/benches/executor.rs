@@ -1,0 +1,33 @@
+//! Criterion version of Figure 6: per-task cost of a cached thread pool
+//! whose core is the synchronous queue under test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use synq_bench::{executor_ns_per_task, make_timed_job, TIMED_ALGOS};
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure6_executor");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &algo in TIMED_ALGOS {
+        for submitters in [1usize, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(algo.name(), submitters),
+                &submitters,
+                |b, &s| {
+                    b.iter_custom(|iters| {
+                        let tasks = (iters as usize).max(200);
+                        let ch = make_timed_job(algo).expect("timed algo");
+                        let ns = executor_ns_per_task(ch, s, tasks);
+                        Duration::from_nanos((ns * iters as f64) as u64)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(executor, benches);
+criterion_main!(executor);

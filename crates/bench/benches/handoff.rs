@@ -1,0 +1,36 @@
+//! Criterion version of Figures 3–5: per-transfer cost of the synchronous
+//! handoff for every algorithm at a small set of shapes. The full sweep
+//! lives in the `figure3`–`figure5` binaries; this bench gives
+//! statistically tracked numbers for regression detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use synq_bench::{handoff_ns_per_transfer, make_blocking, HandoffShape, BLOCKING_ALGOS};
+
+fn bench_shape(c: &mut Criterion, group: &str, shape_of: fn(usize) -> HandoffShape, level: usize) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for &algo in BLOCKING_ALGOS {
+        g.bench_with_input(BenchmarkId::new(algo.name(), level), &level, |b, &l| {
+            b.iter_custom(|iters| {
+                let transfers = (iters as usize).max(200);
+                let ns = handoff_ns_per_transfer(make_blocking(algo), shape_of(l), transfers);
+                Duration::from_nanos((ns * iters as f64) as u64)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // Figure 3 (N:N) at 1 and 4 pairs; Figures 4/5 (1:N, N:1) at 4.
+    bench_shape(c, "figure3_pairs", HandoffShape::pairs, 1);
+    bench_shape(c, "figure3_pairs", HandoffShape::pairs, 4);
+    bench_shape(c, "figure4_fan_out", HandoffShape::fan_out, 4);
+    bench_shape(c, "figure5_fan_in", HandoffShape::fan_in, 4);
+}
+
+criterion_group!(handoff, benches);
+criterion_main!(handoff);

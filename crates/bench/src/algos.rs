@@ -1,0 +1,139 @@
+//! The algorithm registry: one factory per curve in the paper's figures.
+
+use std::sync::Arc;
+use synq::{SpinPolicy, SyncChannel, SyncDualQueue, SyncDualStack, TimedSyncChannel};
+use synq_baselines::{HansonFastSQ, HansonSQ, Java5SQ, NaiveSQ};
+use synq_exchanger::EliminationSyncStack;
+use synq_executor::Job;
+
+/// The six curves of Figures 3–5 (the paper plots five; we add the naive
+/// monitor queue as an extra reference point).
+pub const BLOCKING_ALGOS: &[Algo] = &[
+    Algo::Hanson,
+    Algo::Naive,
+    Algo::Java5Fair,
+    Algo::Java5Unfair,
+    Algo::NewFair,
+    Algo::NewUnfair,
+];
+
+/// The four curves of Figure 6 (Hanson and naive cannot support the
+/// executor's `offer`/timed `poll`, exactly as in the paper).
+pub const TIMED_ALGOS: &[Algo] = &[
+    Algo::Java5Fair,
+    Algo::Java5Unfair,
+    Algo::NewFair,
+    Algo::NewUnfair,
+];
+
+/// Algorithm identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Hanson's three-semaphore queue (Listing 1).
+    Hanson,
+    /// Hanson's queue over fast-path (benaphore) semaphores (A5).
+    HansonFast,
+    /// The naive monitor queue (Listing 3).
+    Naive,
+    /// Java SE 5.0 `SynchronousQueue`, fair mode (Listing 4).
+    Java5Fair,
+    /// Java SE 5.0 `SynchronousQueue`, unfair mode.
+    Java5Unfair,
+    /// Java SE 5.0 structure with FIFO lists but a barging lock (A2).
+    Java5FairListsUnfairLock,
+    /// This paper: synchronous dual queue (fair).
+    NewFair,
+    /// This paper: synchronous dual stack (unfair).
+    NewUnfair,
+    /// Dual queue with a custom spin budget (A1).
+    NewFairSpin(u32),
+    /// Dual stack with a custom spin budget (A1).
+    NewUnfairSpin(u32),
+    /// Dual stack fronted by an elimination arena of the given size (A3).
+    NewElim(usize),
+}
+
+impl Algo {
+    /// Column label used in tables and JSON.
+    pub fn name(&self) -> String {
+        match self {
+            Algo::Hanson => "hanson".into(),
+            Algo::HansonFast => "hanson-fast".into(),
+            Algo::Naive => "naive".into(),
+            Algo::Java5Fair => "java5-fair".into(),
+            Algo::Java5Unfair => "java5-unfair".into(),
+            Algo::Java5FairListsUnfairLock => "java5-fair-lists-unfair-lock".into(),
+            Algo::NewFair => "new-fair".into(),
+            Algo::NewUnfair => "new-unfair".into(),
+            Algo::NewFairSpin(n) => format!("new-fair-spin{n}"),
+            Algo::NewUnfairSpin(n) => format!("new-unfair-spin{n}"),
+            Algo::NewElim(n) => format!("new-unfair-elim{n}"),
+        }
+    }
+}
+
+/// Builds a fresh blocking channel carrying `u64` payloads.
+pub fn make_blocking(algo: Algo) -> Arc<dyn SyncChannel<u64>> {
+    match algo {
+        Algo::Hanson => Arc::new(HansonSQ::new()),
+        Algo::HansonFast => Arc::new(HansonFastSQ::new()),
+        Algo::Naive => Arc::new(NaiveSQ::new()),
+        Algo::Java5Fair => Arc::new(Java5SQ::fair()),
+        Algo::Java5Unfair => Arc::new(Java5SQ::unfair()),
+        Algo::Java5FairListsUnfairLock => Arc::new(Java5SQ::fair_lists_unfair_lock()),
+        Algo::NewFair => Arc::new(SyncDualQueue::new()),
+        Algo::NewUnfair => Arc::new(SyncDualStack::new()),
+        Algo::NewFairSpin(n) => Arc::new(SyncDualQueue::with_spin(SpinPolicy::fixed(n))),
+        Algo::NewUnfairSpin(n) => Arc::new(SyncDualStack::with_spin(SpinPolicy::fixed(n))),
+        Algo::NewElim(slots) => Arc::new(EliminationSyncStack::new(slots)),
+    }
+}
+
+/// Builds a fresh channel for the executor benchmark (Figure 6), if the
+/// algorithm supports the rich interface.
+pub fn make_timed_job(algo: Algo) -> Option<Arc<dyn TimedSyncChannel<Job>>> {
+    Some(match algo {
+        Algo::Hanson | Algo::HansonFast | Algo::Naive => return None,
+        Algo::Java5Fair => Arc::new(Java5SQ::fair()),
+        Algo::Java5Unfair => Arc::new(Java5SQ::unfair()),
+        Algo::Java5FairListsUnfairLock => Arc::new(Java5SQ::fair_lists_unfair_lock()),
+        Algo::NewFair => Arc::new(SyncDualQueue::new()),
+        Algo::NewUnfair => Arc::new(SyncDualStack::new()),
+        Algo::NewFairSpin(n) => Arc::new(SyncDualQueue::with_spin(SpinPolicy::fixed(n))),
+        Algo::NewUnfairSpin(n) => Arc::new(SyncDualStack::with_spin(SpinPolicy::fixed(n))),
+        Algo::NewElim(slots) => Arc::new(EliminationSyncStack::new(slots)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_blocking_algo_constructs_and_transfers() {
+        for &algo in BLOCKING_ALGOS {
+            let ch = make_blocking(algo);
+            let ch2 = Arc::clone(&ch);
+            let t = std::thread::spawn(move || ch2.take());
+            ch.put(1);
+            assert_eq!(t.join().unwrap(), 1, "algo {}", algo.name());
+        }
+    }
+
+    #[test]
+    fn timed_registry_excludes_hanson_and_naive() {
+        assert!(make_timed_job(Algo::Hanson).is_none());
+        assert!(make_timed_job(Algo::Naive).is_none());
+        for &algo in TIMED_ALGOS {
+            assert!(make_timed_job(algo).is_some(), "algo {}", algo.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = BLOCKING_ALGOS.iter().map(|a| a.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), BLOCKING_ALGOS.len());
+    }
+}

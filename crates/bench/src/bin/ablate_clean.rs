@@ -1,0 +1,51 @@
+//! A4 — cancelled-node cleaning under the paper's buildup scenario:
+//! "items are offered at a very high rate, but with a very low time-out
+//! patience" and no consumers. Reports the *live-node watermark* (nodes
+//! still linked) after each burst, which head-absorption must keep small.
+
+use std::time::Duration;
+use synq::{SyncDualQueue, SyncDualStack, TimedSyncChannel};
+use synq_bench::report::FigureReport;
+
+fn main() {
+    let quick = synq_bench::quick_mode();
+    let bursts: Vec<usize> = if quick {
+        vec![100, 1_000]
+    } else {
+        vec![100, 1_000, 10_000, 50_000]
+    };
+    let mut report = FigureReport::new(
+        "ablate_clean",
+        "A4: cancelled-node watermark after an offer storm (lower is better)",
+        "offers",
+        "linked nodes",
+        bursts.clone(),
+    );
+
+    let mut q_water = Vec::new();
+    let mut s_water = Vec::new();
+    for &n in &bursts {
+        let q: SyncDualQueue<u64> = SyncDualQueue::new();
+        for i in 0..n {
+            let _ = q.offer_timeout(i as u64, Duration::from_nanos(1));
+        }
+        let _ = q.poll(); // one arrival absorbs the cancelled prefix
+        q_water.push(q.linked_nodes() as f64);
+
+        let s: SyncDualStack<u64> = SyncDualStack::new();
+        for i in 0..n {
+            let _ = s.offer_timeout(i as u64, Duration::from_nanos(1));
+        }
+        let _ = s.poll();
+        s_water.push(s.linked_nodes() as f64);
+        eprintln!(
+            "  ablate_clean offers={n:<6} queue-watermark={} stack-watermark={}",
+            q_water.last().unwrap(),
+            s_water.last().unwrap()
+        );
+    }
+    report.push_series("dual-queue".into(), q_water);
+    report.push_series("dual-stack".into(), s_water);
+    println!("{}", report.to_table());
+    let _ = report.write_json();
+}

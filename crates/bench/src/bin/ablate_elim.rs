@@ -1,0 +1,28 @@
+//! A3 — elimination arena size sweep on the dual stack (paper §5).
+//!
+//! The paper's finding: elimination pays only under "artificially extreme
+//! contention"; otherwise the arena visit is pure overhead.
+
+use synq_bench::algos::Algo;
+use synq_bench::runner::{finish, run_handoff_figure};
+use synq_bench::workload::HandoffShape;
+use synq_bench::PAIR_LEVELS;
+
+fn main() {
+    let algos = [
+        Algo::NewUnfair,
+        Algo::NewElim(0),
+        Algo::NewElim(1),
+        Algo::NewElim(4),
+        Algo::NewElim(16),
+    ];
+    let report = run_handoff_figure(
+        "ablate_elim",
+        "A3: elimination arena size (0 = arena disabled)",
+        "pairs",
+        PAIR_LEVELS,
+        &algos,
+        HandoffShape::pairs,
+    );
+    finish(report);
+}

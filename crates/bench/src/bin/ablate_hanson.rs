@@ -1,0 +1,25 @@
+//! A5 — Hanson's queue: ordinary semaphores vs fast-path (benaphore)
+//! semaphores (paper: "It is possible to streamline some of these
+//! synchronization points … by using a fast-path acquire sequence \[11\]").
+//!
+//! Isolates how much of Hanson's cost is semaphore lock overhead versus
+//! the design's six inherent blocking events per transfer — the paper's
+//! point being that no semaphore implementation can remove the latter.
+
+use synq_bench::algos::Algo;
+use synq_bench::runner::{finish, run_handoff_figure};
+use synq_bench::workload::HandoffShape;
+use synq_bench::PAIR_LEVELS;
+
+fn main() {
+    let algos = [Algo::Hanson, Algo::HansonFast, Algo::NewUnfair];
+    let report = run_handoff_figure(
+        "ablate_hanson",
+        "A5: Hanson semaphore fast-path ablation",
+        "pairs",
+        PAIR_LEVELS,
+        &algos,
+        HandoffShape::pairs,
+    );
+    finish(report);
+}

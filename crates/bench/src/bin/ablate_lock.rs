@@ -1,0 +1,30 @@
+//! A2 — is the Java 5 fair-mode penalty the FIFO *pairing* or the fair
+//! *entry lock*? Runs the Java 5 structure with (a) fair lists + fair
+//! lock (the real fair mode), (b) fair lists + barging lock, and (c) the
+//! unfair baseline.
+//!
+//! The paper attributes the penalty to the lock: "the fair-mode version
+//! uses a fair-mode entry lock … This causes pileups that block the
+//! threads that will fulfill waiting threads."
+
+use synq_bench::algos::Algo;
+use synq_bench::runner::{finish, run_handoff_figure};
+use synq_bench::workload::HandoffShape;
+use synq_bench::PAIR_LEVELS;
+
+fn main() {
+    let algos = [
+        Algo::Java5Fair,
+        Algo::Java5FairListsUnfairLock,
+        Algo::Java5Unfair,
+    ];
+    let report = run_handoff_figure(
+        "ablate_lock",
+        "A2: Java5 fair-lock vs fair-lists ablation",
+        "pairs",
+        PAIR_LEVELS,
+        &algos,
+        HandoffShape::pairs,
+    );
+    finish(report);
+}

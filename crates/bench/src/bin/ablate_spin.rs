@@ -1,0 +1,31 @@
+//! A1 — spin-then-park vs. park-immediately (paper "Pragmatics"):
+//! sweeps the spin budget on both new algorithms under the F3 workload.
+//!
+//! Expected shape: on a multiprocessor, a moderate spin budget wins under
+//! saturation (it catches the producer/consumer "flyby"); spinning is
+//! useless on a uniprocessor.
+
+use synq_bench::algos::Algo;
+use synq_bench::runner::{finish, run_handoff_figure};
+use synq_bench::workload::HandoffShape;
+use synq_bench::PAIR_LEVELS;
+
+fn main() {
+    let algos = [
+        Algo::NewFairSpin(0),
+        Algo::NewFair, // adaptive default
+        Algo::NewFairSpin(320),
+        Algo::NewUnfairSpin(0),
+        Algo::NewUnfair,
+        Algo::NewUnfairSpin(320),
+    ];
+    let report = run_handoff_figure(
+        "ablate_spin",
+        "A1: spin budget ablation (0 = park immediately)",
+        "pairs",
+        PAIR_LEVELS,
+        &algos,
+        HandoffShape::pairs,
+    );
+    finish(report);
+}

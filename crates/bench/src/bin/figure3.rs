@@ -1,0 +1,21 @@
+//! Figure 3 — synchronous handoff: N producers, N consumers.
+//!
+//! Regenerates the paper's Figure 3 series (ns/transfer vs. number of
+//! producer/consumer pairs) for all six algorithms. `SYNQ_BENCH_QUICK=1`
+//! shrinks the sweep.
+
+use synq_bench::runner::{finish, run_handoff_figure};
+use synq_bench::workload::HandoffShape;
+use synq_bench::{BLOCKING_ALGOS, PAIR_LEVELS};
+
+fn main() {
+    let report = run_handoff_figure(
+        "figure3",
+        "synchronous handoff: N producers, N consumers",
+        "pairs",
+        PAIR_LEVELS,
+        BLOCKING_ALGOS,
+        HandoffShape::pairs,
+    );
+    finish(report);
+}

@@ -1,0 +1,17 @@
+//! Figure 4 — synchronous handoff: 1 producer, N consumers.
+
+use synq_bench::runner::{finish, run_handoff_figure};
+use synq_bench::workload::HandoffShape;
+use synq_bench::{BLOCKING_ALGOS, FAN_LEVELS};
+
+fn main() {
+    let report = run_handoff_figure(
+        "figure4",
+        "synchronous handoff: 1 producer, N consumers",
+        "consumers",
+        FAN_LEVELS,
+        BLOCKING_ALGOS,
+        HandoffShape::fan_out,
+    );
+    finish(report);
+}

@@ -1,0 +1,17 @@
+//! Figure 5 — synchronous handoff: N producers, 1 consumer.
+
+use synq_bench::runner::{finish, run_handoff_figure};
+use synq_bench::workload::HandoffShape;
+use synq_bench::{BLOCKING_ALGOS, FAN_LEVELS};
+
+fn main() {
+    let report = run_handoff_figure(
+        "figure5",
+        "synchronous handoff: N producers, 1 consumer",
+        "producers",
+        FAN_LEVELS,
+        BLOCKING_ALGOS,
+        HandoffShape::fan_in,
+    );
+    finish(report);
+}

@@ -1,0 +1,19 @@
+//! Figure 6 — `ThreadPoolExecutor` (CachedThreadPool) benchmark.
+//!
+//! Tasks are produced by N submitter threads and run by a cached pool
+//! whose core is the synchronous queue under test; Hanson's queue and the
+//! naive monitor queue cannot support the executor's `offer`/timed `poll`
+//! and are absent, as in the paper.
+
+use synq_bench::runner::{finish, run_executor_figure};
+use synq_bench::{PAIR_LEVELS, TIMED_ALGOS};
+
+fn main() {
+    let report = run_executor_figure(
+        "figure6",
+        "CachedThreadPool: ns per task",
+        PAIR_LEVELS,
+        TIMED_ALGOS,
+    );
+    finish(report);
+}

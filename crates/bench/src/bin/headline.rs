@@ -1,0 +1,51 @@
+//! T1 — the paper's headline claims, derived from the F3/F6 workloads at
+//! the highest concurrency level:
+//!
+//! * new vs. Java 5, unfair mode: ≈ 3× (microbenchmark)
+//! * new vs. Java 5, fair mode: up to 14× (SPARC) / 6× (Opteron)
+//! * ThreadPoolExecutor: ≈ 3× unfair / 14× (SPARC), 6× (Opteron) fair
+
+use synq_bench::algos::Algo;
+use synq_bench::runner::{run_executor_figure, run_handoff_figure};
+use synq_bench::workload::HandoffShape;
+use synq_bench::PAIR_LEVELS;
+
+fn main() {
+    let algos = [
+        Algo::Java5Fair,
+        Algo::Java5Unfair,
+        Algo::NewFair,
+        Algo::NewUnfair,
+    ];
+    let handoff = run_handoff_figure(
+        "headline-handoff",
+        "handoff at max concurrency",
+        "pairs",
+        PAIR_LEVELS,
+        &algos,
+        HandoffShape::pairs,
+    );
+    let pool = run_executor_figure(
+        "headline-pool",
+        "executor at max concurrency",
+        PAIR_LEVELS,
+        &algos,
+    );
+
+    println!("# T1 — headline speedups (java5 time / new time, at max level)");
+    println!("{:<28}{:>10}{:>12}", "comparison", "measured", "paper");
+    let rows = [
+        ("handoff fair", &handoff, "java5-fair", "new-fair", "8-14x"),
+        ("handoff unfair", &handoff, "java5-unfair", "new-unfair", "~2-3x"),
+        ("executor fair", &pool, "java5-fair", "new-fair", "6-14x"),
+        ("executor unfair", &pool, "java5-unfair", "new-unfair", "~3x"),
+    ];
+    for (label, rep, num, den, paper) in rows {
+        match rep.ratio_at_max(num, den) {
+            Some(r) => println!("{label:<28}{r:>9.2}x{paper:>12}"),
+            None => println!("{label:<28}{:>10}{paper:>12}", "n/a"),
+        }
+    }
+    let _ = handoff.write_json();
+    let _ = pool.write_json();
+}

@@ -1,0 +1,50 @@
+//! Prints markdown tables for every figure JSON found under
+//! `target/figures/` (or `SYNQ_FIGURE_DIR`) — the source material for
+//! EXPERIMENTS.md. Run the figure binaries first.
+
+use synq_bench::report::FigureReport;
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::var("SYNQ_FIGURE_DIR").unwrap_or_else(|_| "target/figures".into());
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no figure JSON in {dir}; run the figure binaries first");
+        return Ok(());
+    }
+    for path in paths {
+        let data = std::fs::read_to_string(&path)?;
+        let report: FigureReport = match serde_json::from_str(&data) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        println!("## {} — {} ({})\n", report.id, report.title, report.unit);
+        // Header.
+        print!("| {} |", report.x_label);
+        for s in &report.series {
+            print!(" {} |", s.name);
+        }
+        println!();
+        print!("|---:|");
+        for _ in &report.series {
+            print!("---:|");
+        }
+        println!();
+        for (row, level) in report.levels.iter().enumerate() {
+            print!("| {level} |");
+            for s in &report.series {
+                print!(" {:.0} |", s.values[row]);
+            }
+            println!();
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Benchmark harness regenerating every figure of the PPoPP 2006
+//! evaluation (§4).
+//!
+//! The paper's microbenchmarks "employ threads that produce and consume as
+//! fast as they can; this represents the limiting case of
+//! producer-consumer applications as the cost to process elements
+//! approaches zero", at producer:consumer ratios N:N (Figure 3), 1:N
+//! (Figure 4) and N:1 (Figure 5); the "real-world" scenario (Figure 6)
+//! runs trivial tasks through a cached `ThreadPoolExecutor` whose core is
+//! the synchronous queue under test.
+//!
+//! One binary per figure/ablation (see `src/bin/`); each prints the
+//! figure's table and writes machine-readable JSON under
+//! `target/figures/` for EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use algos::{make_blocking, make_timed_job, Algo, BLOCKING_ALGOS, TIMED_ALGOS};
+pub use report::{FigureReport, Series};
+pub use workload::{executor_ns_per_task, handoff_ns_per_transfer, HandoffShape};
+
+/// Concurrency levels of Figures 3 and 6 (pairs / threads).
+pub const PAIR_LEVELS: &[usize] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+
+/// Concurrency levels of Figures 4 and 5 (consumers / producers).
+pub const FAN_LEVELS: &[usize] = &[1, 2, 3, 5, 8, 12, 18, 27, 41, 62];
+
+/// Reads the harness scale from the environment: `SYNQ_BENCH_QUICK=1`
+/// shrinks transfer counts and sweeps so `cargo bench`/CI stay fast.
+pub fn quick_mode() -> bool {
+    std::env::var("SYNQ_BENCH_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// Transfer count for a concurrency level: enough work to dominate thread
+/// startup, scaled down as oversubscription grows.
+pub fn transfers_for(threads: usize, quick: bool) -> usize {
+    let base = if quick { 4_000 } else { 40_000 };
+    (base / threads.max(1)).clamp(if quick { 400 } else { 2_000 }, base)
+}
+
+/// Concurrency sweep, truncated in quick mode.
+pub fn sweep(levels: &[usize], quick: bool) -> Vec<usize> {
+    if quick {
+        levels.iter().copied().filter(|&l| l <= 8).collect()
+    } else {
+        levels.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_counts_scale_down_with_threads() {
+        assert_eq!(transfers_for(1, false), 40_000);
+        assert!(transfers_for(64, false) >= 2_000);
+        assert!(transfers_for(64, false) <= transfers_for(8, false));
+        assert_eq!(transfers_for(1, true), 4_000);
+        assert!(transfers_for(128, true) >= 400);
+    }
+
+    #[test]
+    fn quick_sweep_truncates_levels() {
+        let full = sweep(PAIR_LEVELS, false);
+        assert_eq!(full, PAIR_LEVELS.to_vec());
+        let quick = sweep(PAIR_LEVELS, true);
+        assert!(quick.iter().all(|&l| l <= 8));
+        assert!(!quick.is_empty());
+    }
+
+    #[test]
+    fn levels_match_the_paper() {
+        // Figures 3/6 x-axis ticks.
+        assert_eq!(PAIR_LEVELS, &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64]);
+        // Figures 4/5 x-axis ticks.
+        assert_eq!(FAN_LEVELS, &[1, 2, 3, 5, 8, 12, 18, 27, 41, 62]);
+    }
+}

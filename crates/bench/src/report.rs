@@ -1,0 +1,137 @@
+//! Table printing and JSON output for figure regeneration.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One curve of a figure: an algorithm's value at each x-axis level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Column label (algorithm name).
+    pub name: String,
+    /// One value per x-axis level, in the figure's unit.
+    pub values: Vec<f64>,
+}
+
+/// A regenerated figure: x-axis levels plus one series per algorithm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Figure identifier, e.g. `"figure3"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label, e.g. `"pairs"`.
+    pub x_label: String,
+    /// Unit of the values, e.g. `"ns/transfer"`.
+    pub unit: String,
+    /// X-axis levels.
+    pub levels: Vec<usize>,
+    /// One series per algorithm.
+    pub series: Vec<Series>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, x_label: &str, unit: &str, levels: Vec<usize>) -> Self {
+        FigureReport {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            unit: unit.into(),
+            levels,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a completed series.
+    pub fn push_series(&mut self, name: String, values: Vec<f64>) {
+        assert_eq!(values.len(), self.levels.len());
+        self.series.push(Series { name, values });
+    }
+
+    /// Renders the figure as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {} — {} ({})\n", self.id, self.title, self.unit));
+        let mut header = format!("{:>8}", self.x_label);
+        for s in &self.series {
+            header.push_str(&format!("  {:>14}", s.name));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        for (row, &level) in self.levels.iter().enumerate() {
+            let mut line = format!("{level:>8}");
+            for s in &self.series {
+                line.push_str(&format!("  {:>14.0}", s.values[row]));
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `target/figures/<id>.json` (path overridable with the
+    /// `SYNQ_FIGURE_DIR` environment variable). Returns the path.
+    pub fn write_json(&self) -> std::io::Result<PathBuf> {
+        let dir = std::env::var("SYNQ_FIGURE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/figures"));
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(serde_json::to_string_pretty(self).expect("serialize").as_bytes())?;
+        Ok(path)
+    }
+
+    /// Ratio of two series at the highest level (used for the headline
+    /// claims table). Returns `None` if either series is missing.
+    pub fn ratio_at_max(&self, numerator: &str, denominator: &str) -> Option<f64> {
+        let last = self.levels.len().checked_sub(1)?;
+        let num = self.series.iter().find(|s| s.name == numerator)?;
+        let den = self.series.iter().find(|s| s.name == denominator)?;
+        Some(num.values[last] / den.values[last])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureReport {
+        let mut r = FigureReport::new("figureX", "test", "pairs", "ns/transfer", vec![1, 2]);
+        r.push_series("a".into(), vec![100.0, 200.0]);
+        r.push_series("b".into(), vec![50.0, 40.0]);
+        r
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = sample().to_table();
+        assert!(t.contains("figureX"));
+        assert!(t.contains('a') && t.contains('b'));
+        assert!(t.contains("100") && t.contains("40"));
+    }
+
+    #[test]
+    fn ratio_uses_last_level() {
+        let r = sample();
+        assert_eq!(r.ratio_at_max("a", "b"), Some(5.0));
+        assert_eq!(r.ratio_at_max("a", "missing"), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let s = serde_json::to_string(&r).unwrap();
+        let back: FigureReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.levels, r.levels);
+        assert_eq!(back.series.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn mismatched_series_length_panics() {
+        let mut r = FigureReport::new("f", "t", "x", "u", vec![1, 2, 3]);
+        r.push_series("a".into(), vec![1.0]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Shared drivers for the figure binaries.
+
+use crate::algos::{make_blocking, make_timed_job, Algo};
+use crate::report::FigureReport;
+use crate::workload::{executor_ns_per_task, handoff_ns_per_transfer, HandoffShape};
+use crate::{quick_mode, sweep, transfers_for};
+
+/// Runs a handoff figure (Figures 3–5) over `algos` and prints progress to
+/// stderr.
+pub fn run_handoff_figure(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    levels: &[usize],
+    algos: &[Algo],
+    shape: impl Fn(usize) -> HandoffShape,
+) -> FigureReport {
+    let quick = quick_mode();
+    let levels = sweep(levels, quick);
+    let mut report = FigureReport::new(id, title, x_label, "ns/transfer", levels.clone());
+    for &algo in algos {
+        let mut values = Vec::with_capacity(levels.len());
+        for &level in &levels {
+            let s = shape(level);
+            let transfers = transfers_for(s.producers + s.consumers, quick);
+            let ns = handoff_ns_per_transfer(make_blocking(algo), s, transfers);
+            eprintln!(
+                "  {id} {:>14} {x_label}={level:<3} -> {ns:>12.0} ns/transfer ({transfers} transfers)",
+                algo.name()
+            );
+            values.push(ns);
+        }
+        report.push_series(algo.name(), values);
+    }
+    report
+}
+
+/// Runs the executor figure (Figure 6) over `algos`.
+pub fn run_executor_figure(id: &str, title: &str, levels: &[usize], algos: &[Algo]) -> FigureReport {
+    let quick = quick_mode();
+    let levels = sweep(levels, quick);
+    let mut report = FigureReport::new(id, title, "threads", "ns/task", levels.clone());
+    for &algo in algos {
+        let Some(_) = make_timed_job(algo) else {
+            continue;
+        };
+        let mut values = Vec::with_capacity(levels.len());
+        for &level in &levels {
+            let tasks = transfers_for(level, quick);
+            let channel = make_timed_job(algo).expect("timed algo");
+            let ns = executor_ns_per_task(channel, level, tasks);
+            eprintln!(
+                "  {id} {:>14} threads={level:<3} -> {ns:>12.0} ns/task ({tasks} tasks)",
+                algo.name()
+            );
+            values.push(ns);
+        }
+        report.push_series(algo.name(), values);
+    }
+    report
+}
+
+/// Prints the table, writes the JSON, and reports the path.
+pub fn finish(report: FigureReport) {
+    println!("{}", report.to_table());
+    match report.write_json() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write JSON: {e}"),
+    }
+}

@@ -1,0 +1,206 @@
+//! Workload generators and measurement loops.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+use synq::{SyncChannel, TimedSyncChannel};
+use synq_executor::{Job, PoolConfig, ThreadPool};
+
+/// Producer:consumer shape of a handoff microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandoffShape {
+    /// Number of producer threads.
+    pub producers: usize,
+    /// Number of consumer threads.
+    pub consumers: usize,
+}
+
+impl HandoffShape {
+    /// Figure 3: N producers, N consumers.
+    pub fn pairs(n: usize) -> Self {
+        HandoffShape {
+            producers: n,
+            consumers: n,
+        }
+    }
+    /// Figure 4: one producer, N consumers.
+    pub fn fan_out(consumers: usize) -> Self {
+        HandoffShape {
+            producers: 1,
+            consumers,
+        }
+    }
+    /// Figure 5: N producers, one consumer.
+    pub fn fan_in(producers: usize) -> Self {
+        HandoffShape {
+            producers,
+            consumers: 1,
+        }
+    }
+}
+
+/// Runs a saturation handoff benchmark: every thread produces/consumes "as
+/// fast as it can" until exactly `transfers` handoffs have happened.
+/// Returns nanoseconds per transfer.
+///
+/// Work is claimed from shared tickets so exactly `transfers` puts pair
+/// with exactly `transfers` takes — no thread is left stranded in a
+/// blocking operation at the end.
+pub fn handoff_ns_per_transfer(
+    channel: Arc<dyn SyncChannel<u64>>,
+    shape: HandoffShape,
+    transfers: usize,
+) -> f64 {
+    let put_tickets = Arc::new(AtomicUsize::new(0));
+    let take_tickets = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(shape.producers + shape.consumers + 1));
+
+    let mut handles = Vec::with_capacity(shape.producers + shape.consumers);
+    for _ in 0..shape.producers {
+        let channel = Arc::clone(&channel);
+        let tickets = Arc::clone(&put_tickets);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            loop {
+                let i = tickets.fetch_add(1, Ordering::Relaxed);
+                if i >= transfers {
+                    break;
+                }
+                channel.put(i as u64);
+            }
+        }));
+    }
+    for _ in 0..shape.consumers {
+        let channel = Arc::clone(&channel);
+        let tickets = Arc::clone(&take_tickets);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut check: u64 = 0;
+            loop {
+                let i = tickets.fetch_add(1, Ordering::Relaxed);
+                if i >= transfers {
+                    break;
+                }
+                check = check.wrapping_add(channel.take());
+            }
+            std::hint::black_box(check);
+        }));
+    }
+
+    // Start the clock *before* releasing the barrier: on an oversubscribed
+    // machine the main thread may not be rescheduled until after the
+    // workers finish, which would otherwise truncate the measurement. The
+    // barrier-release cost this includes is negligible against the
+    // thousands of transfers measured.
+    let start = Instant::now();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("benchmark thread panicked");
+    }
+    let elapsed = start.elapsed();
+    elapsed.as_nanos() as f64 / transfers as f64
+}
+
+/// Runs the Figure 6 workload: `submitters` threads submit `tasks` trivial
+/// tasks to a cached thread pool whose handoff channel is under test.
+/// Returns nanoseconds per task.
+pub fn executor_ns_per_task(
+    channel: Arc<dyn TimedSyncChannel<Job>>,
+    submitters: usize,
+    tasks: usize,
+) -> f64 {
+    let pool = ThreadPool::new(
+        channel,
+        PoolConfig {
+            core_pool_size: 0,
+            max_pool_size: usize::MAX,
+            keep_alive: std::time::Duration::from_millis(200),
+        },
+    );
+    let tickets = Arc::new(AtomicUsize::new(0));
+    let executed = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(submitters + 1));
+
+    let mut handles = Vec::with_capacity(submitters);
+    for _ in 0..submitters {
+        let pool = pool.clone();
+        let tickets = Arc::clone(&tickets);
+        let executed = Arc::clone(&executed);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            loop {
+                let i = tickets.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                let executed = Arc::clone(&executed);
+                pool.execute(move || {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                })
+                .expect("pool rejected task");
+            }
+        }));
+    }
+
+    let start = Instant::now();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("submitter panicked");
+    }
+    // Wait for the tail of in-flight tasks.
+    while executed.load(Ordering::Relaxed) < tasks {
+        std::thread::yield_now();
+    }
+    let elapsed = start.elapsed();
+    pool.shutdown();
+    pool.join();
+    assert_eq!(executed.load(Ordering::Relaxed), tasks);
+    elapsed.as_nanos() as f64 / tasks as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::{make_blocking, make_timed_job, Algo};
+
+    #[test]
+    fn handoff_measurement_completes_for_pairs() {
+        let ns = handoff_ns_per_transfer(
+            make_blocking(Algo::NewUnfair),
+            HandoffShape::pairs(2),
+            2_000,
+        );
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn handoff_measurement_completes_fan_out_and_in() {
+        for shape in [HandoffShape::fan_out(3), HandoffShape::fan_in(3)] {
+            let ns =
+                handoff_ns_per_transfer(make_blocking(Algo::NewFair), shape, 1_500);
+            assert!(ns > 0.0);
+        }
+    }
+
+    #[test]
+    fn handoff_works_for_every_algorithm() {
+        for &algo in crate::BLOCKING_ALGOS {
+            let ns = handoff_ns_per_transfer(
+                make_blocking(algo),
+                HandoffShape::pairs(2),
+                500,
+            );
+            assert!(ns > 0.0, "algo {}", algo.name());
+        }
+    }
+
+    #[test]
+    fn executor_measurement_completes() {
+        let ch = make_timed_job(Algo::NewUnfair).unwrap();
+        let ns = executor_ns_per_task(ch, 2, 500);
+        assert!(ns > 0.0);
+    }
+}

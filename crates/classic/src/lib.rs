@@ -1,0 +1,33 @@
+//! Classic nonblocking data structures that the paper's synchronous queues
+//! descend from.
+//!
+//! > "Our new algorithms add support for time-out and for bidirectional
+//! > synchronous waiting to our previous nonblocking dual queue and dual
+//! > stack algorithms \[19\] (those in turn were derived from the classic
+//! > Treiber stack \[21\] and the M&S queue \[14\])."
+//!
+//! This crate provides that full lineage:
+//!
+//! * [`TreiberStack`] — Treiber's lock-free LIFO stack (1986).
+//! * [`MsQueue`] — the Michael & Scott lock-free FIFO queue (1996).
+//! * [`DualQueue`] — the *nonsynchronous* dual queue of Scherer & Scott
+//!   (2004): consumers that arrive early insert *reservations*; producers
+//!   never wait. Exposes the first-class request/follow-up API of the
+//!   paper's Listing 2.
+//! * [`DualStack`] — the nonsynchronous dual stack (same paper), LIFO.
+//!
+//! All four are lock-free and use [`synq_reclaim`] for safe memory
+//! reclamation.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod dual_queue;
+pub mod dual_stack;
+pub mod msqueue;
+pub mod treiber;
+
+pub use dual_queue::{DequeueTicket, DualQueue};
+pub use dual_stack::{DualStack, PopTicket};
+pub use msqueue::MsQueue;
+pub use treiber::TreiberStack;

@@ -1,0 +1,115 @@
+//! Property tests: the classic structures against their sequential models.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use synq_classic::{DualQueue, DualStack, MsQueue, TreiberStack};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn treiber_refines_vec_stack(ops in proptest::collection::vec(any::<Option<u16>>(), 0..300)) {
+        let stack = TreiberStack::new();
+        let mut model = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    stack.push(v);
+                    model.push(v);
+                }
+                None => prop_assert_eq!(stack.pop(), model.pop()),
+            }
+            prop_assert_eq!(stack.is_empty(), model.is_empty());
+        }
+        while let Some(expect) = model.pop() {
+            prop_assert_eq!(stack.pop(), Some(expect));
+        }
+        prop_assert_eq!(stack.pop(), None);
+    }
+
+    #[test]
+    fn msqueue_refines_vecdeque(ops in proptest::collection::vec(any::<Option<u16>>(), 0..300)) {
+        let queue = MsQueue::new();
+        let mut model = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    queue.enqueue(v);
+                    model.push_back(v);
+                }
+                None => prop_assert_eq!(queue.dequeue(), model.pop_front()),
+            }
+            prop_assert_eq!(queue.is_empty(), model.is_empty());
+        }
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(queue.dequeue(), Some(expect));
+        }
+        prop_assert_eq!(queue.dequeue(), None);
+    }
+
+    #[test]
+    fn dual_queue_refines_vecdeque_with_reservations(
+        ops in proptest::collection::vec(any::<Option<u16>>(), 0..200),
+    ) {
+        // Sequential refinement including the reserve/abort path: a
+        // `try_dequeue` that finds nothing is internally reserve+abort, so
+        // this also exercises reservation cancellation and absorption.
+        let queue: DualQueue<u16> = DualQueue::new();
+        let mut model = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    queue.enqueue(v);
+                    model.push_back(v);
+                }
+                None => prop_assert_eq!(queue.try_dequeue(), model.pop_front()),
+            }
+        }
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(queue.try_dequeue(), Some(expect));
+        }
+        prop_assert_eq!(queue.try_dequeue(), None);
+    }
+
+    #[test]
+    fn dual_stack_refines_vec_with_reservations(
+        ops in proptest::collection::vec(any::<Option<u16>>(), 0..200),
+    ) {
+        let stack: DualStack<u16> = DualStack::new();
+        let mut model = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    stack.push(v);
+                    model.push(v);
+                }
+                None => prop_assert_eq!(stack.try_pop(), model.pop()),
+            }
+        }
+        while let Some(expect) = model.pop() {
+            prop_assert_eq!(stack.try_pop(), Some(expect));
+        }
+        prop_assert_eq!(stack.try_pop(), None);
+    }
+
+    #[test]
+    fn dual_queue_reservations_fulfilled_fifo(
+        reservations in 1usize..6,
+        values in proptest::collection::vec(any::<u16>(), 6..12),
+    ) {
+        // R reservations first, then enough enqueues: tickets must be
+        // fulfilled in reservation order with the first R values.
+        let queue: DualQueue<u16> = DualQueue::new();
+        let mut tickets: Vec<_> = (0..reservations).map(|_| queue.dequeue_reserve()).collect();
+        for &v in &values {
+            queue.enqueue(v);
+        }
+        for (i, t) in tickets.iter_mut().enumerate() {
+            prop_assert_eq!(t.try_followup(), Some(values[i]), "ticket {}", i);
+        }
+        // Remaining values come out FIFO.
+        for &v in &values[reservations..] {
+            prop_assert_eq!(queue.try_dequeue(), Some(v));
+        }
+    }
+}

@@ -1,0 +1,771 @@
+//! The synchronous dual queue — the paper's **fair** algorithm
+//! (Listing 5 / Figure 1), with the time-out and cancellation support of
+//! the Java 6 production version.
+//!
+//! # Algorithm
+//!
+//! The queue is a singly linked list with `head` and `tail` pointers and a
+//! permanent dummy at the head (the M&S-queue skeleton). At any instant the
+//! list holds *either* data nodes (waiting producers) *or* request nodes
+//! (waiting consumers) — never both:
+//!
+//! * An arriving thread whose mode matches the queue's current contents
+//!   (or finds it empty) **appends** its node at the tail and waits for a
+//!   counterpart to mark it `MATCHED` (spin-then-park, on its own node —
+//!   no remote accesses while waiting).
+//! * An arriving thread of the opposite mode **matches** the node at
+//!   `head.next`: a CAS on that node's state word claims it, the item moves
+//!   across, the waiter is unparked, and the head advances (the matched
+//!   node becomes the new dummy).
+//!
+//! The request linearizes at the `next`-CAS that appends the node, or at
+//! the state-CAS that claims a waiting counterpart (paper §3.3).
+//!
+//! # Time-out, cancellation and cleaning
+//!
+//! A waiter gives up by CASing its node `WAITING → CANCELLED`; the same CAS
+//! arbitrates against a concurrent match, exactly like the Java version's
+//! CAS on the `item` field. Cancelled nodes are *absorbed at the head*:
+//! every arriving operation (and the canceller itself) advances the head
+//! past any leading cancelled nodes before doing its own work. This differs
+//! from the Java 6 code, which additionally unsplices cancelled *interior*
+//! nodes (the `cleanMe` scheme): interior unsplicing is only memory-safe
+//! under a tracing GC, because an unspliced node can remain reachable
+//! through a chain of previously unspliced predecessors. Head absorption
+//! has the same bound the paper cares about — a burst of timed-out
+//! operations is reclaimed by the next arrival — and experiment A4
+//! measures the residual buildup.
+//!
+//! # Memory lifetime
+//!
+//! Each node carries a reference count, initially 2: one held by the
+//! *structure*, one by the *waiter* that created it (the dummy starts at 1).
+//! The structure's reference is released — via an epoch deferral — by
+//! whichever thread's CAS advances the head past the node; the waiter's is
+//! released directly when its operation returns. Waiters therefore hold no
+//! epoch pin while parked (a sleeping thread never stalls reclamation),
+//! and matchers only touch nodes while pinned.
+
+use crate::transferer::{Deadline, TransferOutcome, Transferer};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use synq_primitives::{CancelToken, Parker, SpinPolicy, WaiterCell};
+use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
+
+/// Node states. A node leaves `WAITING` through exactly one CAS, which
+/// arbitrates matching against cancellation.
+const WAITING: usize = 0;
+/// A matcher won the CAS and is moving the item across.
+const CLAIMED: usize = 1;
+/// The handoff is complete; the waiter may return.
+const MATCHED: usize = 2;
+/// The waiter timed out or was cancelled before a counterpart arrived.
+const CANCELLED: usize = 3;
+
+struct QNode<T> {
+    state: AtomicUsize,
+    /// The transferred item. For a data node, written by the owner before
+    /// publication; for a request node, written by the matcher while
+    /// `CLAIMED`. Moved out exactly once by whoever `consumed` says.
+    item: UnsafeCell<MaybeUninit<T>>,
+    /// Set by the unique thread that moves the item out.
+    consumed: AtomicBool,
+    next: Atomic<QNode<T>>,
+    /// Producer (`true`) or consumer (`false`) node. Immutable.
+    is_data: bool,
+    /// Mailbox through which the waiter publishes its unparker.
+    waiter: WaiterCell,
+    /// 2 = structure + waiter (dummy: 1 = structure only).
+    refs: AtomicUsize,
+    /// Debug guard: the structure reference is released exactly once.
+    unlinked: AtomicBool,
+}
+
+impl<T> QNode<T> {
+    /// `is_data` must be passed explicitly: waiter nodes are allocated
+    /// empty and have their item written just before publication, so it
+    /// cannot be inferred from the slot.
+    fn new(is_data: bool, refs: usize) -> Owned<QNode<T>> {
+        Owned::new(QNode {
+            state: AtomicUsize::new(WAITING),
+            item: UnsafeCell::new(MaybeUninit::uninit()),
+            consumed: AtomicBool::new(false),
+            next: Atomic::null(),
+            is_data,
+            waiter: WaiterCell::new(),
+            refs: AtomicUsize::new(refs),
+            unlinked: AtomicBool::new(false),
+        })
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Acquire) == CANCELLED
+    }
+
+    /// Moves the item out. Caller must hold exclusive logical access to the
+    /// slot (won the claiming CAS, or owns a MATCHED/CANCELLED node).
+    unsafe fn take_item(&self) -> T {
+        let was = self.consumed.swap(true, Ordering::AcqRel);
+        debug_assert!(!was, "item taken twice");
+        // SAFETY: slot holds a value per the state machine; `consumed`
+        // asserts single ownership transfer.
+        unsafe { (*self.item.get()).assume_init_read() }
+    }
+
+    /// Writes the item. Caller must have won the claiming CAS on a request
+    /// node (exclusive write access while `CLAIMED`).
+    unsafe fn put_item(&self, value: T) {
+        // SAFETY: per caller contract.
+        unsafe { (*self.item.get()).write(value) };
+    }
+
+    /// Drops one reference; frees the node (and any unconsumed item) when
+    /// it was the last.
+    unsafe fn release(ptr: *const QNode<T>) {
+        // SAFETY: caller owns one reference.
+        let node = unsafe { &*ptr };
+        if node.refs.fetch_sub(1, Ordering::Release) == 1 {
+            std::sync::atomic::fence(Ordering::Acquire);
+            // SAFETY: last reference; nobody can reach the node (the
+            // structure's release is epoch-deferred, so any pinned reader
+            // has since unpinned).
+            let mut owned = unsafe { Box::from_raw(ptr as *mut QNode<T>) };
+            let has_item = if owned.is_data {
+                // Data item present from creation unless moved out.
+                !*owned.consumed.get_mut()
+            } else {
+                // Request slot written only on a completed match.
+                *owned.state.get_mut() == MATCHED && !*owned.consumed.get_mut()
+            };
+            if has_item {
+                // SAFETY: slot initialized per the rules above.
+                unsafe { (*owned.item.get()).assume_init_drop() };
+            }
+            drop(owned);
+        }
+    }
+}
+
+/// The fair (FIFO) synchronous queue.
+///
+/// See the [module docs](self) for the algorithm. Prefer the
+/// [`crate::SynchronousQueue`] facade unless you need this concrete type.
+///
+/// # Examples
+///
+/// ```
+/// use synq::{SyncDualQueue, SyncChannel, TimedSyncChannel};
+/// use std::sync::Arc;
+/// use std::thread;
+///
+/// let q = Arc::new(SyncDualQueue::new());
+/// assert_eq!(q.poll(), None); // nobody waiting
+/// let q2 = Arc::clone(&q);
+/// let t = thread::spawn(move || q2.take());
+/// q.put("hello");
+/// assert_eq!(t.join().unwrap(), "hello");
+/// ```
+pub struct SyncDualQueue<T> {
+    head: Atomic<QNode<T>>,
+    tail: Atomic<QNode<T>>,
+    spin: SpinPolicy,
+}
+
+// SAFETY: nodes hand `T` values across threads; all shared mutation goes
+// through atomics and the claim/consume protocol.
+unsafe impl<T: Send> Send for SyncDualQueue<T> {}
+unsafe impl<T: Send> Sync for SyncDualQueue<T> {}
+
+impl<T: Send> Default for SyncDualQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> SyncDualQueue<T> {
+    /// Creates an empty queue with the adaptive spin policy.
+    pub fn new() -> Self {
+        Self::with_spin(SpinPolicy::adaptive())
+    }
+
+    /// Creates an empty queue with an explicit spin policy (ablation A1).
+    pub fn with_spin(spin: SpinPolicy) -> Self {
+        // The initial dummy holds only the structure reference.
+        let dummy = QNode::new(false, 1);
+        let guard = unsafe { epoch::unprotected() };
+        let dummy = dummy.into_shared(&guard);
+        let head = Atomic::null();
+        let tail = Atomic::null();
+        head.store(dummy, Ordering::Relaxed);
+        tail.store(dummy, Ordering::Relaxed);
+        SyncDualQueue { head, tail, spin }
+    }
+
+    /// Advances `head` from `h` to `nh`, releasing the old dummy's
+    /// structure reference. Returns true if this thread's CAS won.
+    fn advance_head<'g>(
+        &self,
+        h: Shared<'g, QNode<T>>,
+        nh: Shared<'g, QNode<T>>,
+        guard: &'g Guard,
+    ) -> bool {
+        if self
+            .head
+            .compare_exchange(h, nh, Ordering::AcqRel, Ordering::Acquire, guard)
+            .is_ok()
+        {
+            self.release_structure_ref(h, guard);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release_structure_ref<'g>(&self, node: Shared<'g, QNode<T>>, guard: &'g Guard) {
+        // SAFETY: node was just unlinked by our CAS; it stays alive for the
+        // guard's grace period.
+        let node_ref = unsafe { node.deref() };
+        let was = node_ref.unlinked.swap(true, Ordering::AcqRel);
+        debug_assert!(!was, "structure reference released twice");
+        let raw = node.as_raw() as usize;
+        // SAFETY: runs after every thread pinned at unlink time has
+        // unpinned; the waiter's own reference keeps the node alive beyond
+        // that if it is still waking up.
+        unsafe {
+            guard.defer_unchecked(move || QNode::release(raw as *const QNode<T>));
+        }
+    }
+
+    /// Absorbs leading cancelled nodes. Called by every arriving operation
+    /// and by cancelling waiters; this is the cleaning strategy (see module
+    /// docs). Returns true if it advanced the head at all.
+    fn absorb_cancelled(&self, guard: &Guard) -> bool {
+        let mut advanced = false;
+        loop {
+            let h = self.head.load(Ordering::Acquire, guard);
+            // SAFETY: head is never null (dummy invariant) and protected.
+            let h_ref = unsafe { h.deref() };
+            let hn = h_ref.next.load(Ordering::Acquire, guard);
+            let Some(hn_ref) = (unsafe { hn.as_ref() }) else {
+                return advanced;
+            };
+            if !hn_ref.is_cancelled() {
+                return advanced;
+            }
+            if self.advance_head(h, hn, guard) {
+                advanced = true;
+            }
+        }
+    }
+
+    fn transfer_impl(
+        &self,
+        mut item: Option<T>,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        let is_data = item.is_some();
+        // The node is allocated at most once per call and reused across
+        // retries (the paper's pragmatics: avoid per-retry allocation).
+        let mut node: Option<Owned<QNode<T>>> = None;
+
+        loop {
+            let guard = epoch::pin();
+            self.absorb_cancelled(&guard);
+
+            let h = self.head.load(Ordering::Acquire, &guard);
+            let t = self.tail.load(Ordering::Acquire, &guard);
+            // SAFETY: head/tail never null; protected by the guard.
+            let t_ref = unsafe { t.deref() };
+
+            if h.ptr_eq(&t) || t_ref.is_data == is_data {
+                // Empty queue, or queue holds our own mode: append & wait.
+                let n = t_ref.next.load(Ordering::Acquire, &guard);
+                if !t.ptr_eq(&self.tail.load(Ordering::Acquire, &guard)) {
+                    continue; // inconsistent snapshot
+                }
+                if !n.is_null() {
+                    // Lagging tail: help.
+                    let _ = self.tail.compare_exchange(
+                        t,
+                        n,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                        &guard,
+                    );
+                    continue;
+                }
+                // We would have to wait. Fail fast for `offer`/`poll` and
+                // for already-tripped cancellation tokens.
+                if deadline.is_now() {
+                    return TransferOutcome::Timeout(item);
+                }
+                if token.is_some_and(|tk| tk.is_cancelled()) {
+                    return TransferOutcome::Cancelled(item);
+                }
+                let owned = match node.take() {
+                    Some(n) => n,
+                    None => QNode::new(is_data, 2),
+                };
+                // (Re-)arm the node for this attempt.
+                if is_data {
+                    // SAFETY: we own the node; slot is empty (fresh node or
+                    // item read back after a failed CAS below).
+                    unsafe { owned.put_item(item.take().expect("data transfer has item")) };
+                }
+                let node_raw = match t_ref.next.compare_exchange(
+                    Shared::null(),
+                    owned,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                    &guard,
+                ) {
+                    Ok(published) => {
+                        let _ = self.tail.compare_exchange(
+                            t,
+                            published,
+                            Ordering::Release,
+                            Ordering::Relaxed,
+                            &guard,
+                        );
+                        published.as_raw()
+                    }
+                    Err(e) => {
+                        // Reclaim the item and retry with the same node.
+                        let owned = e.new;
+                        if is_data {
+                            // SAFETY: node unpublished; we wrote the slot
+                            // above and nobody else can see it.
+                            item = Some(unsafe {
+                                (*owned.item.get()).assume_init_read()
+                            });
+                        }
+                        node = Some(owned);
+                        continue;
+                    }
+                };
+                // Wait without holding the pin.
+                drop(guard);
+                return self.await_fulfill(node_raw, is_data, deadline, token);
+            }
+
+            // Complementary mode at the front: match `head.next`.
+            let m = h_ref_next(h, &guard);
+            if !t.ptr_eq(&self.tail.load(Ordering::Acquire, &guard))
+                || !h.ptr_eq(&self.head.load(Ordering::Acquire, &guard))
+            {
+                continue;
+            }
+            let Some(m_shared) = m else { continue };
+            // SAFETY: m reachable from head under our pin.
+            let m_ref = unsafe { m_shared.deref() };
+            debug_assert_ne!(m_ref.is_data, is_data, "dual invariant violated");
+
+            let matched = if m_ref
+                .state
+                .compare_exchange(WAITING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                if is_data {
+                    // Give our item to the waiting consumer.
+                    // SAFETY: winning the claim grants slot write access.
+                    unsafe { m_ref.put_item(item.take().expect("data transfer has item")) };
+                } else {
+                    // Take the waiting producer's item.
+                    // SAFETY: winning the claim grants slot read access.
+                    item = Some(unsafe { m_ref.take_item() });
+                }
+                m_ref.state.store(MATCHED, Ordering::Release);
+                m_ref.waiter.wake();
+                true
+            } else {
+                false
+            };
+            // Advance past m whether we matched it or lost the race
+            // (cancelled / claimed by someone else) — paper Figure 1 step D.
+            let _ = self.advance_head(h, m_shared, &guard);
+            if matched {
+                return TransferOutcome::Transferred(item);
+            }
+        }
+    }
+
+    /// Waits on our own freshly appended node. Touches only that node (we
+    /// hold a reference on it), so no epoch pin is held while waiting —
+    /// parked threads never stall reclamation.
+    fn await_fulfill(
+        &self,
+        node_raw: *const QNode<T>,
+        is_data: bool,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        // SAFETY: we hold one of the node's references until `release`.
+        let node = unsafe { &*node_raw };
+        let mut spins = self.spin.spins_for(deadline.is_timed());
+        let mut parker: Option<Parker> = None;
+
+        let outcome = loop {
+            match node.state.load(Ordering::Acquire) {
+                MATCHED => {
+                    let item = if is_data {
+                        None
+                    } else {
+                        // SAFETY: matcher wrote the slot before MATCHED.
+                        Some(unsafe { node.take_item() })
+                    };
+                    break TransferOutcome::Transferred(item);
+                }
+                CLAIMED => {
+                    // Matcher is mid-transfer; completion is a bounded
+                    // number of its instructions away. Yield rather than
+                    // spin so a preempted matcher gets the processor on a
+                    // uniprocessor.
+                    std::thread::yield_now();
+                    continue;
+                }
+                CANCELLED => unreachable!("only the waiter cancels its own node"),
+                _ => {}
+            }
+
+            let cancelled = token.is_some_and(|tk| tk.is_cancelled());
+            if cancelled || deadline.expired() {
+                if node
+                    .state
+                    .compare_exchange(WAITING, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // Give the cancelled prefix a chance to be reclaimed.
+                    node.waiter.take();
+                    let guard = epoch::pin();
+                    self.absorb_cancelled(&guard);
+                    drop(guard);
+                    let item = if is_data {
+                        // SAFETY: cancellation wins back item ownership.
+                        Some(unsafe { node.take_item() })
+                    } else {
+                        None
+                    };
+                    break if cancelled {
+                        TransferOutcome::Cancelled(item)
+                    } else {
+                        TransferOutcome::Timeout(item)
+                    };
+                }
+                continue; // a match raced in; loop sees MATCHED/CLAIMED
+            }
+
+            if spins > 0 {
+                spins -= 1;
+                std::hint::spin_loop();
+                continue;
+            }
+
+            // Park. Register the unparker first, then re-check the state so
+            // a match that slipped in between cannot be missed.
+            let parker = parker.get_or_insert_with(Parker::new);
+            node.waiter.register(parker.unparker());
+            let _reg = token.map(|tk| tk.register(parker.unparker()));
+            if node.state.load(Ordering::Acquire) != WAITING {
+                continue;
+            }
+            match deadline {
+                Deadline::Never => parker.park(),
+                Deadline::Now => unreachable!("Now fails before enqueueing"),
+                Deadline::At(d) => {
+                    let _ = parker.park_deadline(d);
+                }
+            }
+        };
+
+        // Help dequeue our own node if it is next in line (paper Listing 5
+        // lines 17–19), then drop the waiter's reference.
+        if matches!(outcome, TransferOutcome::Transferred(_)) {
+            let guard = epoch::pin();
+            let h = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: head never null.
+            let hn = unsafe { h.deref() }.next.load(Ordering::Acquire, &guard);
+            if hn.as_raw() == node_raw {
+                let _ = self.advance_head(h, hn, &guard);
+            }
+        }
+        // SAFETY: balanced with the creation refcount of 2.
+        unsafe { QNode::release(node_raw) };
+        outcome
+    }
+
+    /// Diagnostic: number of linked nodes (excluding the dummy). O(n); used
+    /// by tests and the cleaning ablation, not by the algorithm.
+    pub fn linked_nodes(&self) -> usize {
+        let guard = epoch::pin();
+        let mut n = 0;
+        let mut p = self.head.load(Ordering::Acquire, &guard);
+        loop {
+            // SAFETY: chain protected by the pin.
+            let node = unsafe { p.deref() };
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if next.is_null() {
+                return n;
+            }
+            n += 1;
+            p = next;
+        }
+    }
+}
+
+/// Loads `h.next`, returning `None` (retry) if it is null.
+fn h_ref_next<'g, T>(
+    h: Shared<'g, QNode<T>>,
+    guard: &'g Guard,
+) -> Option<Shared<'g, QNode<T>>> {
+    // SAFETY: h is the protected head.
+    let next = unsafe { h.deref() }.next.load(Ordering::Acquire, guard);
+    if next.is_null() {
+        None
+    } else {
+        Some(next)
+    }
+}
+
+impl<T: Send> Transferer<T> for SyncDualQueue<T> {
+    fn transfer(
+        &self,
+        item: Option<T>,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        self.transfer_impl(item, deadline, token)
+    }
+}
+
+impl<T> Drop for SyncDualQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: every waiter has returned (they hold &self via
+        // Arc or borrow), so all remaining references are the structure's.
+        let guard = unsafe { epoch::unprotected() };
+        let mut p = self.head.load(Ordering::Relaxed, &guard);
+        while !p.is_null() {
+            // SAFETY: exclusive access; chain nodes each hold exactly the
+            // structure reference now.
+            let node = unsafe { p.deref() };
+            let next = node.next.load(Ordering::Relaxed, &guard);
+            unsafe { QNode::release(p.as_raw()) };
+            p = next;
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SyncDualQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("SyncDualQueue { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{SyncChannel, TimedSyncChannel};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn poll_and_offer_on_empty_fail() {
+        let q: SyncDualQueue<u32> = SyncDualQueue::new();
+        assert_eq!(q.poll(), None);
+        assert_eq!(q.offer(7), Err(7));
+        assert_eq!(q.linked_nodes(), 0);
+    }
+
+    #[test]
+    fn put_take_pair() {
+        let q = Arc::new(SyncDualQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        q.put(99u32);
+        assert_eq!(t.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn take_then_put() {
+        let q = Arc::new(SyncDualQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.put(5u64));
+        assert_eq!(q.take(), 5);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn offer_succeeds_with_waiting_consumer() {
+        let q = Arc::new(SyncDualQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        // Wait until the consumer's reservation is linked.
+        while q.linked_nodes() == 0 {
+            thread::yield_now();
+        }
+        // A short retry loop: the reservation is linked, but may still be
+        // settling; offer must succeed almost immediately.
+        let mut v = 42u32;
+        loop {
+            match q.offer(v) {
+                Ok(()) => break,
+                Err(back) => {
+                    v = back;
+                    thread::yield_now();
+                }
+            }
+        }
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn poll_timeout_expires_empty() {
+        let q: SyncDualQueue<u8> = SyncDualQueue::new();
+        let start = Instant::now();
+        assert_eq!(q.poll_timeout(Duration::from_millis(30)), None);
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        // The cancelled reservation must not linger once absorbed.
+        let _ = q.poll(); // triggers absorption
+        assert_eq!(q.linked_nodes(), 0);
+    }
+
+    #[test]
+    fn offer_timeout_returns_item() {
+        let q: SyncDualQueue<String> = SyncDualQueue::new();
+        let item = "payload".to_string();
+        let back = q
+            .offer_timeout(item, Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(back, "payload");
+    }
+
+    #[test]
+    fn fifo_order_among_waiting_producers() {
+        let q = Arc::new(SyncDualQueue::new());
+        let mut producers = Vec::new();
+        for i in 0..5u32 {
+            let q2 = Arc::clone(&q);
+            producers.push(thread::spawn(move || q2.put(i)));
+            // Ensure deterministic arrival order.
+            while q.linked_nodes() < (i + 1) as usize {
+                thread::yield_now();
+            }
+        }
+        // Consume: must come out 0,1,2,3,4 (fairness).
+        for expect in 0..5u32 {
+            assert_eq!(q.take(), expect);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cancellation_interrupts_waiting_take() {
+        let q: Arc<SyncDualQueue<u8>> = Arc::new(SyncDualQueue::new());
+        let token = CancelToken::new();
+        let canceller = token.canceller();
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take_with(Deadline::Never, Some(&token)));
+        thread::sleep(Duration::from_millis(30));
+        canceller.cancel();
+        match t.join().unwrap() {
+            TransferOutcome::Cancelled(None) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_returns_item_to_producer() {
+        let q: Arc<SyncDualQueue<Vec<u8>>> = Arc::new(SyncDualQueue::new());
+        let token = CancelToken::new();
+        let canceller = token.canceller();
+        let q2 = Arc::clone(&q);
+        let t =
+            thread::spawn(move || q2.put_with(vec![1, 2, 3], Deadline::Never, Some(&token)));
+        thread::sleep(Duration::from_millis(30));
+        canceller.cancel();
+        match t.join().unwrap() {
+            TransferOutcome::Cancelled(Some(v)) => assert_eq!(v, vec![1, 2, 3]),
+            other => panic!("expected Cancelled(item), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_storm_is_absorbed() {
+        // The paper's buildup scenario: high offer rate, tiny patience, no
+        // consumers. Arrivals must absorb the cancelled prefix.
+        let q: SyncDualQueue<u32> = SyncDualQueue::new();
+        for i in 0..200 {
+            let _ = q.offer_timeout(i, Duration::from_micros(1));
+        }
+        // After the storm at most a handful of nodes may remain linked
+        // (the last arrivals, already cancelled but not yet absorbed).
+        let _ = q.poll();
+        assert!(
+            q.linked_nodes() <= 2,
+            "cancelled nodes built up: {}",
+            q.linked_nodes()
+        );
+    }
+
+    #[test]
+    fn values_conserved_under_stress() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER: usize = 500;
+        let q = Arc::new(SyncDualQueue::new());
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    q.put(p * PER + i);
+                }
+            }));
+        }
+        let sums: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut sum = 0usize;
+                    for _ in 0..(PRODUCERS * PER / CONSUMERS) {
+                        sum += q.take();
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = sums.into_iter().map(|h| h.join().unwrap()).sum();
+        let expected: usize = (0..PRODUCERS * PER).sum();
+        assert_eq!(total, expected);
+        assert_eq!(q.linked_nodes(), 0);
+    }
+
+    #[test]
+    fn drop_frees_unmatched_data_nodes() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let q: SyncDualQueue<D> = SyncDualQueue::new();
+            // Timed-out offers leave cancelled nodes whose items were
+            // reclaimed by the producer; the nodes themselves are freed on
+            // drop at the latest.
+            for _ in 0..5 {
+                let r = q.offer_timeout(D, Duration::from_micros(1));
+                drop(r); // drops the returned D
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+}

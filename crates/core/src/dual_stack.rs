@@ -1,0 +1,804 @@
+//! The synchronous dual stack — the paper's **unfair** algorithm
+//! (Listing 6 / Figure 2), with time-out and cancellation support in the
+//! style of the Java 6 production version (`TransferStack`).
+//!
+//! # Algorithm
+//!
+//! The stack is a singly linked list with one `head` pointer (the Treiber
+//! skeleton). It holds either data nodes (waiting producers) or request
+//! nodes (waiting consumers) — plus, transiently, a single *fulfilling*
+//! node of the opposite type on top. Three cases on arrival:
+//!
+//! 1. **Empty or same mode** — push our node and wait for a counterpart to
+//!    set its `match` pointer (spin on our own node, then park).
+//! 2. **Complementary mode on top** — push a node marked `FULFILLING`
+//!    above it, then *annihilate*: CAS the reservation's `match` to our
+//!    fulfilling node and pop both together (Figure 2 steps B–D).
+//! 3. **Fulfilling node on top** — *help* the fulfiller complete its match
+//!    and pop, then retry our own operation. Helping is what makes the
+//!    algorithm lock-free: no thread can block another's progress.
+//!
+//! The request linearizes at the head-CAS that pushes our node (case 1) or
+//! our fulfilling node (case 2); the follow-up linearizes at the `match`
+//! CAS (paper §3.3).
+//!
+//! # Cancellation and cleaning
+//!
+//! A waiter cancels by CASing its own `match` pointer to itself — the same
+//! word a fulfiller would CAS, so match-vs-cancel is arbitrated by a single
+//! CAS exactly as in the Java code. Cancelled nodes are reclaimed when
+//! they surface at the top of the stack: every arriving operation (and the
+//! canceller itself) first pops cancelled top nodes, and fulfillers skip
+//! over cancelled nodes beneath them (`cas_next`), releasing them. As in
+//! the [queue](crate::dual_queue), we do not unsplice cancelled nodes from
+//! the *middle* of the stack from arbitrary positions — that is only
+//! memory-safe under a tracing GC — but the skip-from-fulfiller path plus
+//! top absorption bounds buildup the same way (experiment A4).
+//!
+//! # Memory lifetime
+//!
+//! As in the queue: refcount 2 per node (structure + owner), structure side
+//! released by the unique CAS that removes the node from the stack, via an
+//! epoch deferral. One extra wrinkle (absent from the GC'd Java version):
+//! the waiter must read the *fulfiller's* item after waking, possibly long
+//! after the fulfiller popped both nodes — so the thread whose CAS installs
+//! a match first takes an extra reference on the fulfilling node *on the
+//! waiter's behalf*; the waiter releases it after reading.
+
+use crate::transferer::{Deadline, TransferOutcome, Transferer};
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use synq_primitives::{CancelToken, Parker, SpinPolicy, WaiterCell};
+use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
+
+/// Node is a waiting consumer.
+const REQUEST: usize = 0;
+/// Node is a waiting producer (carries an item).
+const DATA: usize = 1;
+/// Node is actively fulfilling the node beneath it (ORed with the mode).
+const FULFILLING: usize = 2;
+
+struct SNode<T> {
+    /// `REQUEST`, `DATA`, possibly `| FULFILLING`. Set before publication.
+    mode: usize,
+    /// Match arbitration word: null = waiting; self = cancelled;
+    /// otherwise = the fulfilling node we were matched with.
+    match_: AtomicPtr<SNode<T>>,
+    item: UnsafeCell<MaybeUninit<T>>,
+    consumed: AtomicBool,
+    next: Atomic<SNode<T>>,
+    waiter: WaiterCell,
+    refs: AtomicUsize,
+    unlinked: AtomicBool,
+}
+
+impl<T> SNode<T> {
+    fn new(item: Option<T>, mode: usize) -> Owned<SNode<T>> {
+        Owned::new(SNode {
+            mode,
+            match_: AtomicPtr::new(ptr::null_mut()),
+            item: UnsafeCell::new(match item {
+                Some(v) => MaybeUninit::new(v),
+                None => MaybeUninit::uninit(),
+            }),
+            consumed: AtomicBool::new(false),
+            next: Atomic::null(),
+            waiter: WaiterCell::new(),
+            refs: AtomicUsize::new(2),
+            unlinked: AtomicBool::new(false),
+        })
+    }
+
+    fn is_fulfilling(&self) -> bool {
+        self.mode & FULFILLING != 0
+    }
+
+    fn is_data(&self) -> bool {
+        self.mode & DATA != 0
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.match_.load(Ordering::Acquire) == self as *const _ as *mut _
+    }
+
+    /// Moves the item out (see `QNode::take_item`).
+    unsafe fn take_item(&self) -> T {
+        let was = self.consumed.swap(true, Ordering::AcqRel);
+        debug_assert!(!was, "item taken twice");
+        // SAFETY: per caller contract (unique consumer).
+        unsafe { (*self.item.get()).assume_init_read() }
+    }
+
+    /// Drops one reference; frees when it was the last.
+    unsafe fn release(ptr: *const SNode<T>) {
+        // SAFETY: caller owns one reference.
+        let node = unsafe { &*ptr };
+        if node.refs.fetch_sub(1, Ordering::Release) == 1 {
+            std::sync::atomic::fence(Ordering::Acquire);
+            // SAFETY: last reference (see QNode::release for the argument).
+            let mut owned = unsafe { Box::from_raw(ptr as *mut SNode<T>) };
+            if owned.is_data() && !*owned.consumed.get_mut() {
+                // SAFETY: data nodes hold an item from creation until
+                // consumed.
+                unsafe { (*owned.item.get()).assume_init_drop() };
+            }
+            drop(owned);
+        }
+    }
+}
+
+/// The unfair (LIFO) synchronous queue — "based on a LIFO stack".
+///
+/// # Examples
+///
+/// ```
+/// use synq::{SyncDualStack, SyncChannel, TimedSyncChannel};
+/// use std::sync::Arc;
+/// use std::thread;
+///
+/// let q = Arc::new(SyncDualStack::new());
+/// assert_eq!(q.poll(), None);
+/// let q2 = Arc::clone(&q);
+/// let t = thread::spawn(move || q2.take());
+/// q.put(7u32);
+/// assert_eq!(t.join().unwrap(), 7);
+/// ```
+pub struct SyncDualStack<T> {
+    head: Atomic<SNode<T>>,
+    spin: SpinPolicy,
+}
+
+// SAFETY: as for SyncDualQueue.
+unsafe impl<T: Send> Send for SyncDualStack<T> {}
+unsafe impl<T: Send> Sync for SyncDualStack<T> {}
+
+impl<T: Send> Default for SyncDualStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> SyncDualStack<T> {
+    /// Creates an empty stack with the adaptive spin policy.
+    pub fn new() -> Self {
+        Self::with_spin(SpinPolicy::adaptive())
+    }
+
+    /// Creates an empty stack with an explicit spin policy (ablation A1).
+    pub fn with_spin(spin: SpinPolicy) -> Self {
+        SyncDualStack {
+            head: Atomic::null(),
+            spin,
+        }
+    }
+
+    /// Pops `h`, releasing its structure reference, if it is still the
+    /// head. Also releases `extra` (the node annihilated together with
+    /// `h`) when the CAS wins.
+    fn pop_head<'g>(
+        &self,
+        h: Shared<'g, SNode<T>>,
+        new_head: Shared<'g, SNode<T>>,
+        extra: Option<Shared<'g, SNode<T>>>,
+        guard: &'g Guard,
+    ) -> bool {
+        if self
+            .head
+            .compare_exchange(h, new_head, Ordering::AcqRel, Ordering::Acquire, guard)
+            .is_ok()
+        {
+            self.release_structure_ref(h, guard);
+            if let Some(m) = extra {
+                self.release_structure_ref(m, guard);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release_structure_ref<'g>(&self, node: Shared<'g, SNode<T>>, guard: &'g Guard) {
+        // SAFETY: node protected by the guard.
+        let node_ref = unsafe { node.deref() };
+        if node_ref.unlinked.swap(true, Ordering::AcqRel) {
+            return; // already released by a racing remover
+        }
+        let raw = node.as_raw() as usize;
+        // SAFETY: see QNode: deferred past the grace period.
+        unsafe {
+            guard.defer_unchecked(move || SNode::release(raw as *const SNode<T>));
+        }
+    }
+
+    /// Installs `f` as `m`'s match, waking `m`'s waiter. Returns true if
+    /// `m` is matched to `f` (by us or a helper); false if `m` was
+    /// cancelled. Takes one reference on `f` on the waiter's behalf when
+    /// our CAS wins.
+    fn try_match<'g>(
+        &self,
+        m: Shared<'g, SNode<T>>,
+        f: Shared<'g, SNode<T>>,
+        _guard: &'g Guard,
+    ) -> bool {
+        // SAFETY: both protected by the guard.
+        let m_ref = unsafe { m.deref() };
+        let f_ref = unsafe { f.deref() };
+        // Speculative reference for m's waiter; revoked if the CAS fails.
+        f_ref.refs.fetch_add(1, Ordering::AcqRel);
+        match m_ref.match_.compare_exchange(
+            ptr::null_mut(),
+            f.as_raw() as *mut SNode<T>,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                m_ref.waiter.wake();
+                true
+            }
+            Err(actual) => {
+                // SAFETY: revoking the reference we just added.
+                unsafe { SNode::release(f.as_raw()) };
+                actual as *const SNode<T> == f.as_raw()
+            }
+        }
+    }
+
+    /// Pops cancelled nodes off the top. The stack-side cleaning strategy.
+    fn absorb_cancelled(&self, guard: &Guard) {
+        loop {
+            let h = self.head.load(Ordering::Acquire, guard);
+            let Some(h_ref) = (unsafe { h.as_ref() }) else {
+                return;
+            };
+            if !h_ref.is_cancelled() {
+                return;
+            }
+            let next = h_ref.next.load(Ordering::Acquire, guard);
+            let _ = self.pop_head(h, next, None, guard);
+        }
+    }
+
+    fn transfer_impl(
+        &self,
+        mut item: Option<T>,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        let is_data = item.is_some();
+        let mode = if is_data { DATA } else { REQUEST };
+        let mut node: Option<Owned<SNode<T>>> = None;
+
+        loop {
+            let guard = epoch::pin();
+            self.absorb_cancelled(&guard);
+
+            let h = self.head.load(Ordering::Acquire, &guard);
+            let h_ref = unsafe { h.as_ref() };
+
+            if h_ref.is_none_or_mode(mode) {
+                // Case 1: empty or same mode — push and wait.
+                if deadline.is_now() {
+                    return TransferOutcome::Timeout(item);
+                }
+                if token.is_some_and(|tk| tk.is_cancelled()) {
+                    return TransferOutcome::Cancelled(item);
+                }
+                let owned = match node.take() {
+                    Some(mut n) => {
+                        n.mode = mode;
+                        n
+                    }
+                    None => SNode::new(None, mode),
+                };
+                if is_data {
+                    // SAFETY: we own the unpublished node.
+                    unsafe {
+                        (*owned.item.get()).write(item.take().expect("data item"));
+                    }
+                }
+                owned.next.store(h, Ordering::Relaxed);
+                match self.head.compare_exchange(
+                    h,
+                    owned,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                    &guard,
+                ) {
+                    Ok(published) => {
+                        let raw = published.as_raw();
+                        drop(guard);
+                        return self.await_fulfill(raw, is_data, deadline, token);
+                    }
+                    Err(e) => {
+                        let owned = e.new;
+                        if is_data {
+                            // SAFETY: unpublished node; reclaim the item.
+                            item = Some(unsafe { (*owned.item.get()).assume_init_read() });
+                        }
+                        node = Some(owned);
+                        continue;
+                    }
+                }
+            }
+
+            let h_ref = h_ref.expect("non-empty in cases 2/3");
+            if !h_ref.is_fulfilling() {
+                // Case 2: complementary waiter on top — push a fulfilling
+                // node above it and annihilate the pair.
+                let owned = match node.take() {
+                    Some(mut n) => {
+                        n.mode = mode | FULFILLING;
+                        n
+                    }
+                    None => SNode::new(None, mode | FULFILLING),
+                };
+                if is_data {
+                    // SAFETY: we own the unpublished node.
+                    unsafe {
+                        (*owned.item.get()).write(item.take().expect("data item"));
+                    }
+                }
+                owned.next.store(h, Ordering::Relaxed);
+                let f = match self.head.compare_exchange(
+                    h,
+                    owned,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                    &guard,
+                ) {
+                    Ok(published) => published,
+                    Err(e) => {
+                        let owned = e.new;
+                        if is_data {
+                            // SAFETY: unpublished node.
+                            item = Some(unsafe { (*owned.item.get()).assume_init_read() });
+                        }
+                        node = Some(owned);
+                        continue;
+                    }
+                };
+                // SAFETY: f protected by the guard; we also hold its owner
+                // reference.
+                let f_ref = unsafe { f.deref() };
+                loop {
+                    let m = f_ref.next.load(Ordering::Acquire, &guard);
+                    let Some(m_ref) = (unsafe { m.as_ref() }) else {
+                        // Everything beneath us was cancelled and skipped:
+                        // back out, reclaim our item, retry from scratch.
+                        let _ = self.pop_head(f, Shared::null(), None, &guard);
+                        if is_data {
+                            // SAFETY: no match happened (next never null
+                            // after a successful match), so the item is
+                            // still exclusively ours.
+                            // (`consumed` stays true so the node's drop
+                            // does not double-free the moved-out item.)
+                            item = Some(unsafe { f_ref.take_item() });
+                        }
+                        // SAFETY: our owner reference.
+                        unsafe { SNode::release(f.as_raw()) };
+                        break;
+                    };
+                    let mn = m_ref.next.load(Ordering::Acquire, &guard);
+                    if self.try_match(m, f, &guard) {
+                        let _ = self.pop_head(f, mn, Some(m), &guard);
+                        let out = if is_data {
+                            TransferOutcome::Transferred(None)
+                        } else {
+                            // SAFETY: m.match == f grants us (f's owner)
+                            // unique read access to m's item.
+                            TransferOutcome::Transferred(Some(unsafe { m_ref.take_item() }))
+                        };
+                        // SAFETY: our owner reference on f.
+                        unsafe { SNode::release(f.as_raw()) };
+                        return out;
+                    }
+                    // m was cancelled: skip and release it.
+                    if f_ref
+                        .next
+                        .compare_exchange(m, mn, Ordering::AcqRel, Ordering::Acquire, &guard)
+                        .is_ok()
+                    {
+                        self.release_structure_ref(m, &guard);
+                    }
+                }
+                continue;
+            }
+
+            // Case 3: someone else's fulfilling node on top — help it.
+            let m = h_ref.next.load(Ordering::Acquire, &guard);
+            match unsafe { m.as_ref() } {
+                None => {
+                    let _ = self.pop_head(h, Shared::null(), None, &guard);
+                }
+                Some(m_ref) => {
+                    let mn = m_ref.next.load(Ordering::Acquire, &guard);
+                    if self.try_match(m, h, &guard) {
+                        let _ = self.pop_head(h, mn, Some(m), &guard);
+                    } else if h_ref
+                        .next
+                        .compare_exchange(m, mn, Ordering::AcqRel, Ordering::Acquire, &guard)
+                        .is_ok()
+                    {
+                        self.release_structure_ref(m, &guard);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Waits on our freshly pushed node; touches only refcount-held nodes,
+    /// so no pin is held while waiting.
+    fn await_fulfill(
+        &self,
+        node_raw: *const SNode<T>,
+        is_data: bool,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        // SAFETY: we hold the owner reference.
+        let node = unsafe { &*node_raw };
+        let mut spins = self.spin.spins_for(deadline.is_timed());
+        let mut parker: Option<Parker> = None;
+
+        loop {
+            let m = node.match_.load(Ordering::Acquire);
+            if !m.is_null() {
+                debug_assert!(m as *const _ != node_raw, "waiter saw its own cancel");
+                // Matched. Help pop the fulfilling pair if still on top.
+                {
+                    let guard = epoch::pin();
+                    let h = self.head.load(Ordering::Acquire, &guard);
+                    if h.as_raw() == m as *const SNode<T> {
+                        // SAFETY: we hold a reference on our own node.
+                        let our_next = node.next.load(Ordering::Acquire, &guard);
+                        let node_shared = shared_from_raw(node_raw);
+                        let _ = self.pop_head(h, our_next, Some(node_shared), &guard);
+                    }
+                }
+                // SAFETY: the matcher took a reference on `m` for us.
+                let m_ref = unsafe { &*m };
+                let out = if is_data {
+                    // Our item is read by m's owner; nothing to collect.
+                    TransferOutcome::Transferred(None)
+                } else {
+                    // SAFETY: match grants us unique read access to the
+                    // fulfiller's item.
+                    TransferOutcome::Transferred(Some(unsafe { m_ref.take_item() }))
+                };
+                // SAFETY: the reference taken on our behalf in try_match.
+                unsafe { SNode::release(m) };
+                // SAFETY: our owner reference.
+                unsafe { SNode::release(node_raw) };
+                return out;
+            }
+
+            let cancelled = token.is_some_and(|tk| tk.is_cancelled());
+            if cancelled || deadline.expired() {
+                if node
+                    .match_
+                    .compare_exchange(
+                        ptr::null_mut(),
+                        node_raw as *mut SNode<T>,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    node.waiter.take();
+                    let guard = epoch::pin();
+                    self.absorb_cancelled(&guard);
+                    drop(guard);
+                    let item = if is_data {
+                        // SAFETY: cancellation wins the item back.
+                        Some(unsafe { node.take_item() })
+                    } else {
+                        None
+                    };
+                    // SAFETY: our owner reference.
+                    unsafe { SNode::release(node_raw) };
+                    return if cancelled {
+                        TransferOutcome::Cancelled(item)
+                    } else {
+                        TransferOutcome::Timeout(item)
+                    };
+                }
+                continue;
+            }
+
+            if spins > 0 {
+                spins -= 1;
+                std::hint::spin_loop();
+                continue;
+            }
+
+            let parker = parker.get_or_insert_with(Parker::new);
+            node.waiter.register(parker.unparker());
+            let _reg = token.map(|tk| tk.register(parker.unparker()));
+            if !node.match_.load(Ordering::Acquire).is_null() {
+                continue;
+            }
+            match deadline {
+                Deadline::Never => parker.park(),
+                Deadline::Now => unreachable!("Now fails before pushing"),
+                Deadline::At(d) => {
+                    let _ = parker.park_deadline(d);
+                }
+            }
+        }
+    }
+
+    /// Diagnostic: number of linked nodes. O(n), test/ablation use only.
+    pub fn linked_nodes(&self) -> usize {
+        let guard = epoch::pin();
+        let mut n = 0;
+        let mut p = self.head.load(Ordering::Acquire, &guard);
+        while !p.is_null() {
+            n += 1;
+            // SAFETY: chain protected by the pin.
+            p = unsafe { p.deref() }.next.load(Ordering::Acquire, &guard);
+        }
+        n
+    }
+}
+
+/// Builds a `Shared` from a raw pointer we know is protected (we hold a
+/// reference and/or a pin).
+fn shared_from_raw<'g, T>(raw: *const SNode<T>) -> Shared<'g, SNode<T>> {
+    // SAFETY: Pointer::from_usize with an untagged, valid node address.
+    unsafe { <Shared<'_, SNode<T>> as synq_reclaim::Pointer<SNode<T>>>::from_usize(raw as usize) }
+}
+
+/// Small extension so case-1 detection reads naturally.
+trait HeadCase<T> {
+    fn is_none_or_mode(&self, mode: usize) -> bool;
+}
+
+impl<T> HeadCase<T> for Option<&SNode<T>> {
+    fn is_none_or_mode(&self, mode: usize) -> bool {
+        match self {
+            None => true,
+            Some(n) => n.mode == mode,
+        }
+    }
+}
+
+impl<T: Send> Transferer<T> for SyncDualStack<T> {
+    fn transfer(
+        &self,
+        item: Option<T>,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        self.transfer_impl(item, deadline, token)
+    }
+}
+
+impl<T> Drop for SyncDualStack<T> {
+    fn drop(&mut self) {
+        let guard = unsafe { epoch::unprotected() };
+        let mut p = self.head.load(Ordering::Relaxed, &guard);
+        while !p.is_null() {
+            // SAFETY: exclusive access; remaining references are the
+            // structure's.
+            let node = unsafe { p.deref() };
+            let next = node.next.load(Ordering::Relaxed, &guard);
+            unsafe { SNode::release(p.as_raw()) };
+            p = next;
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SyncDualStack<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("SyncDualStack { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{SyncChannel, TimedSyncChannel};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn poll_and_offer_on_empty_fail() {
+        let s: SyncDualStack<u32> = SyncDualStack::new();
+        assert_eq!(s.poll(), None);
+        assert_eq!(s.offer(1), Err(1));
+        assert_eq!(s.linked_nodes(), 0);
+    }
+
+    #[test]
+    fn put_take_pair() {
+        let s = Arc::new(SyncDualStack::new());
+        let s2 = Arc::clone(&s);
+        let t = thread::spawn(move || s2.take());
+        s.put(31u32);
+        assert_eq!(t.join().unwrap(), 31);
+    }
+
+    #[test]
+    fn take_then_put() {
+        let s = Arc::new(SyncDualStack::new());
+        let s2 = Arc::clone(&s);
+        let t = thread::spawn(move || s2.put("x"));
+        assert_eq!(s.take(), "x");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn lifo_pairing_among_waiting_producers() {
+        // With producers 0..4 stacked (0 pushed first), consumers must pair
+        // with the most recent producer first.
+        let s = Arc::new(SyncDualStack::new());
+        let mut producers = Vec::new();
+        for i in 0..4u32 {
+            let s2 = Arc::clone(&s);
+            producers.push(thread::spawn(move || s2.put(i)));
+            while s.linked_nodes() < (i + 1) as usize {
+                thread::yield_now();
+            }
+        }
+        for expect in (0..4u32).rev() {
+            assert_eq!(s.take(), expect);
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn poll_timeout_expires_and_absorbs() {
+        let s: SyncDualStack<u8> = SyncDualStack::new();
+        let start = Instant::now();
+        assert_eq!(s.poll_timeout(Duration::from_millis(25)), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        let _ = s.poll();
+        assert_eq!(s.linked_nodes(), 0);
+    }
+
+    #[test]
+    fn offer_timeout_returns_item() {
+        let s: SyncDualStack<String> = SyncDualStack::new();
+        let back = s
+            .offer_timeout("v".to_string(), Duration::from_millis(10))
+            .unwrap_err();
+        assert_eq!(back, "v");
+    }
+
+    #[test]
+    fn timeout_storm_is_absorbed() {
+        let s: SyncDualStack<u32> = SyncDualStack::new();
+        for i in 0..200 {
+            let _ = s.offer_timeout(i, Duration::from_micros(1));
+        }
+        let _ = s.poll();
+        assert!(
+            s.linked_nodes() <= 2,
+            "cancelled nodes built up: {}",
+            s.linked_nodes()
+        );
+    }
+
+    #[test]
+    fn cancellation_interrupts_waiting_take() {
+        let s: Arc<SyncDualStack<u8>> = Arc::new(SyncDualStack::new());
+        let token = CancelToken::new();
+        let canceller = token.canceller();
+        let s2 = Arc::clone(&s);
+        let t = thread::spawn(move || s2.take_with(Deadline::Never, Some(&token)));
+        thread::sleep(Duration::from_millis(25));
+        canceller.cancel();
+        match t.join().unwrap() {
+            TransferOutcome::Cancelled(None) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn values_conserved_under_stress() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER: usize = 500;
+        let s = Arc::new(SyncDualStack::new());
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let s = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    s.put(p * PER + i);
+                }
+            }));
+        }
+        let sums: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                thread::spawn(move || {
+                    let mut sum = 0usize;
+                    for _ in 0..(PRODUCERS * PER / CONSUMERS) {
+                        sum += s.take();
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = sums.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, (0..PRODUCERS * PER).sum::<usize>());
+        assert_eq!(s.linked_nodes(), 0);
+    }
+
+    #[test]
+    fn mixed_timed_and_untimed_under_contention() {
+        // Producers use finite patience; consumers are patient. Every item
+        // that a producer reports as transferred must be received exactly
+        // once.
+        use std::sync::atomic::AtomicUsize;
+        const PRODUCERS: usize = 4;
+        const PER: usize = 300;
+        let s = Arc::new(SyncDualStack::new());
+        let delivered = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..PRODUCERS {
+            let s = Arc::clone(&s);
+            let delivered = Arc::clone(&delivered);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    if s.offer_timeout(i, Duration::from_micros(200)).is_ok() {
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        let stop = Arc::new(AtomicUsize::new(0));
+        let consumer = {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut got = 0usize;
+                loop {
+                    if let Some(_v) = s.poll_timeout(Duration::from_millis(1)) {
+                        got += 1;
+                    } else if stop.load(Ordering::Relaxed) == 1 {
+                        // Drain anything still in flight.
+                        while s.poll_timeout(Duration::from_millis(5)).is_some() {
+                            got += 1;
+                        }
+                        return got;
+                    }
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+        let got = consumer.join().unwrap();
+        assert_eq!(got, delivered.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn drop_frees_pending_data() {
+        static DROPS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let s: SyncDualStack<D> = SyncDualStack::new();
+            for _ in 0..3 {
+                let r = s.offer_timeout(D, Duration::from_micros(1));
+                drop(r);
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! The unified transfer interface.
+//!
+//! Both synchronous dual structures funnel every public operation through
+//! one method, exactly as the Java 6 implementation does with its
+//! `Transferer.transfer(e, timed, nanos)`: a `put` is a transfer *of*
+//! an item, a `take` is a transfer *requesting* an item, and the symmetric
+//! dual-structure code handles both directions.
+
+use std::time::{Duration, Instant};
+use synq_primitives::CancelToken;
+
+/// How long a transfer is willing to wait for a counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deadline {
+    /// Wait indefinitely (`put`/`take`).
+    Never,
+    /// Do not wait at all (`offer`/`poll`).
+    Now,
+    /// Wait until the given instant (`offer`/`poll` with patience).
+    At(Instant),
+}
+
+impl Deadline {
+    /// Deadline `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Deadline::At(Instant::now() + timeout)
+    }
+
+    /// True for `Now` and `At` — waits that must track time.
+    #[inline]
+    pub fn is_timed(&self) -> bool {
+        !matches!(self, Deadline::Never)
+    }
+
+    /// True if no waiting is permitted.
+    #[inline]
+    pub fn is_now(&self) -> bool {
+        matches!(self, Deadline::Now)
+    }
+
+    /// True once the deadline has passed (always for `Now`, never for
+    /// `Never`).
+    #[inline]
+    pub fn expired(&self) -> bool {
+        match self {
+            Deadline::Never => false,
+            Deadline::Now => true,
+            Deadline::At(t) => Instant::now() >= *t,
+        }
+    }
+}
+
+/// Result of a [`Transferer::transfer`] call.
+///
+/// The `Option<T>` payload returns ownership to the caller:
+/// * a successful *take* yields `Transferred(Some(v))`;
+/// * a successful *put* yields `Transferred(None)`;
+/// * a failed *put* hands the un-transferred item back in
+///   `Timeout(Some(v))` / `Cancelled(Some(v))`.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TransferOutcome<T> {
+    /// The handoff completed.
+    Transferred(Option<T>),
+    /// The patience interval elapsed before a counterpart arrived.
+    Timeout(Option<T>),
+    /// The operation was cancelled via a [`CancelToken`].
+    Cancelled(Option<T>),
+}
+
+impl<T> TransferOutcome<T> {
+    /// True for `Transferred`.
+    pub fn is_success(&self) -> bool {
+        matches!(self, TransferOutcome::Transferred(_))
+    }
+
+    /// Extracts the payload, whatever the outcome.
+    pub fn into_inner(self) -> Option<T> {
+        match self {
+            TransferOutcome::Transferred(v)
+            | TransferOutcome::Timeout(v)
+            | TransferOutcome::Cancelled(v) => v,
+        }
+    }
+}
+
+/// A synchronous transfer point: `Some(item)` puts, `None` takes.
+///
+/// Implementors: [`crate::SyncDualQueue`], [`crate::SyncDualStack`], the
+/// [`crate::SynchronousQueue`] facade, and the Java SE 5.0 baseline in
+/// `synq-baselines`.
+pub trait Transferer<T: Send> {
+    /// Performs one synchronous handoff.
+    ///
+    /// * `item`: `Some(v)` acts as a producer, `None` as a consumer.
+    /// * `deadline`: patience; [`Deadline::Now`] never waits.
+    /// * `token`: optional cancellation ("interrupt") source.
+    fn transfer(
+        &self,
+        item: Option<T>,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_now_is_expired_and_timed() {
+        assert!(Deadline::Now.expired());
+        assert!(Deadline::Now.is_timed());
+        assert!(Deadline::Now.is_now());
+    }
+
+    #[test]
+    fn deadline_never_never_expires() {
+        assert!(!Deadline::Never.expired());
+        assert!(!Deadline::Never.is_timed());
+        assert!(!Deadline::Never.is_now());
+    }
+
+    #[test]
+    fn deadline_after_expires_in_the_future() {
+        let d = Deadline::after(Duration::from_millis(30));
+        assert!(d.is_timed());
+        assert!(!d.is_now());
+        assert!(!d.expired());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let t: TransferOutcome<u32> = TransferOutcome::Transferred(Some(5));
+        assert!(t.is_success());
+        assert_eq!(t.into_inner(), Some(5));
+        let t: TransferOutcome<u32> = TransferOutcome::Timeout(Some(7));
+        assert!(!t.is_success());
+        assert_eq!(t.into_inner(), Some(7));
+        let t: TransferOutcome<u32> = TransferOutcome::Cancelled(None);
+        assert!(!t.is_success());
+        assert_eq!(t.into_inner(), None);
+    }
+}

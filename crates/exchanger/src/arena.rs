@@ -1,0 +1,292 @@
+//! An *asymmetric* elimination arena for synchronous queues.
+//!
+//! Unlike the symmetric [`crate::Exchanger`], a synchronous queue must only
+//! pair *complementary* operations: a producer meeting a producer must not
+//! swap items. Each arena slot therefore holds a typed node (data or
+//! request); an arriving operation claims a complementary node if present,
+//! briefly installs its own node if the slot is empty, and walks away on a
+//! same-type collision (falling back to the main structure).
+//!
+//! Arena visits never park — the arena is a backoff device, not a waiting
+//! room. An installed node spins for a caller-supplied budget and then
+//! retracts itself.
+
+use rand::Rng;
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const WAITING: usize = 0;
+const DONE: usize = 1;
+
+struct ArenaNode<T> {
+    is_data: bool,
+    /// Data node: holds the offered item until claimed.
+    /// Request node: filled by the claiming producer.
+    slot: UnsafeCell<Option<T>>,
+    state: AtomicUsize,
+}
+
+// SAFETY: cell access is serialized by the claim CAS / DONE flag.
+unsafe impl<T: Send> Send for ArenaNode<T> {}
+unsafe impl<T: Send> Sync for ArenaNode<T> {}
+
+/// The asymmetric elimination arena.
+pub struct EliminationArena<T> {
+    slots: Box<[AtomicPtr<ArenaNode<T>>]>,
+    eliminated: AtomicUsize,
+}
+
+impl<T: Send> EliminationArena<T> {
+    /// Creates an arena with `n` slots (`n == 0` disables elimination —
+    /// every visit fails fast, for the A3 control arm).
+    pub fn new(n: usize) -> Self {
+        EliminationArena {
+            slots: (0..n).map(|_| AtomicPtr::new(ptr::null_mut())).collect(),
+            eliminated: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of transfers completed through the arena (diagnostic).
+    pub fn eliminated(&self) -> usize {
+        self.eliminated.load(Ordering::Relaxed)
+    }
+
+    /// Producer-side visit: returns `Ok(())` if a waiting consumer took the
+    /// item, `Err(item)` to fall back to the main structure.
+    pub fn try_put(&self, item: T, spins: u32) -> Result<(), T> {
+        match self.visit(Some(item), spins) {
+            Ok(opt) => {
+                debug_assert!(opt.is_none());
+                Ok(())
+            }
+            Err(item) => Err(item.expect("producer visit returns its item")),
+        }
+    }
+
+    /// Consumer-side visit: returns `Ok(Some(v))` on elimination,
+    /// `Err(None)` to fall back.
+    pub fn try_take(&self, spins: u32) -> Option<T> {
+        match self.visit(None, spins) {
+            Ok(v) => {
+                debug_assert!(v.is_some());
+                v
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn visit(&self, mut item: Option<T>, spins: u32) -> Result<Option<T>, Option<T>> {
+        if self.slots.is_empty() {
+            return Err(item);
+        }
+        let is_data = item.is_some();
+        let idx = rand::thread_rng().gen_range(0..self.slots.len());
+        let slot = &self.slots[idx];
+        let cur = slot.load(Ordering::Acquire);
+
+        if !cur.is_null() {
+            // SAFETY: slot entries hold a strong count; the node stays
+            // alive at least until someone claims it (and we only deref).
+            let cur_ref = unsafe { &*cur };
+            if cur_ref.is_data == is_data {
+                return Err(item); // same type: walk away
+            }
+            if slot
+                .compare_exchange(cur, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: the CAS transferred the slot's strong count.
+                let partner = unsafe { Arc::from_raw(cur) };
+                let result = if is_data {
+                    // Give our item to the waiting consumer.
+                    // SAFETY: claim grants exclusive cell access.
+                    unsafe { *partner.slot.get() = item.take() };
+                    None
+                } else {
+                    // Take the waiting producer's item.
+                    // SAFETY: claim grants exclusive cell access.
+                    let v = unsafe { (*partner.slot.get()).take() };
+                    debug_assert!(v.is_some());
+                    v
+                };
+                partner.state.store(DONE, Ordering::Release);
+                self.eliminated.fetch_add(1, Ordering::Relaxed);
+                return Ok(result);
+            }
+            return Err(item); // lost the claim race: fall back
+        }
+
+        // Empty slot: install ourselves for a brief spin.
+        let node = Arc::new(ArenaNode {
+            is_data,
+            slot: UnsafeCell::new(item.take()),
+            state: AtomicUsize::new(WAITING),
+        });
+        let raw = Arc::into_raw(Arc::clone(&node)) as *mut ArenaNode<T>;
+        if slot
+            .compare_exchange(ptr::null_mut(), raw, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // SAFETY: failed CAS — nobody saw `raw`.
+            unsafe { drop(Arc::from_raw(raw)) };
+            // SAFETY: node unpublished; the cell is exclusively ours.
+            return Err(unsafe { (*node.slot.get()).take() });
+        }
+        for _ in 0..spins.max(1) {
+            if node.state.load(Ordering::Acquire) == DONE {
+                self.eliminated.fetch_add(1, Ordering::Relaxed);
+                return Ok(if is_data {
+                    None
+                } else {
+                    // SAFETY: DONE publishes the producer's write.
+                    let v = unsafe { (*node.slot.get()).take() };
+                    debug_assert!(v.is_some());
+                    v
+                });
+            }
+            std::hint::spin_loop();
+        }
+        // Give up: retract.
+        if slot
+            .compare_exchange(raw, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // SAFETY: we took back the slot's strong count.
+            unsafe { drop(Arc::from_raw(raw)) };
+            // SAFETY: retracted before anyone claimed; cell is ours.
+            return Err(unsafe { (*node.slot.get()).take() });
+        }
+        // Claimed at the buzzer: finish the exchange.
+        while node.state.load(Ordering::Acquire) != DONE {
+            std::thread::yield_now();
+        }
+        self.eliminated.fetch_add(1, Ordering::Relaxed);
+        Ok(if is_data {
+            None
+        } else {
+            // SAFETY: DONE publishes the producer's write.
+            unsafe { (*node.slot.get()).take() }
+        })
+    }
+}
+
+impl<T> Drop for EliminationArena<T> {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let p = slot.load(Ordering::Relaxed);
+            if !p.is_null() {
+                // SAFETY: exclusive access in Drop.
+                unsafe { drop(Arc::from_raw(p)) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn empty_arena_always_falls_back() {
+        let a: EliminationArena<u32> = EliminationArena::new(0);
+        assert_eq!(a.try_put(1, 100), Err(1));
+        assert_eq!(a.try_take(100), None);
+        assert_eq!(a.eliminated(), 0);
+    }
+
+    #[test]
+    fn lone_visit_retracts() {
+        let a: EliminationArena<u32> = EliminationArena::new(1);
+        assert_eq!(a.try_put(7, 10), Err(7));
+        assert_eq!(a.try_take(10), None);
+        assert_eq!(a.eliminated(), 0);
+    }
+
+    #[test]
+    fn complementary_ops_eliminate() {
+        let a = Arc::new(EliminationArena::new(1));
+        let a2 = Arc::clone(&a);
+        // The consumer spins long enough for the producer to arrive.
+        let consumer = thread::spawn(move || {
+            for _ in 0..10_000 {
+                if let Some(v) = a2.try_take(10_000) {
+                    return Some(v);
+                }
+            }
+            None
+        });
+        let mut item = 42u32;
+        let mut produced = false;
+        for _ in 0..10_000 {
+            match a.try_put(item, 10_000) {
+                Ok(()) => {
+                    produced = true;
+                    break;
+                }
+                Err(back) => item = back,
+            }
+        }
+        let got = consumer.join().unwrap();
+        assert!(produced, "producer never eliminated");
+        assert_eq!(got, Some(42));
+        assert_eq!(a.eliminated(), 2); // both sides count
+    }
+
+    #[test]
+    fn same_type_ops_do_not_pair() {
+        // Two producers visiting must never "exchange": one installs, the
+        // other sees a same-type node and walks away.
+        let a = Arc::new(EliminationArena::new(1));
+        let a2 = Arc::clone(&a);
+        let t = thread::spawn(move || a2.try_put(1u32, 50_000));
+        let r = a.try_put(2u32, 50_000);
+        let r2 = t.join().unwrap();
+        assert!(r.is_err());
+        assert!(r2.is_err());
+        assert_eq!(a.eliminated(), 0);
+    }
+
+    #[test]
+    fn values_conserved_under_stress() {
+        use std::sync::atomic::AtomicUsize;
+        const PRODUCERS: usize = 2;
+        const PER: usize = 500;
+        let a = Arc::new(EliminationArena::new(2));
+        let delivered = Arc::new(AtomicUsize::new(0));
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..PRODUCERS {
+            let a = Arc::clone(&a);
+            let delivered = Arc::clone(&delivered);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    if a.try_put(i, 2_000).is_ok() {
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for _ in 0..2 {
+            let a = Arc::clone(&a);
+            let received = Arc::clone(&received);
+            handles.push(thread::spawn(move || {
+                for _ in 0..PER {
+                    if a.try_take(2_000).is_some() {
+                        received.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            delivered.load(Ordering::Relaxed),
+            received.load(Ordering::Relaxed),
+            "every delivered item must be received exactly once"
+        );
+    }
+}

@@ -1,0 +1,588 @@
+//! A cached thread-pool executor built around a synchronous handoff
+//! channel — the Rust analogue of `java.util.concurrent.ThreadPoolExecutor`
+//! with a `SynchronousQueue` work queue, "which in turn forms the backbone
+//! of many Java-based server applications" (paper §4).
+//!
+//! The executor exercises the full rich interface of the underlying
+//! channel, exactly as the paper describes:
+//!
+//! > "Producers deliver tasks to waiting worker threads if immediately
+//! > available, but otherwise create new worker threads. Conversely, worker
+//! > threads terminate themselves if no work appears within a given
+//! > keep-alive period (or if the pool is shut down via an interrupt)."
+//!
+//! Concretely: [`ThreadPool::execute`] first `offer`s the task (succeeds
+//! only if a worker is already parked in `poll`); on failure it spawns a
+//! new worker up to `max_pool_size`. Idle workers block in a *timed* take
+//! with the keep-alive patience and retire on timeout;
+//! [`ThreadPool::shutdown`] interrupts them through a [`CancelToken`].
+//! This is the workload of **Figure 6**, with the channel pluggable so
+//! every algorithm from the evaluation can sit at the pool's core.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use synq::{CancelToken, Deadline, TimedSyncChannel, TransferOutcome};
+
+/// A unit of work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned when the pool cannot accept a task.
+pub enum ExecuteError {
+    /// The pool has been shut down.
+    Shutdown(Job),
+    /// No worker was free and `max_pool_size` was reached.
+    Saturated(Job),
+}
+
+impl std::fmt::Debug for ExecuteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecuteError::Shutdown(_) => f.pad("Shutdown(..)"),
+            ExecuteError::Saturated(_) => f.pad("Saturated(..)"),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecuteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecuteError::Shutdown(_) => f.pad("executor is shut down"),
+            ExecuteError::Saturated(_) => f.pad("executor is saturated"),
+        }
+    }
+}
+
+impl std::error::Error for ExecuteError {}
+
+impl ExecuteError {
+    /// Recovers the rejected task (so callers can retry it elsewhere —
+    /// Java's `RejectedExecutionHandler` pattern).
+    pub fn into_job(self) -> Job {
+        match self {
+            ExecuteError::Shutdown(job) | ExecuteError::Saturated(job) => job,
+        }
+    }
+}
+
+/// Configuration for a [`ThreadPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Workers that never retire on keep-alive (Java's `corePoolSize`).
+    /// The pool grows lazily; the first `core_pool_size` workers spawned
+    /// simply ignore the keep-alive timeout.
+    pub core_pool_size: usize,
+    /// Upper bound on concurrently live workers.
+    pub max_pool_size: usize,
+    /// How long an idle non-core worker waits for work before retiring.
+    pub keep_alive: Duration,
+}
+
+impl Default for PoolConfig {
+    /// Java's `newCachedThreadPool`: no core workers, unbounded growth,
+    /// 60 s keep-alive.
+    fn default() -> Self {
+        PoolConfig {
+            core_pool_size: 0,
+            max_pool_size: usize::MAX,
+            keep_alive: Duration::from_secs(60),
+        }
+    }
+}
+
+struct PoolInner {
+    channel: Arc<dyn TimedSyncChannel<Job>>,
+    config: PoolConfig,
+    worker_count: AtomicUsize,
+    largest_pool_size: AtomicUsize,
+    completed: AtomicUsize,
+    shutdown: AtomicBool,
+    interrupt: CancelToken,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The result side of [`ThreadPool::submit`]: a one-shot join handle.
+///
+/// [`TaskHandle::join`] blocks until the task has run and yields its return
+/// value, or `Err(TaskPanicked)` if the task panicked (the worker survives
+/// a panicking task, as in Java where the `Future` captures the exception).
+pub struct TaskHandle<R> {
+    shared: Arc<TaskShared<R>>,
+}
+
+struct TaskShared<R> {
+    slot: Mutex<Option<std::thread::Result<R>>>,
+    cvar: Condvar,
+}
+
+/// The submitted task panicked; the payload is the panic value.
+pub struct TaskPanicked(pub Box<dyn std::any::Any + Send>);
+
+impl std::fmt::Debug for TaskPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("TaskPanicked(..)")
+    }
+}
+
+impl<R> TaskHandle<R> {
+    /// Blocks until the task completes; returns its result.
+    pub fn join(self) -> Result<R, TaskPanicked> {
+        let mut slot = self.shared.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                return result.map_err(TaskPanicked);
+            }
+            slot = self.shared.cvar.wait(slot).unwrap();
+        }
+    }
+
+    /// Non-blocking probe: `Some` once the task has finished.
+    pub fn try_join(&self) -> Option<Result<R, TaskPanicked>> {
+        self.shared
+            .slot
+            .lock()
+            .unwrap()
+            .take()
+            .map(|r| r.map_err(TaskPanicked))
+    }
+
+    /// True once the task has completed (result may already be taken).
+    pub fn is_finished(&self) -> bool {
+        // A taken slot means join/try_join already returned: finished.
+        self.shared.slot.lock().unwrap().is_some() || Arc::strong_count(&self.shared) == 1
+    }
+}
+
+/// The executor. Cheap to clone (all clones share the pool).
+///
+/// # Examples
+///
+/// ```
+/// use synq_executor::{ThreadPool, PoolConfig};
+/// use synq::SynchronousQueue;
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(Arc::new(SynchronousQueue::new()), PoolConfig::default());
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..10 {
+///     let c = Arc::clone(&counter);
+///     pool.execute(move || { c.fetch_add(1, Ordering::SeqCst); }).unwrap();
+/// }
+/// pool.shutdown();
+/// pool.join();
+/// assert_eq!(counter.load(Ordering::SeqCst), 10);
+/// ```
+#[derive(Clone)]
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+}
+
+impl ThreadPool {
+    /// Creates a pool handing work off through `channel`.
+    pub fn new(channel: Arc<dyn TimedSyncChannel<Job>>, config: PoolConfig) -> Self {
+        ThreadPool {
+            inner: Arc::new(PoolInner {
+                channel,
+                config,
+                worker_count: AtomicUsize::new(0),
+                largest_pool_size: AtomicUsize::new(0),
+                completed: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+                interrupt: CancelToken::new(),
+                handles: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Java's `newCachedThreadPool` over the given channel.
+    pub fn cached(channel: Arc<dyn TimedSyncChannel<Job>>) -> Self {
+        Self::new(channel, PoolConfig::default())
+    }
+
+    /// Submits a task: hand it to a waiting worker if one is parked in the
+    /// channel, otherwise spawn a new worker (up to `max_pool_size`).
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), ExecuteError> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(ExecuteError::Shutdown(Box::new(job)));
+        }
+        // Fast path: a worker is already waiting in `poll`.
+        let job: Job = Box::new(job);
+        let job = match inner.channel.offer(job) {
+            Ok(()) => return Ok(()),
+            Err(job) => job,
+        };
+        // Slow path: grow the pool. Workers claiming one of the first
+        // `core_pool_size` slots become permanent (Java's core workers).
+        let slot = inner
+            .worker_count
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < inner.config.max_pool_size).then_some(n + 1)
+            });
+        let slot = match slot {
+            Ok(prev) => prev,
+            Err(_) => return Err(ExecuteError::Saturated(job)),
+        };
+        let core = slot < inner.config.core_pool_size;
+        inner.largest_pool_size.fetch_max(slot + 1, Ordering::AcqRel);
+        let pool = Arc::clone(inner);
+        let handle = std::thread::spawn(move || worker_loop(pool, job, core));
+        inner.handles.lock().unwrap().push(handle);
+        Ok(())
+    }
+
+    /// Stops accepting tasks and interrupts idle workers. Tasks already
+    /// running (or already handed to a worker) complete normally.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.interrupt.cancel();
+    }
+
+    /// Waits for every worker to retire. Call after [`ThreadPool::shutdown`].
+    pub fn join(&self) {
+        loop {
+            let handle = self.inner.handles.lock().unwrap().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Submits a task whose result can be collected through the returned
+    /// [`TaskHandle`] — the analogue of `ExecutorService.submit` returning a
+    /// `Future`. A panic in the task is captured into the handle; the
+    /// worker thread survives.
+    pub fn submit<R, F>(&self, f: F) -> Result<TaskHandle<R>, ExecuteError>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let shared = Arc::new(TaskShared {
+            slot: Mutex::new(None),
+            cvar: Condvar::new(),
+        });
+        let shared2 = Arc::clone(&shared);
+        self.execute(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            *shared2.slot.lock().unwrap() = Some(result);
+            shared2.cvar.notify_all();
+        })?;
+        Ok(TaskHandle { shared })
+    }
+
+    /// Number of tasks fully executed so far.
+    pub fn completed_tasks(&self) -> usize {
+        self.inner.completed.load(Ordering::Acquire)
+    }
+
+    /// High-water mark of concurrently live workers (Java's
+    /// `getLargestPoolSize`).
+    pub fn largest_pool_size(&self) -> usize {
+        self.inner.largest_pool_size.load(Ordering::Acquire)
+    }
+
+    /// Number of currently live workers.
+    pub fn worker_count(&self) -> usize {
+        self.inner.worker_count.load(Ordering::Acquire)
+    }
+}
+
+fn worker_loop(pool: Arc<PoolInner>, first_job: Job, core: bool) {
+    first_job();
+    pool.completed.fetch_add(1, Ordering::AcqRel);
+    loop {
+        // Core workers wait indefinitely (only shutdown releases them);
+        // cached workers retire after the keep-alive lapses.
+        let deadline = if core {
+            Deadline::Never
+        } else {
+            Deadline::after(pool.config.keep_alive)
+        };
+        match pool.channel.take_with(deadline, Some(&pool.interrupt)) {
+            TransferOutcome::Transferred(Some(job)) => {
+                job();
+                pool.completed.fetch_add(1, Ordering::AcqRel);
+            }
+            // Keep-alive elapsed or the pool was shut down: retire.
+            _ => break,
+        }
+    }
+    pool.worker_count.fetch_sub(1, Ordering::AcqRel);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+    use synq::SynchronousQueue;
+    use synq_baselines::Java5SQ;
+
+    fn run_pool_with(channel: Arc<dyn TimedSyncChannel<Job>>) {
+        let pool = ThreadPool::cached(channel);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        assert_eq!(pool.completed_tasks(), 50);
+        assert_eq!(pool.worker_count(), 0);
+    }
+
+    #[test]
+    fn executes_all_tasks_new_unfair() {
+        run_pool_with(Arc::new(SynchronousQueue::unfair()));
+    }
+
+    #[test]
+    fn executes_all_tasks_new_fair() {
+        run_pool_with(Arc::new(SynchronousQueue::fair()));
+    }
+
+    #[test]
+    fn executes_all_tasks_java5_fair() {
+        run_pool_with(Arc::new(Java5SQ::fair()));
+    }
+
+    #[test]
+    fn executes_all_tasks_java5_unfair() {
+        run_pool_with(Arc::new(Java5SQ::unfair()));
+    }
+
+    #[test]
+    fn workers_are_reused_when_idle() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        // Run tasks one at a time; workers should be reused via the offer
+        // fast path rather than spawning one thread per task.
+        for _ in 0..20 {
+            let done = Arc::new(AtomicBool::new(false));
+            let d = Arc::clone(&done);
+            pool.execute(move || d.store(true, Ordering::SeqCst)).unwrap();
+            while !done.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        }
+        assert!(
+            pool.worker_count() <= 3,
+            "spawned {} workers for sequential tasks",
+            pool.worker_count()
+        );
+        pool.shutdown();
+        pool.join();
+    }
+
+    #[test]
+    fn keep_alive_retires_idle_workers() {
+        let pool = ThreadPool::new(
+            Arc::new(SynchronousQueue::<Job>::unfair()),
+            PoolConfig {
+                core_pool_size: 0,
+                max_pool_size: usize::MAX,
+                keep_alive: Duration::from_millis(30),
+            },
+        );
+        pool.execute(|| {}).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while pool.worker_count() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.worker_count(), 0, "idle worker did not retire");
+        pool.join();
+    }
+
+    #[test]
+    fn rejected_job_is_recoverable() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        pool.shutdown();
+        let ran = Arc::new(AtomicBool::new(false));
+        let r = Arc::clone(&ran);
+        let err = pool
+            .execute(move || r.store(true, Ordering::SeqCst))
+            .unwrap_err();
+        // The caller can run the recovered job itself.
+        (err.into_job())();
+        assert!(ran.load(Ordering::SeqCst));
+        pool.join();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_tasks() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        pool.shutdown();
+        match pool.execute(|| {}) {
+            Err(ExecuteError::Shutdown(_)) => {}
+            other => panic!("expected Shutdown, got {other:?}"),
+        }
+        pool.join();
+    }
+
+    #[test]
+    fn saturation_respects_max_pool_size() {
+        let pool = ThreadPool::new(
+            Arc::new(SynchronousQueue::<Job>::unfair()),
+            PoolConfig {
+                core_pool_size: 0,
+                max_pool_size: 1,
+                keep_alive: Duration::from_secs(60),
+            },
+        );
+        // First task occupies the single worker slot.
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        pool.execute(move || {
+            while !g.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        })
+        .unwrap();
+        // Second task: no waiting worker, and the pool cannot grow.
+        match pool.execute(|| {}) {
+            Err(ExecuteError::Saturated(_)) => {}
+            other => panic!("expected Saturated, got {other:?}"),
+        }
+        gate.store(true, Ordering::SeqCst);
+        pool.shutdown();
+        pool.join();
+    }
+
+    #[test]
+    fn shutdown_interrupts_parked_workers_quickly() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        pool.execute(|| {}).unwrap();
+        // The worker parks in take_with(keep_alive=60s). Shutdown must not
+        // take anywhere near 60s.
+        std::thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        pool.shutdown();
+        pool.join();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "shutdown took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn parallel_submission_stress() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut submitters = Vec::new();
+        for _ in 0..4 {
+            let pool = pool.clone();
+            let counter = Arc::clone(&counter);
+            submitters.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let c = Arc::clone(&counter);
+                    pool.execute(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for s in submitters {
+            s.join().unwrap();
+        }
+        pool.shutdown();
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 400);
+    }
+}
+
+#[cfg(test)]
+mod submit_tests {
+    use super::*;
+    use synq::SynchronousQueue;
+
+    #[test]
+    fn submit_returns_result() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        let handle = pool.submit(|| 2 + 2).unwrap();
+        assert_eq!(handle.join().unwrap(), 4);
+        pool.shutdown();
+        pool.join();
+    }
+
+    #[test]
+    fn submit_captures_panics_and_worker_survives() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        let bad = pool.submit(|| -> u32 { panic!("task exploded") }).unwrap();
+        assert!(bad.join().is_err(), "panic must surface as TaskPanicked");
+        // The pool keeps working after a panicking task.
+        let ok = pool.submit(|| "still alive").unwrap();
+        assert_eq!(ok.join().unwrap(), "still alive");
+        pool.shutdown();
+        pool.join();
+    }
+
+    #[test]
+    fn many_submits_collect_in_any_order() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        let handles: Vec<_> = (0..20u64)
+            .map(|i| pool.submit(move || i * i).unwrap())
+            .collect();
+        let sum: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(sum, (0..20u64).map(|i| i * i).sum::<u64>());
+        pool.shutdown();
+        pool.join();
+    }
+
+    #[test]
+    fn core_workers_survive_keep_alive() {
+        let pool = ThreadPool::new(
+            Arc::new(SynchronousQueue::<Job>::unfair()),
+            PoolConfig {
+                core_pool_size: 1,
+                max_pool_size: 8,
+                keep_alive: Duration::from_millis(20),
+            },
+        );
+        pool.execute(|| {}).unwrap();
+        // Well past the keep-alive, the core worker must still be alive.
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(pool.worker_count(), 1, "core worker retired");
+        // And still serving.
+        let h = pool.submit(|| 7u8).unwrap();
+        assert_eq!(h.join().unwrap(), 7);
+        pool.shutdown();
+        pool.join();
+        assert_eq!(pool.worker_count(), 0);
+    }
+
+    #[test]
+    fn largest_pool_size_tracks_high_water() {
+        use std::sync::atomic::AtomicBool;
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        assert_eq!(pool.largest_pool_size(), 0);
+        let gate = Arc::new(AtomicBool::new(false));
+        // Two long-running tasks force two workers.
+        for _ in 0..2 {
+            let g = Arc::clone(&gate);
+            pool.execute(move || {
+                while !g.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+            })
+            .unwrap();
+        }
+        assert!(pool.largest_pool_size() >= 2);
+        gate.store(true, Ordering::SeqCst);
+        pool.shutdown();
+        pool.join();
+        assert!(pool.largest_pool_size() >= 2, "high-water mark must persist");
+    }
+}

@@ -1,0 +1,199 @@
+//! Cooperative cancellation of waiting operations.
+//!
+//! The paper requires that "waiting thread\[s\]" can be "asynchronously
+//! interrupted" — Java's `Thread.interrupt`. Rust has no ambient thread
+//! interruption, so the queues accept an optional [`CancelToken`]: a
+//! lightweight flag that waiting loops re-check on every wakeup, paired with
+//! a registration list so that cancelling actively *unparks* any thread
+//! currently blocked on the token. `ThreadPoolExecutor::shutdown_now` uses
+//! this to interrupt idle workers parked in `take`.
+
+use crate::parker::Unparker;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    next_id: AtomicU64,
+    waiters: Mutex<Vec<(u64, Unparker)>>,
+}
+
+/// A cancellation flag observed by waiting queue operations.
+///
+/// Cloning produces another handle on the same flag. Use [`Canceller`] (or
+/// [`CancelToken::cancel`] from any clone) to trip it.
+///
+/// # Examples
+///
+/// ```
+/// use synq_primitives::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+/// A send-only handle for tripping a [`CancelToken`].
+#[derive(Debug, Clone)]
+pub struct Canceller {
+    inner: Arc<Inner>,
+}
+
+/// Removes the registration on drop, so abandoned waits don't accumulate
+/// dead unparkers on long-lived tokens.
+#[derive(Debug)]
+pub struct Registration<'t> {
+    token: &'t CancelToken,
+    id: u64,
+}
+
+impl CancelToken {
+    /// Creates an untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a handle that can only cancel, not wait.
+    pub fn canceller(&self) -> Canceller {
+        Canceller {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Trips the token and unparks every registered waiter.
+    pub fn cancel(&self) {
+        cancel_inner(&self.inner);
+    }
+
+    /// Registers `unparker` to be woken if the token is cancelled while the
+    /// registration guard is alive. If the token is *already* cancelled the
+    /// unparker is woken immediately (so the caller's park cannot hang).
+    pub fn register(&self, unparker: Unparker) -> Registration<'_> {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .waiters
+            .lock()
+            .unwrap()
+            .push((id, unparker.clone()));
+        if self.is_cancelled() {
+            unparker.unpark();
+        }
+        Registration { token: self, id }
+    }
+}
+
+impl Canceller {
+    /// Trips the token and unparks every registered waiter.
+    pub fn cancel(&self) {
+        cancel_inner(&self.inner);
+    }
+
+    /// True once cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+}
+
+fn cancel_inner(inner: &Inner) {
+    if inner.cancelled.swap(true, Ordering::AcqRel) {
+        return; // already cancelled; waiters were already woken
+    }
+    let waiters = std::mem::take(&mut *inner.waiters.lock().unwrap());
+    for (_, u) in waiters {
+        u.unpark();
+    }
+}
+
+impl Drop for Registration<'_> {
+    fn drop(&mut self) {
+        let mut waiters = self.token.inner.waiters.lock().unwrap();
+        if let Some(pos) = waiters.iter().position(|(id, _)| *id == self.id) {
+            waiters.swap_remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parker::Parker;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_not_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.canceller().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_visible_through_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel();
+        assert!(c.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_unparks_registered_waiter() {
+        let t = CancelToken::new();
+        let c = t.canceller();
+        let p = Parker::new();
+        let _reg = t.register(p.unparker());
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(15));
+            c.cancel();
+        });
+        p.park(); // would hang forever if cancel did not unpark
+        assert!(t.is_cancelled());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn register_on_cancelled_token_wakes_immediately() {
+        let t = CancelToken::new();
+        t.cancel();
+        let p = Parker::new();
+        let _reg = t.register(p.unparker());
+        assert!(p.park_timeout(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn dropped_registration_is_removed() {
+        let t = CancelToken::new();
+        let p = Parker::new();
+        {
+            let _reg = t.register(p.unparker());
+        }
+        t.cancel();
+        // The deregistered parker receives no permit.
+        assert!(!p.park_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn many_waiters_all_woken() {
+        let t = CancelToken::new();
+        let parkers: Vec<Parker> = (0..8).map(|_| Parker::new()).collect();
+        let regs: Vec<_> = parkers.iter().map(|p| t.register(p.unparker())).collect();
+        t.cancel();
+        for p in &parkers {
+            assert!(p.park_timeout(Duration::from_secs(5)));
+        }
+        drop(regs);
+    }
+}

@@ -1,0 +1,49 @@
+//! Scheduling and synchronization primitives for the `synq` suite.
+//!
+//! The synchronous queue algorithms of Scherer, Lea & Scott (PPoPP 2006) sit
+//! on top of a small set of substrates that the paper's Java implementation
+//! gets from `java.util.concurrent`:
+//!
+//! * [`Parker`]/[`Unparker`] — the analogue of
+//!   `java.util.concurrent.locks.LockSupport.park/unpark`: one-permit
+//!   suspension with targeted wakeup, used by every waiting strategy.
+//! * [`SpinPolicy`] — the *spin-then-park* strategy from the paper's
+//!   "Pragmatics" section: on multiprocessors, nodes next in line for
+//!   fulfillment spin briefly (about a quarter of a context switch) before
+//!   parking; on uniprocessors spinning is useless and disabled.
+//! * [`Backoff`] — bounded exponential backoff for CAS retry loops.
+//! * [`Semaphore`] — a counting semaphore, the substrate of Hanson's
+//!   synchronous queue (Listing 1 in the paper).
+//! * [`TicketLock`] — a strictly FIFO ("fair-mode") lock with queued
+//!   parking, used to reproduce the Java SE 5.0 fair-mode entry lock whose
+//!   pileups the paper identifies as the main fair-mode bottleneck.
+//! * [`WaiterCell`] — a lock-free, single-slot mailbox through which a
+//!   waiter publishes its [`Unparker`] to whichever thread fulfills it.
+//! * [`CancelToken`] — cooperative cancellation (the paper's "asynchronous
+//!   interrupt" of waiting threads).
+//!
+//! Everything here is built from `std` only (mutexes, condition variables,
+//! atomics); no external crates.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod backoff;
+pub mod cancel;
+pub mod fast_semaphore;
+pub mod mcs_lock;
+pub mod parker;
+pub mod semaphore;
+pub mod spin;
+pub mod ticket_lock;
+pub mod waiter;
+
+pub use backoff::Backoff;
+pub use cancel::{CancelToken, Canceller};
+pub use fast_semaphore::FastSemaphore;
+pub use mcs_lock::{McsLock, McsLockGuard};
+pub use parker::{Parker, Unparker};
+pub use semaphore::Semaphore;
+pub use spin::SpinPolicy;
+pub use ticket_lock::{TicketLock, TicketLockGuard};
+pub use waiter::WaiterCell;

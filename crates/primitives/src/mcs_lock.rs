@@ -1,0 +1,334 @@
+//! An MCS queue lock (Mellor-Crummey & Scott, paper reference \[13\]).
+//!
+//! The paper's *contention-freedom* definition descends from the
+//! "local-spin" property that MCS locks introduced: every waiting thread
+//! spins only on a flag in its **own** queue node, so lock handoff causes
+//! exactly one remote cache-line transfer regardless of how many threads
+//! wait. The synchronous dual queue/stack inherit the same discipline —
+//! waiters poll their own node's state word — which is why this lock lives
+//! here as the canonical ancestor (and as an alternative fair lock for the
+//! Java 5 baseline: like [`crate::TicketLock`] it grants strictly FIFO, but
+//! by pointer-chasing a queue instead of a counter).
+//!
+//! The waiting strategy is spin-then-park: pure local spinning is correct
+//! but wasteful on oversubscribed machines, so after a short budget the
+//! waiter parks and the releaser unparks it.
+
+use crate::parker::{Parker, Unparker};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+struct McsNode {
+    locked: AtomicBool,
+    next: AtomicPtr<McsNode>,
+    /// Set by the waiter before parking; consumed by the releaser.
+    unparker: AtomicPtr<Unparker>,
+}
+
+impl McsNode {
+    fn new() -> Box<McsNode> {
+        Box::new(McsNode {
+            locked: AtomicBool::new(true),
+            next: AtomicPtr::new(ptr::null_mut()),
+            unparker: AtomicPtr::new(ptr::null_mut()),
+        })
+    }
+}
+
+/// A strictly FIFO queue lock with local spinning.
+///
+/// # Examples
+///
+/// ```
+/// use synq_primitives::McsLock;
+///
+/// let lock = McsLock::new();
+/// {
+///     let _guard = lock.lock();
+///     // critical section
+/// }
+/// assert!(lock.try_lock().is_some());
+/// ```
+#[derive(Debug)]
+pub struct McsLock {
+    tail: AtomicPtr<McsNode>,
+}
+
+/// RAII guard for [`McsLock`].
+pub struct McsLockGuard<'a> {
+    lock: &'a McsLock,
+    node: *mut McsNode,
+}
+
+impl std::fmt::Debug for McsLockGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("McsLockGuard { .. }")
+    }
+}
+
+impl Default for McsLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Local spins before parking (scaled down to zero on uniprocessors by the
+/// same reasoning as [`crate::SpinPolicy`]).
+fn spin_budget() -> u32 {
+    if crate::backoff::ncpus() < 2 {
+        0
+    } else {
+        256
+    }
+}
+
+impl McsLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        McsLock {
+            tail: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Acquires the lock, queueing FIFO behind existing waiters and
+    /// spinning only on our own node.
+    pub fn lock(&self) -> McsLockGuard<'_> {
+        let node = Box::into_raw(McsNode::new());
+        // Swap ourselves in as the tail; our predecessor (if any) will
+        // hand us the lock through OUR node.
+        let pred = self.tail.swap(node, Ordering::AcqRel);
+        if pred.is_null() {
+            // Uncontended: we hold the lock.
+            return McsLockGuard { lock: self, node };
+        }
+        // SAFETY: a predecessor node stays alive until it passes us the
+        // lock (it frees itself only after its unlock, which first
+        // publishes to our node).
+        unsafe { (*pred).next.store(node, Ordering::Release) };
+
+        // Local spin on our own `locked` flag, then park.
+        let mut spins = spin_budget();
+        let mut parker: Option<Parker> = None;
+        // SAFETY: `node` is ours; the releaser only touches its atomics.
+        let node_ref = unsafe { &*node };
+        loop {
+            if !node_ref.locked.load(Ordering::Acquire) {
+                // Consume any unparker we registered but never needed.
+                let u = node_ref.unparker.swap(ptr::null_mut(), Ordering::AcqRel);
+                if !u.is_null() {
+                    // SAFETY: we boxed it below.
+                    drop(unsafe { Box::from_raw(u) });
+                }
+                return McsLockGuard { lock: self, node };
+            }
+            if spins > 0 {
+                spins -= 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            let parker = parker.get_or_insert_with(Parker::new);
+            let u = Box::into_raw(Box::new(parker.unparker()));
+            let old = node_ref.unparker.swap(u, Ordering::AcqRel);
+            if !old.is_null() {
+                // SAFETY: previous registration we own again.
+                drop(unsafe { Box::from_raw(old) });
+            }
+            // Re-check after publishing the unparker (avoid lost wakeup).
+            if !node_ref.locked.load(Ordering::Acquire) {
+                continue;
+            }
+            parker.park();
+        }
+    }
+
+    /// Acquires only if nobody holds or waits for the lock.
+    pub fn try_lock(&self) -> Option<McsLockGuard<'_>> {
+        let node = Box::into_raw(McsNode::new());
+        match self.tail.compare_exchange(
+            ptr::null_mut(),
+            node,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Some(McsLockGuard { lock: self, node }),
+            Err(_) => {
+                // SAFETY: node never published.
+                drop(unsafe { Box::from_raw(node) });
+                None
+            }
+        }
+    }
+
+    fn unlock(&self, node: *mut McsNode) {
+        // SAFETY: we own `node` until we hand off / retire below.
+        let node_ref = unsafe { &*node };
+        let mut next = node_ref.next.load(Ordering::Acquire);
+        if next.is_null() {
+            // No known successor: try to swing the tail back to null.
+            if self
+                .tail
+                .compare_exchange(node, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: unpublished everywhere; retire our node.
+                drop(unsafe { Box::from_raw(node) });
+                return;
+            }
+            // A successor is mid-enqueue (swapped the tail but has not yet
+            // linked `next`): wait for the link. This window is a handful
+            // of its instructions.
+            loop {
+                next = node_ref.next.load(Ordering::Acquire);
+                if !next.is_null() {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        // Hand the lock to the successor through ITS node (local to it).
+        // SAFETY: successor's node is alive until we flip its flag.
+        let next_ref = unsafe { &*next };
+        next_ref.locked.store(false, Ordering::Release);
+        let u = next_ref.unparker.swap(ptr::null_mut(), Ordering::AcqRel);
+        if !u.is_null() {
+            // SAFETY: boxed by the waiter.
+            let u = unsafe { Box::from_raw(u) };
+            u.unpark();
+        }
+        // SAFETY: nobody references our node anymore.
+        drop(unsafe { Box::from_raw(node) });
+    }
+}
+
+impl Drop for McsLockGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.unlock(self.node);
+    }
+}
+
+// SAFETY: the queue protocol hands node ownership across threads through
+// acquire/release atomics.
+unsafe impl Send for McsLock {}
+unsafe impl Sync for McsLock {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_unlock_uncontended() {
+        let lock = McsLock::new();
+        drop(lock.lock());
+        drop(lock.lock());
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let lock = McsLock::new();
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = Arc::new(McsLock::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let in_cs = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            let in_cs = Arc::clone(&in_cs);
+            handles.push(thread::spawn(move || {
+                for _ in 0..500 {
+                    let _g = lock.lock();
+                    assert_eq!(in_cs.fetch_add(1, Ordering::SeqCst), 0);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 500);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn fifo_handoff_order() {
+        // Queue waiters in a deterministic order; they must acquire FIFO.
+        let lock = Arc::new(McsLock::new());
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let queued = Arc::new(AtomicUsize::new(0));
+        let guard = lock.lock();
+        let mut handles = Vec::new();
+        for i in 0..5 {
+            let lock = Arc::clone(&lock);
+            let order = Arc::clone(&order);
+            let queued2 = Arc::clone(&queued);
+            handles.push(thread::spawn(move || {
+                queued2.fetch_add(1, Ordering::SeqCst);
+                let _g = lock.lock();
+                order.lock().unwrap().push(i);
+            }));
+            // Wait until thread i has (very probably) swapped itself into
+            // the queue before spawning i+1: it increments `queued` right
+            // before lock(), and we give it a grace period to reach the
+            // tail swap.
+            while queued.load(Ordering::SeqCst) < i + 1 {
+                thread::yield_now();
+            }
+            thread::sleep(std::time::Duration::from_millis(20));
+        }
+        drop(guard);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parked_waiter_is_woken() {
+        // With a long-held lock, the waiter exhausts its spin budget and
+        // parks; release must unpark it.
+        let lock = Arc::new(McsLock::new());
+        let g = lock.lock();
+        let lock2 = Arc::clone(&lock);
+        let waiter = thread::spawn(move || {
+            let _g = lock2.lock();
+        });
+        thread::sleep(std::time::Duration::from_millis(60)); // force the park
+        drop(g);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn stress_alternating_with_try_lock() {
+        let lock = Arc::new(McsLock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            handles.push(thread::spawn(move || {
+                let mut acquired = 0;
+                for _ in 0..300 {
+                    if let Some(_g) = lock.try_lock() {
+                        acquired += 1;
+                    } else {
+                        let _g = lock.lock();
+                        acquired += 1;
+                    }
+                }
+                acquired
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 4 * 300);
+    }
+}

@@ -1,0 +1,284 @@
+//! Thread parking with permit semantics.
+//!
+//! This is the Rust analogue of `java.util.concurrent.locks.LockSupport`,
+//! which the paper's implementation uses "to remove threads from and restore
+//! threads to the ready list". The semantics are the classic one-permit
+//! protocol:
+//!
+//! * [`Unparker::unpark`] makes a single permit available (idempotent — at
+//!   most one permit is ever banked).
+//! * [`Parker::park`] consumes a permit if one is available and returns
+//!   immediately; otherwise it blocks until a permit arrives.
+//! * [`Parker::park_timeout`]/[`Parker::park_deadline`] additionally give up
+//!   after a patience interval, which is what the synchronous queues' timed
+//!   `offer`/`poll` operations are built on.
+//!
+//! A permit posted *before* the corresponding `park` is never lost: this is
+//! exactly the property that lets lock-free algorithms publish a waiter,
+//! re-check their precondition, and only then park, without missing a wakeup
+//! that raced in between.
+//!
+//! Built on `Mutex` + `Condvar` from `std`; the fast path (permit already
+//! available) takes no lock.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+const EMPTY: usize = 0;
+const PARKED: usize = 1;
+const NOTIFIED: usize = 2;
+
+#[derive(Debug)]
+struct Inner {
+    state: AtomicUsize,
+    lock: Mutex<()>,
+    cvar: Condvar,
+}
+
+/// The waiting side of a parker pair. Owned by exactly one thread.
+///
+/// # Examples
+///
+/// ```
+/// use synq_primitives::Parker;
+///
+/// let parker = Parker::new();
+/// let unparker = parker.unparker();
+/// let t = std::thread::spawn(move || unparker.unpark());
+/// parker.park(); // returns once the permit arrives
+/// t.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Parker {
+    inner: Arc<Inner>,
+}
+
+/// The waking side of a parker pair. Cheap to clone and `Send`/`Sync`.
+#[derive(Debug, Clone)]
+pub struct Unparker {
+    inner: Arc<Inner>,
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parker {
+    /// Creates a parker with no banked permit.
+    pub fn new() -> Self {
+        Parker {
+            inner: Arc::new(Inner {
+                state: AtomicUsize::new(EMPTY),
+                lock: Mutex::new(()),
+                cvar: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Returns a handle that can wake this parker from any thread.
+    pub fn unparker(&self) -> Unparker {
+        Unparker {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Blocks the current thread until a permit is available, then consumes
+    /// it. Returns immediately if a permit was already banked.
+    pub fn park(&self) {
+        self.park_inner(None);
+    }
+
+    /// Like [`Parker::park`] but gives up after `timeout`. Returns `true` if
+    /// a permit was consumed, `false` on timeout.
+    pub fn park_timeout(&self, timeout: Duration) -> bool {
+        self.park_inner(Some(Instant::now() + timeout))
+    }
+
+    /// Like [`Parker::park_timeout`] with an absolute deadline.
+    pub fn park_deadline(&self, deadline: Instant) -> bool {
+        self.park_inner(Some(deadline))
+    }
+
+    fn park_inner(&self, deadline: Option<Instant>) -> bool {
+        let inner = &*self.inner;
+        // Fast path: consume a banked permit without taking the lock.
+        if inner
+            .state
+            .compare_exchange(NOTIFIED, EMPTY, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return true;
+        }
+        let mut guard = inner.lock.lock().unwrap();
+        // Publish that we are about to sleep. An unparker that runs after
+        // this CAS will take the lock and notify, so we cannot sleep through
+        // its wakeup; an unparker that ran before it left NOTIFIED behind,
+        // which the exchange observes.
+        match inner
+            .state
+            .compare_exchange(EMPTY, PARKED, Ordering::Acquire, Ordering::Relaxed)
+        {
+            Ok(_) => {}
+            Err(actual) => {
+                debug_assert_eq!(actual, NOTIFIED);
+                inner.state.store(EMPTY, Ordering::Release);
+                return true;
+            }
+        }
+        loop {
+            let notified = match deadline {
+                None => {
+                    guard = inner.cvar.wait(guard).unwrap();
+                    inner.state.load(Ordering::Acquire) == NOTIFIED
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        false
+                    } else {
+                        let (g, _res) = inner.cvar.wait_timeout(guard, d - now).unwrap();
+                        guard = g;
+                        inner.state.load(Ordering::Acquire) == NOTIFIED
+                    }
+                }
+            };
+            if notified {
+                inner.state.store(EMPTY, Ordering::Release);
+                return true;
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    // Timed out. Retract the PARKED claim; if an unpark
+                    // slipped in concurrently, consume it so the permit is
+                    // not spuriously banked for an unrelated later park.
+                    let prev = inner.state.swap(EMPTY, Ordering::AcqRel);
+                    return prev == NOTIFIED;
+                }
+            }
+            // Spurious wakeup: go around.
+        }
+    }
+}
+
+impl Unparker {
+    /// Makes one permit available, waking the parked thread if there is one.
+    /// Idempotent: multiple unparks bank at most one permit.
+    pub fn unpark(&self) {
+        let inner = &*self.inner;
+        match inner.state.swap(NOTIFIED, Ordering::Release) {
+            EMPTY | NOTIFIED => {}
+            PARKED => {
+                // The parker holds (or is acquiring) the lock around its
+                // sleep; taking it here ensures our notify cannot land in
+                // the window between its state check and its wait.
+                drop(inner.lock.lock().unwrap());
+                inner.cvar.notify_one();
+            }
+            _ => unreachable!("invalid parker state"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unpark_before_park_is_banked() {
+        let p = Parker::new();
+        p.unparker().unpark();
+        // Must return immediately.
+        p.park();
+    }
+
+    #[test]
+    fn unpark_is_idempotent() {
+        let p = Parker::new();
+        let u = p.unparker();
+        u.unpark();
+        u.unpark();
+        u.unpark();
+        p.park();
+        // Only one permit was banked: a timed park must now time out.
+        assert!(!p.park_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn park_timeout_expires_without_permit() {
+        let p = Parker::new();
+        let start = Instant::now();
+        assert!(!p.park_timeout(Duration::from_millis(20)));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let p = Parker::new();
+        let u = p.unparker();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            u.unpark();
+        });
+        let start = Instant::now();
+        p.park();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn timed_park_woken_early() {
+        let p = Parker::new();
+        let u = p.unparker();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            u.unpark();
+        });
+        assert!(p.park_timeout(Duration::from_secs(60)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn permit_not_banked_after_timeout_race() {
+        // Repeatedly race a timeout against an unpark; whatever the winner,
+        // the parker must end each round with no banked permit unless the
+        // park itself reported success.
+        let p = Parker::new();
+        let u = p.unparker();
+        for _ in 0..100 {
+            let u2 = u.clone();
+            let t = thread::spawn(move || {
+                u2.unpark();
+            });
+            let woke = p.park_timeout(Duration::from_micros(50));
+            t.join().unwrap();
+            if !woke {
+                // The unpark must still be pending exactly once.
+                p.park();
+            }
+            // State must now be EMPTY for the next round.
+            assert!(!p.park_timeout(Duration::from_micros(1)));
+        }
+    }
+
+    #[test]
+    fn reusable_across_rounds() {
+        let p = Parker::new();
+        let u = p.unparker();
+        for _ in 0..50 {
+            let u2 = u.clone();
+            let t = thread::spawn(move || u2.unpark());
+            p.park();
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn park_deadline_in_past_returns_immediately() {
+        let p = Parker::new();
+        assert!(!p.park_deadline(Instant::now()));
+    }
+}

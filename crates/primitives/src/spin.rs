@@ -1,0 +1,101 @@
+//! The spin-then-park waiting policy from the paper's "Pragmatics" section.
+//!
+//! > "On multiprocessors (only), nodes next in line for fulfillment spin
+//! > briefly (about one-quarter the time of a typical context switch) before
+//! > parking. On very busy synchronous queues, spinning can dramatically
+//! > improve throughput because it handles the case of a near-simultaneous
+//! > 'flyby' between a producer and consumer without stalling either."
+//!
+//! The constants mirror the Java 6 `SynchronousQueue` implementation:
+//! `max_timed_spins = 32` on multiprocessors (0 on uniprocessors), and
+//! untimed waits spin 16x longer because there is no deadline bookkeeping
+//! inside the loop.
+
+use crate::backoff::ncpus;
+
+/// How long a waiter spins on its own node before descheduling itself.
+///
+/// A `SpinPolicy` is deliberately tiny and `Copy`: the queues embed one per
+/// instance so benchmarks can ablate spinning (experiment A1 in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpinPolicy {
+    /// Spin iterations before parking when the wait has a deadline.
+    pub max_timed_spins: u32,
+    /// Spin iterations before parking when the wait is unbounded.
+    pub max_untimed_spins: u32,
+}
+
+impl SpinPolicy {
+    /// The adaptive default: spin only when more than one hardware thread
+    /// is available, exactly as the paper prescribes.
+    pub fn adaptive() -> Self {
+        let timed = if ncpus() < 2 { 0 } else { 32 };
+        SpinPolicy {
+            max_timed_spins: timed,
+            max_untimed_spins: timed * 16,
+        }
+    }
+
+    /// Never spin; park immediately. One arm of ablation A1.
+    pub fn park_immediately() -> Self {
+        SpinPolicy {
+            max_timed_spins: 0,
+            max_untimed_spins: 0,
+        }
+    }
+
+    /// Spin `n` times (timed) and `16 n` times (untimed) regardless of the
+    /// processor count. Used by the ablation harness.
+    pub fn fixed(n: u32) -> Self {
+        SpinPolicy {
+            max_timed_spins: n,
+            max_untimed_spins: n.saturating_mul(16),
+        }
+    }
+
+    /// Spin budget applicable to a wait that may or may not have a deadline.
+    #[inline]
+    pub fn spins_for(&self, timed: bool) -> u32 {
+        if timed {
+            self.max_timed_spins
+        } else {
+            self.max_untimed_spins
+        }
+    }
+}
+
+impl Default for SpinPolicy {
+    fn default() -> Self {
+        Self::adaptive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_matches_processor_count() {
+        let p = SpinPolicy::adaptive();
+        if ncpus() < 2 {
+            assert_eq!(p.max_timed_spins, 0);
+            assert_eq!(p.max_untimed_spins, 0);
+        } else {
+            assert_eq!(p.max_timed_spins, 32);
+            assert_eq!(p.max_untimed_spins, 512);
+        }
+    }
+
+    #[test]
+    fn fixed_and_park_immediately() {
+        assert_eq!(SpinPolicy::fixed(10).spins_for(true), 10);
+        assert_eq!(SpinPolicy::fixed(10).spins_for(false), 160);
+        assert_eq!(SpinPolicy::park_immediately().spins_for(true), 0);
+        assert_eq!(SpinPolicy::park_immediately().spins_for(false), 0);
+    }
+
+    #[test]
+    fn default_is_adaptive() {
+        assert_eq!(SpinPolicy::default(), SpinPolicy::adaptive());
+    }
+}

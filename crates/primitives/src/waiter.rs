@@ -1,0 +1,184 @@
+//! A lock-free single-slot mailbox for handing an [`Unparker`] to a
+//! fulfilling thread.
+//!
+//! Every node in the synchronous dual queue/stack owns one `WaiterCell`. The
+//! waiting thread *registers* its unparker just before parking; the thread
+//! that matches (or cancels) the node *takes* the unparker and wakes the
+//! waiter. Both sides race freely: registration and take are single
+//! `AtomicPtr` swaps, so the cell never blocks and never loses a wakeup —
+//! if `take` runs before `register`, the waiter's pre-park re-check of the
+//! node state observes the match and skips parking (and if it does park, the
+//! matcher's subsequent `take`+unpark wakes it).
+
+use crate::parker::Unparker;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// Single-slot, lock-free unparker mailbox.
+///
+/// # Examples
+///
+/// ```
+/// use synq_primitives::{Parker, WaiterCell};
+///
+/// let cell = WaiterCell::new();
+/// let parker = Parker::new();
+/// cell.register(parker.unparker());
+/// if let Some(u) = cell.take() {
+///     u.unpark();
+/// }
+/// parker.park();
+/// ```
+#[derive(Debug)]
+pub struct WaiterCell {
+    slot: AtomicPtr<Unparker>,
+}
+
+impl Default for WaiterCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaiterCell {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        WaiterCell {
+            slot: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Publishes `unparker` so a matching thread can wake us. If an
+    /// unparker was already registered it is replaced (and dropped).
+    pub fn register(&self, unparker: Unparker) {
+        let new = Box::into_raw(Box::new(unparker));
+        let old = self.slot.swap(new, Ordering::AcqRel);
+        if !old.is_null() {
+            // SAFETY: non-null slot values are always Box::into_raw results
+            // and the swap transferred exclusive ownership to us.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+
+    /// Removes and returns the registered unparker, if any. At most one
+    /// caller obtains it.
+    pub fn take(&self) -> Option<Unparker> {
+        let old = self.slot.swap(ptr::null_mut(), Ordering::AcqRel);
+        if old.is_null() {
+            None
+        } else {
+            // SAFETY: as in `register`, ownership transferred by the swap.
+            Some(*unsafe { Box::from_raw(old) })
+        }
+    }
+
+    /// Takes the unparker and wakes the waiter if one was registered.
+    /// Convenience for the matcher/canceller side.
+    pub fn wake(&self) {
+        if let Some(u) = self.take() {
+            u.unpark();
+        }
+    }
+
+    /// True if no unparker is currently registered.
+    pub fn is_empty(&self) -> bool {
+        self.slot.load(Ordering::Acquire).is_null()
+    }
+}
+
+impl Drop for WaiterCell {
+    fn drop(&mut self) {
+        let old = *self.slot.get_mut();
+        if !old.is_null() {
+            // SAFETY: exclusive access in Drop; slot values are boxed.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+}
+
+// SAFETY: the cell hands `Unparker`s (which are Send + Sync) across threads
+// through an atomic pointer with AcqRel transfer-of-ownership.
+unsafe impl Send for WaiterCell {}
+unsafe impl Sync for WaiterCell {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parker::Parker;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn take_from_empty_is_none() {
+        let c = WaiterCell::new();
+        assert!(c.take().is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn register_then_take() {
+        let c = WaiterCell::new();
+        let p = Parker::new();
+        c.register(p.unparker());
+        assert!(!c.is_empty());
+        let u = c.take().expect("registered");
+        assert!(c.is_empty());
+        u.unpark();
+        p.park();
+    }
+
+    #[test]
+    fn second_take_is_none() {
+        let c = WaiterCell::new();
+        let p = Parker::new();
+        c.register(p.unparker());
+        assert!(c.take().is_some());
+        assert!(c.take().is_none());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let c = WaiterCell::new();
+        let p1 = Parker::new();
+        let p2 = Parker::new();
+        c.register(p1.unparker());
+        c.register(p2.unparker());
+        c.wake();
+        // p2 got the permit, p1 did not.
+        assert!(p2.park_timeout(Duration::from_millis(100)));
+        assert!(!p1.park_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn dropping_nonempty_cell_frees_unparker() {
+        let c = WaiterCell::new();
+        let p = Parker::new();
+        c.register(p.unparker());
+        drop(c); // must not leak or double-free (asserted by miri/asan runs)
+    }
+
+    #[test]
+    fn concurrent_takers_get_at_most_one() {
+        for _ in 0..200 {
+            let c = Arc::new(WaiterCell::new());
+            let p = Parker::new();
+            c.register(p.unparker());
+            let mut handles = Vec::new();
+            let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                let hits = Arc::clone(&hits);
+                handles.push(thread::spawn(move || {
+                    if c.take().is_some() {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(hits.load(Ordering::Relaxed), 1);
+        }
+    }
+}

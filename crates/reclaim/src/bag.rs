@@ -1,0 +1,136 @@
+//! Bags of deferred closures.
+//!
+//! Retired garbage accumulates in a per-thread [`Bag`] of fixed capacity;
+//! when full, the bag is *sealed* with the global epoch at seal time and
+//! pushed onto the collector's global garbage stack. A sealed bag may be
+//! executed once the global epoch has advanced at least two steps past its
+//! seal epoch (three-epoch reclamation): recording the *seal*-time epoch is
+//! conservative, since every item in the bag was retired at or before it.
+
+use crate::deferred::Deferred;
+
+/// Maximum number of deferred items in a bag before it must be sealed.
+pub(crate) const MAX_OBJECTS: usize = 64;
+
+/// A fixed-capacity container of deferred closures.
+#[derive(Debug, Default)]
+pub(crate) struct Bag {
+    deferreds: Vec<Deferred>,
+}
+
+impl Bag {
+    pub(crate) fn new() -> Self {
+        Bag {
+            deferreds: Vec::new(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.deferreds.is_empty()
+    }
+
+    /// Attempts to add `deferred`; returns it back if the bag is full.
+    pub(crate) fn try_push(&mut self, deferred: Deferred) -> Result<(), Deferred> {
+        if self.deferreds.len() < MAX_OBJECTS {
+            if self.deferreds.capacity() == 0 {
+                self.deferreds.reserve(MAX_OBJECTS);
+            }
+            self.deferreds.push(deferred);
+            Ok(())
+        } else {
+            Err(deferred)
+        }
+    }
+
+    /// Runs every deferred closure in the bag, emptying it.
+    pub(crate) fn call_all(&mut self) {
+        for d in self.deferreds.drain(..) {
+            d.call();
+        }
+    }
+}
+
+impl Drop for Bag {
+    fn drop(&mut self) {
+        self.call_all();
+    }
+}
+
+/// A bag stamped with the global epoch at which it was sealed.
+#[derive(Debug)]
+pub(crate) struct SealedBag {
+    pub(crate) epoch: usize,
+    /// Dropped (running its deferreds) when the bag expires.
+    #[allow(dead_code)]
+    pub(crate) bag: Bag,
+}
+
+impl SealedBag {
+    /// True once `global_epoch` is at least two advances past the seal.
+    pub(crate) fn is_expired(&self, global_epoch: usize) -> bool {
+        global_epoch.wrapping_sub(self.epoch) >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn counting_deferred(c: &Arc<AtomicUsize>) -> Deferred {
+        let c = Arc::clone(c);
+        Deferred::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        })
+    }
+
+    #[test]
+    fn push_until_full() {
+        let c = Arc::new(AtomicUsize::new(0));
+        let mut bag = Bag::new();
+        for _ in 0..MAX_OBJECTS {
+            assert!(bag.try_push(counting_deferred(&c)).is_ok());
+        }
+        let rejected = bag.try_push(counting_deferred(&c));
+        assert!(rejected.is_err());
+        drop(rejected); // runs the rejected closure
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+        drop(bag);
+        assert_eq!(c.load(Ordering::SeqCst), MAX_OBJECTS + 1);
+    }
+
+    #[test]
+    fn drop_runs_everything() {
+        let c = Arc::new(AtomicUsize::new(0));
+        let mut bag = Bag::new();
+        for _ in 0..10 {
+            bag.try_push(counting_deferred(&c)).unwrap();
+        }
+        drop(bag);
+        assert_eq!(c.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn expiry_uses_wrapping_distance() {
+        let sealed = SealedBag {
+            epoch: usize::MAX,
+            bag: Bag::new(),
+        };
+        assert!(!sealed.is_expired(usize::MAX));
+        assert!(!sealed.is_expired(0)); // one advance (wrapped)
+        assert!(sealed.is_expired(1)); // two advances
+    }
+
+    #[test]
+    fn empty_flag() {
+        let mut bag = Bag::new();
+        assert!(bag.is_empty());
+        let c = Arc::new(AtomicUsize::new(0));
+        bag.try_push(counting_deferred(&c)).unwrap();
+        assert!(!bag.is_empty());
+        bag.call_all();
+        assert!(bag.is_empty());
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+}

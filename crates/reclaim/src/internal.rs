@@ -1,0 +1,340 @@
+//! The collector's internals: global epoch, participant registry, garbage
+//! stack, and per-thread participant records.
+//!
+//! # Design
+//!
+//! * **Global epoch** — a monotonically increasing (wrapping) counter.
+//! * **Registry** — a push-only lock-free singly linked list of [`Local`]
+//!   records. Records are never physically unlinked; a record whose thread
+//!   has exited is marked `FREE` and recycled by the next thread that
+//!   registers, so the registry's length is bounded by the maximum number of
+//!   *concurrent* participants ever observed (documented trade-off vs.
+//!   crossbeam's deferred unlinking — it avoids the bootstrapping problem of
+//!   reclaiming the reclaimer's own nodes).
+//! * **Garbage stack** — a Treiber-style stack of [`SealedBag`]s. Collection
+//!   detaches the whole stack with one `swap`, frees expired bags, and
+//!   pushes the rest back; concurrent collectors therefore operate on
+//!   disjoint chains and never contend beyond the two CAS words.
+//! * **Pinning** — `local.epoch = (global << 1) | 1` followed by a `SeqCst`
+//!   fence. The fence globally orders the pin against `try_advance`'s scan,
+//!   which is what makes the two-advance grace period sound.
+
+use crate::bag::{Bag, SealedBag};
+use crate::deferred::Deferred;
+use crate::guard::Guard;
+use std::cell::{Cell, UnsafeCell};
+use std::ptr;
+use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// `Local::state` values.
+const FREE: usize = 0;
+const IN_USE: usize = 1;
+
+/// Collect every `PINS_BETWEEN_COLLECT` pins.
+const PINS_BETWEEN_COLLECT: usize = 128;
+
+struct GarbageNode {
+    sealed: SealedBag,
+    next: *mut GarbageNode,
+}
+
+/// Shared collector state. One per [`crate::Collector`].
+pub(crate) struct Global {
+    /// The global epoch (raw counter; wraps).
+    epoch: AtomicUsize,
+    /// Head of the participant registry (push-only list of `Local`s).
+    registry: AtomicPtr<Local>,
+    /// Head of the garbage stack.
+    garbage: AtomicPtr<GarbageNode>,
+}
+
+// SAFETY: all shared state is atomics; `Local` cells are only touched by
+// their owning thread while IN_USE.
+unsafe impl Send for Global {}
+unsafe impl Sync for Global {}
+
+impl Global {
+    pub(crate) fn new() -> Self {
+        Global {
+            epoch: AtomicUsize::new(0),
+            registry: AtomicPtr::new(ptr::null_mut()),
+            garbage: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Registers the calling thread, recycling a FREE record if available.
+    pub(crate) fn register(self: &Arc<Global>) -> *const Local {
+        // Try to recycle a retired record first.
+        let mut p = self.registry.load(Ordering::Acquire);
+        while !p.is_null() {
+            // SAFETY: registry nodes are never freed while the Global lives.
+            let local = unsafe { &*p };
+            if local.state.load(Ordering::Relaxed) == FREE
+                && local
+                    .state
+                    .compare_exchange(FREE, IN_USE, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                // SAFETY: the CAS gave us exclusive ownership of the cells.
+                unsafe {
+                    debug_assert!((*local.bag.get()).is_empty());
+                    *local.global.get() = Some(Arc::clone(self));
+                }
+                local.guard_count.set(0);
+                local.handle_count.set(1);
+                local.pin_count.set(0);
+                return p;
+            }
+            p = local.next.load(Ordering::Acquire);
+        }
+
+        // No free record: allocate and push a new one.
+        let local = Box::into_raw(Box::new(Local {
+            epoch: AtomicUsize::new(0),
+            state: AtomicUsize::new(IN_USE),
+            next: AtomicPtr::new(ptr::null_mut()),
+            bag: UnsafeCell::new(Bag::new()),
+            guard_count: Cell::new(0),
+            handle_count: Cell::new(1),
+            pin_count: Cell::new(0),
+            global: UnsafeCell::new(Some(Arc::clone(self))),
+        }));
+        let mut head = self.registry.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: `local` is ours until the push succeeds.
+            unsafe { (*local).next.store(head, Ordering::Relaxed) };
+            match self.registry.compare_exchange(
+                head,
+                local,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return local,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Current raw global epoch.
+    pub(crate) fn epoch(&self) -> usize {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to advance the global epoch; returns the (possibly new)
+    /// epoch. Fails harmlessly if some participant is pinned at an older
+    /// epoch.
+    pub(crate) fn try_advance(&self) -> usize {
+        let global_epoch = self.epoch.load(Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+
+        let mut p = self.registry.load(Ordering::Acquire);
+        while !p.is_null() {
+            // SAFETY: registry nodes live as long as the Global.
+            let local = unsafe { &*p };
+            if local.state.load(Ordering::Acquire) == IN_USE {
+                let le = local.epoch.load(Ordering::Relaxed);
+                if le & 1 == 1 && le != (global_epoch << 1) | 1 {
+                    // Pinned at a different epoch: cannot advance.
+                    return global_epoch;
+                }
+            }
+            p = local.next.load(Ordering::Acquire);
+        }
+        fence(Ordering::Acquire);
+
+        let _ = self.epoch.compare_exchange(
+            global_epoch,
+            global_epoch.wrapping_add(1),
+            Ordering::Release,
+            Ordering::Relaxed,
+        );
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Pushes a sealed bag onto the garbage stack.
+    pub(crate) fn push_sealed(&self, sealed: SealedBag) {
+        let node = Box::into_raw(Box::new(GarbageNode {
+            sealed,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.garbage.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: node is ours until the push succeeds.
+            unsafe { (*node).next = head };
+            match self
+                .garbage
+                .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Tries to advance the epoch, then frees every expired bag.
+    pub(crate) fn collect(&self) {
+        let global_epoch = self.try_advance();
+
+        // Detach the whole garbage stack; we now own the chain.
+        let mut p = self.garbage.swap(ptr::null_mut(), Ordering::AcqRel);
+        while !p.is_null() {
+            // SAFETY: detached chain is exclusively ours.
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next;
+            if node.sealed.is_expired(global_epoch) {
+                drop(node); // runs the bag's deferreds
+            } else {
+                self.push_sealed(node.sealed);
+            }
+        }
+    }
+}
+
+impl Drop for Global {
+    fn drop(&mut self) {
+        // No participant holds an Arc<Global> anymore, so every Local is
+        // FREE and no thread can be pinned: run all remaining garbage and
+        // free the registry.
+        let mut g = *self.garbage.get_mut();
+        while !g.is_null() {
+            // SAFETY: exclusive access in Drop.
+            let node = unsafe { Box::from_raw(g) };
+            g = node.next;
+            drop(node);
+        }
+        let mut p = *self.registry.get_mut();
+        while !p.is_null() {
+            // SAFETY: exclusive access in Drop; Locals hold no Arc (FREE).
+            let local = unsafe { Box::from_raw(p) };
+            debug_assert_eq!(local.state.load(Ordering::Relaxed), FREE);
+            p = local.next.load(Ordering::Relaxed);
+            drop(local);
+        }
+    }
+}
+
+/// Per-thread participant record. Cells are owner-thread-only while IN_USE.
+pub(crate) struct Local {
+    /// `(global_epoch << 1) | 1` while pinned; `0` while unpinned.
+    epoch: AtomicUsize,
+    /// FREE / IN_USE.
+    state: AtomicUsize,
+    /// Registry link.
+    next: AtomicPtr<Local>,
+    /// This thread's open bag of deferred closures.
+    bag: UnsafeCell<Bag>,
+    /// Number of live `Guard`s (re-entrant pinning).
+    guard_count: Cell<usize>,
+    /// Number of live `LocalHandle`s for this record.
+    handle_count: Cell<usize>,
+    /// Pins since registration; drives periodic collection.
+    pin_count: Cell<usize>,
+    /// Keeps the collector alive while registered.
+    global: UnsafeCell<Option<Arc<Global>>>,
+}
+
+impl Local {
+    fn global(&self) -> &Arc<Global> {
+        // SAFETY: `global` is Some for the whole IN_USE lifetime and only
+        // the owner thread (us) takes it in `finalize`.
+        unsafe { (*self.global.get()).as_ref().expect("local not registered") }
+    }
+
+    /// Pins the thread; returns a guard that unpins on drop.
+    pub(crate) fn pin(&self) -> Guard {
+        let guard = Guard {
+            local: self as *const Local,
+        };
+        let count = self.guard_count.get();
+        self.guard_count.set(count + 1);
+        if count == 0 {
+            let global = self.global();
+            let ge = global.epoch.load(Ordering::Relaxed);
+            self.epoch.store((ge << 1) | 1, Ordering::Relaxed);
+            // Globally order the pin against `try_advance`'s scan. On x86
+            // this is the one real cost of pinning (~ one locked insn).
+            fence(Ordering::SeqCst);
+
+            let pins = self.pin_count.get().wrapping_add(1);
+            self.pin_count.set(pins);
+            if pins % PINS_BETWEEN_COLLECT == 0 {
+                global.collect();
+            }
+        }
+        guard
+    }
+
+    /// True if a guard is currently alive on this thread.
+    pub(crate) fn is_pinned(&self) -> bool {
+        self.guard_count.get() > 0
+    }
+
+    /// Called by `Guard::drop`.
+    pub(crate) fn unpin(&self) {
+        let count = self.guard_count.get();
+        debug_assert!(count > 0, "unpin without pin");
+        self.guard_count.set(count - 1);
+        if count == 1 {
+            self.epoch.store(0, Ordering::Release);
+            if self.handle_count.get() == 0 {
+                self.finalize();
+            }
+        }
+    }
+
+    /// Adds a deferred closure to this thread's bag, sealing if full.
+    pub(crate) fn defer(&self, mut deferred: Deferred) {
+        // SAFETY: bag is owner-thread-only.
+        let bag = unsafe { &mut *self.bag.get() };
+        while let Err(d) = bag.try_push(deferred) {
+            self.seal_bag();
+            deferred = d;
+        }
+    }
+
+    /// Seals the current bag into the global garbage stack.
+    fn seal_bag(&self) {
+        // SAFETY: bag is owner-thread-only.
+        let bag = unsafe { &mut *self.bag.get() };
+        if bag.is_empty() {
+            return;
+        }
+        let global = self.global();
+        let epoch = global.epoch();
+        global.push_sealed(SealedBag {
+            epoch,
+            bag: std::mem::take(bag),
+        });
+    }
+
+    /// Seals the bag and runs a collection cycle.
+    pub(crate) fn flush(&self) {
+        self.seal_bag();
+        self.global().collect();
+    }
+
+    /// Called by `LocalHandle::drop`.
+    pub(crate) fn release_handle(&self) {
+        let count = self.handle_count.get();
+        debug_assert!(count > 0);
+        self.handle_count.set(count - 1);
+        if count == 1 && self.guard_count.get() == 0 {
+            self.finalize();
+        }
+    }
+
+    /// Retires this record: flush remaining garbage, drop the collector
+    /// reference, and mark FREE for recycling.
+    fn finalize(&self) {
+        debug_assert_eq!(self.guard_count.get(), 0);
+        debug_assert_eq!(self.handle_count.get(), 0);
+        self.seal_bag();
+        // SAFETY: owner-thread-only cell; after this we only touch `state`.
+        let global = unsafe { (*self.global.get()).take().expect("double finalize") };
+        self.state.store(FREE, Ordering::Release);
+        // `global` (possibly the last Arc) drops here, after FREE is
+        // published, so Global::drop can assume all records are FREE.
+        drop(global);
+    }
+}

@@ -1,0 +1,56 @@
+//! Epoch-based memory reclamation for lock-free data structures.
+//!
+//! The PPoPP 2006 synchronous queue algorithms were written for the JVM,
+//! whose garbage collector silently solves the hardest problem in lock-free
+//! programming: a node unlinked from a structure may still be *reachable* by
+//! threads that obtained a reference before the unlink, so it cannot be
+//! freed immediately. This crate rebuilds that substrate for Rust as
+//! three-epoch deferred reclamation in the style of crossbeam-epoch:
+//!
+//! * Threads **pin** the current epoch before touching shared nodes and
+//!   unpin when done ([`pin`] returns a [`Guard`]).
+//! * Unlinked nodes (or arbitrary cleanup closures) are **deferred** on the
+//!   guard; they are collected into per-thread bags, sealed with the global
+//!   epoch, and executed only once **two epoch advances** have occurred —
+//!   by which time every thread that was pinned at unlink time has unpinned,
+//!   so no references can remain.
+//! * The global epoch **advances** only when every currently pinned thread
+//!   has observed it, making the grace period sound.
+//!
+//! The pointer types ([`Atomic`], [`Owned`], [`Shared`]) carry **tag bits**
+//! in the pointer's alignment bits — the facility the paper's authors wished
+//! for in Java ("Java does not allow us to set flag bits in pointers") and
+//! worked around with an extra mode word per node.
+//!
+//! # Example
+//!
+//! ```
+//! use synq_reclaim::{self as epoch, Atomic, Owned};
+//! use std::sync::atomic::Ordering;
+//!
+//! let a = Atomic::new(1234);
+//! let guard = epoch::pin();
+//! let p = a.load(Ordering::Acquire, &guard);
+//! assert_eq!(unsafe { p.as_ref() }, Some(&1234));
+//! // Replace and defer destruction of the old value:
+//! let old = a.swap(Owned::new(5678), Ordering::AcqRel, &guard);
+//! unsafe { guard.defer_destroy(old) };
+//! # drop(guard);
+//! # unsafe { drop(a.into_owned()) };
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod atomic;
+mod bag;
+mod collector;
+mod default;
+mod deferred;
+mod guard;
+mod internal;
+
+pub use atomic::{Atomic, CompareExchangeError, Owned, Pointer, Shared};
+pub use collector::{Collector, LocalHandle};
+pub use default::{default_collector, pin};
+pub use guard::{unprotected, Guard};

@@ -1,0 +1,120 @@
+//! Property tests for the epoch collector: under arbitrary sequences of
+//! pin/defer/flush operations, every deferred closure runs exactly once,
+//! and never while a guard from before its deferral is still alive.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use synq_reclaim::Collector;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Pin,
+    Unpin,
+    Defer,
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Pin),
+        Just(Op::Unpin),
+        Just(Op::Defer),
+        Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_deferral_runs_exactly_once(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let collector = Collector::new();
+        let handle = collector.register();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut deferred_total = 0usize;
+        let mut guards = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Pin => {
+                    if guards.len() < 8 {
+                        guards.push(handle.pin());
+                    }
+                }
+                Op::Unpin => {
+                    guards.pop();
+                }
+                Op::Defer => {
+                    let g = match guards.last() {
+                        Some(g) => g,
+                        None => {
+                            guards.push(handle.pin());
+                            guards.last().unwrap()
+                        }
+                    };
+                    let c = Arc::clone(&counter);
+                    unsafe {
+                        g.defer_unchecked(move || {
+                            c.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    deferred_total += 1;
+                }
+                Op::Flush => {
+                    // Flushing while pinned is allowed; it just may not be
+                    // able to advance the epoch.
+                    handle.flush();
+                }
+            }
+            // Deferred closures must never run more often than deferred.
+            prop_assert!(counter.load(Ordering::SeqCst) <= deferred_total);
+        }
+
+        drop(guards);
+        drop(handle);
+        drop(collector); // runs all leftover garbage
+        prop_assert_eq!(counter.load(Ordering::SeqCst), deferred_total);
+    }
+
+    #[test]
+    fn guards_protect_against_running_deferrals(
+        pre_defers in 1usize..40,
+        flushes in 1usize..8,
+    ) {
+        // While an *older* guard is alive, deferrals made after it pinned
+        // must not run, no matter how hard we flush from another handle.
+        let collector = Collector::new();
+        let blocker_handle = collector.register();
+        let blocker = blocker_handle.pin();
+
+        let counter = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let collector = &collector;
+            let counter = &counter;
+            s.spawn(move || {
+                let h = collector.register();
+                {
+                    let g = h.pin();
+                    for _ in 0..pre_defers {
+                        let c = Arc::clone(counter);
+                        unsafe {
+                            g.defer_unchecked(move || {
+                                c.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    }
+                }
+                for _ in 0..flushes {
+                    h.flush();
+                }
+            });
+        });
+        prop_assert_eq!(counter.load(Ordering::SeqCst), 0, "freed under an older pin");
+
+        drop(blocker);
+        drop(blocker_handle);
+        drop(collector);
+        prop_assert_eq!(counter.load(Ordering::SeqCst), pre_defers);
+    }
+}

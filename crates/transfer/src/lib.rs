@@ -1,0 +1,887 @@
+//! TransferQueue — the paper's §5 extension, adopted into Java 7 as
+//! `LinkedTransferQueue`.
+//!
+//! > "TransferQueues permit producers to enqueue data either synchronously
+//! > or asynchronously. … The base synchronous support in TransferQueues
+//! > mirrors our fair synchronous queue. The asynchronous additions differ
+//! > only by releasing producers before items are taken."
+//!
+//! [`TransferQueue`] is therefore the synchronous dual queue of
+//! `synq::dual_queue` with one extra degree of freedom per data node:
+//! *async* data nodes have no waiter — [`TransferQueue::put`] links the
+//! item and returns immediately (the queue buffers it), while
+//! [`TransferQueue::transfer`] blocks until a consumer takes the item,
+//! exactly like the synchronous queue's `put`. Consumers are identical in
+//! both cases. The list still never holds data and reservations at once.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+use synq::{impl_channels_via_transferer, CancelToken, Deadline, SpinPolicy, Transferer, TransferOutcome};
+use synq_primitives::{Parker, WaiterCell};
+use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
+
+const WAITING: usize = 0;
+const CLAIMED: usize = 1;
+const MATCHED: usize = 2;
+const CANCELLED: usize = 3;
+
+struct TNode<T> {
+    state: AtomicUsize,
+    item: UnsafeCell<MaybeUninit<T>>,
+    consumed: AtomicBool,
+    next: Atomic<TNode<T>>,
+    is_data: bool,
+    /// Async data nodes have no waiter: the producer has already returned.
+    waiter: WaiterCell,
+    refs: AtomicUsize,
+    unlinked: AtomicBool,
+}
+
+impl<T> TNode<T> {
+    fn new(is_data: bool, refs: usize) -> Owned<TNode<T>> {
+        Owned::new(TNode {
+            state: AtomicUsize::new(WAITING),
+            item: UnsafeCell::new(MaybeUninit::uninit()),
+            consumed: AtomicBool::new(false),
+            next: Atomic::null(),
+            is_data,
+            waiter: WaiterCell::new(),
+            refs: AtomicUsize::new(refs),
+            unlinked: AtomicBool::new(false),
+        })
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Acquire) == CANCELLED
+    }
+
+    unsafe fn take_item(&self) -> T {
+        let was = self.consumed.swap(true, Ordering::AcqRel);
+        debug_assert!(!was, "item taken twice");
+        // SAFETY: caller holds exclusive slot access per the state machine.
+        unsafe { (*self.item.get()).assume_init_read() }
+    }
+
+    unsafe fn put_item(&self, value: T) {
+        // SAFETY: caller won the claiming CAS or owns the unpublished node.
+        unsafe { (*self.item.get()).write(value) };
+    }
+
+    unsafe fn release(ptr: *const TNode<T>) {
+        // SAFETY: caller owns one reference.
+        let node = unsafe { &*ptr };
+        if node.refs.fetch_sub(1, Ordering::Release) == 1 {
+            std::sync::atomic::fence(Ordering::Acquire);
+            // SAFETY: last reference (see synq::dual_queue for the
+            // reclamation argument).
+            let mut owned = unsafe { Box::from_raw(ptr as *mut TNode<T>) };
+            let has_item = if owned.is_data {
+                !*owned.consumed.get_mut()
+            } else {
+                *owned.state.get_mut() == MATCHED && !*owned.consumed.get_mut()
+            };
+            if has_item {
+                // SAFETY: slot initialized per the rules above.
+                unsafe { (*owned.item.get()).assume_init_drop() };
+            }
+            drop(owned);
+        }
+    }
+}
+
+/// How a producer-side operation relates to its item.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PutMode {
+    /// Link and return (the queue buffers the item).
+    Async,
+    /// Wait until a consumer takes the item.
+    Sync,
+}
+
+/// A queue supporting both synchronous and asynchronous enqueue.
+///
+/// # Examples
+///
+/// ```
+/// use synq_transfer::TransferQueue;
+///
+/// let q = TransferQueue::new();
+/// q.put(1);          // asynchronous: returns immediately
+/// q.put(2);
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.take(), 1); // FIFO
+/// assert_eq!(q.take(), 2);
+/// ```
+pub struct TransferQueue<T> {
+    head: Atomic<TNode<T>>,
+    tail: Atomic<TNode<T>>,
+    spin: SpinPolicy,
+}
+
+// SAFETY: as for synq::SyncDualQueue.
+unsafe impl<T: Send> Send for TransferQueue<T> {}
+unsafe impl<T: Send> Sync for TransferQueue<T> {}
+
+impl<T: Send> Default for TransferQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send> TransferQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::with_spin(SpinPolicy::adaptive())
+    }
+
+    /// Creates an empty queue with an explicit spin policy.
+    pub fn with_spin(spin: SpinPolicy) -> Self {
+        let dummy = TNode::new(false, 1);
+        let guard = unsafe { epoch::unprotected() };
+        let dummy = dummy.into_shared(&guard);
+        let head = Atomic::null();
+        let tail = Atomic::null();
+        head.store(dummy, Ordering::Relaxed);
+        tail.store(dummy, Ordering::Relaxed);
+        TransferQueue { head, tail, spin }
+    }
+
+    // ------------------------------------------------------ producer API
+
+    /// Asynchronous enqueue: links the item and returns immediately.
+    ///
+    /// **Name-resolution note:** this inherent method shadows
+    /// `SyncChannel::put` (which maps to the *synchronous* [`TransferQueue::transfer`])
+    /// when called as `q.put(v)` on a concrete `TransferQueue`. Through a
+    /// `dyn SyncChannel` or a generic bound, `put` is synchronous — the
+    /// same put/transfer duality as Java's `LinkedTransferQueue`.
+    pub fn put(&self, value: T) {
+        match self.producer(Some(value), PutMode::Async, Deadline::Never, None) {
+            TransferOutcome::Transferred(_) => {}
+            _ => unreachable!("async put cannot fail"),
+        }
+    }
+
+    /// Synchronous enqueue: waits until a consumer receives the item.
+    pub fn transfer(&self, value: T) {
+        match self.producer(Some(value), PutMode::Sync, Deadline::Never, None) {
+            TransferOutcome::Transferred(_) => {}
+            _ => unreachable!("untimed transfer cannot fail"),
+        }
+    }
+
+    /// Synchronous enqueue only if a consumer is already waiting.
+    pub fn try_transfer(&self, value: T) -> Result<(), T> {
+        match self.producer(Some(value), PutMode::Sync, Deadline::Now, None) {
+            TransferOutcome::Transferred(_) => Ok(()),
+            other => Err(other.into_inner().expect("item returned")),
+        }
+    }
+
+    /// Synchronous enqueue with patience.
+    pub fn transfer_timeout(&self, value: T, patience: Duration) -> Result<(), T> {
+        match self.producer(Some(value), PutMode::Sync, Deadline::after(patience), None) {
+            TransferOutcome::Transferred(_) => Ok(()),
+            other => Err(other.into_inner().expect("item returned")),
+        }
+    }
+
+    /// Fully general synchronous enqueue.
+    pub fn transfer_with(
+        &self,
+        value: T,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        self.producer(Some(value), PutMode::Sync, deadline, token)
+    }
+
+    // ------------------------------------------------------ consumer API
+
+    /// Receives a value, waiting if necessary.
+    pub fn take(&self) -> T {
+        match self.consumer(Deadline::Never, None) {
+            TransferOutcome::Transferred(Some(v)) => v,
+            _ => unreachable!("untimed take cannot fail"),
+        }
+    }
+
+    /// Receives a buffered or offered value without waiting.
+    pub fn poll(&self) -> Option<T> {
+        self.consumer(Deadline::Now, None).into_inner()
+    }
+
+    /// `poll` with patience.
+    pub fn poll_timeout(&self, patience: Duration) -> Option<T> {
+        self.consumer(Deadline::after(patience), None).into_inner()
+    }
+
+    /// Fully general receive.
+    pub fn take_with(
+        &self,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        self.consumer(deadline, token)
+    }
+
+    // ------------------------------------------------------- inspection
+
+    /// Number of buffered (unmatched, uncancelled) data items. O(n).
+    pub fn len(&self) -> usize {
+        let guard = epoch::pin();
+        let mut n = 0;
+        let mut p = self.head.load(Ordering::Acquire, &guard);
+        loop {
+            // SAFETY: chain protected by the pin.
+            let node = unsafe { p.deref() };
+            let next = node.next.load(Ordering::Acquire, &guard);
+            let Some(next_ref) = (unsafe { next.as_ref() }) else {
+                return n;
+            };
+            if next_ref.is_data && next_ref.state.load(Ordering::Acquire) == WAITING {
+                n += 1;
+            }
+            p = next;
+        }
+    }
+
+    /// True if no data is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if at least one consumer is blocked waiting for an element
+    /// (mirrors `LinkedTransferQueue.hasWaitingConsumer`). Producers can
+    /// use this to decide between `put` and `transfer`.
+    pub fn has_waiting_consumer(&self) -> bool {
+        self.waiting_consumer_count() > 0
+    }
+
+    /// Number of consumers blocked waiting for an element (mirrors
+    /// `LinkedTransferQueue.getWaitingConsumerCount`). O(n), approximate
+    /// under concurrency.
+    pub fn waiting_consumer_count(&self) -> usize {
+        let guard = epoch::pin();
+        let mut n = 0;
+        let mut p = self.head.load(Ordering::Acquire, &guard);
+        loop {
+            // SAFETY: chain protected by the pin.
+            let node = unsafe { p.deref() };
+            let next = node.next.load(Ordering::Acquire, &guard);
+            let Some(next_ref) = (unsafe { next.as_ref() }) else {
+                return n;
+            };
+            if !next_ref.is_data && next_ref.state.load(Ordering::Acquire) == WAITING {
+                n += 1;
+            }
+            p = next;
+        }
+    }
+
+    // ---------------------------------------------------------- internals
+
+    fn advance_head<'g>(
+        &self,
+        h: Shared<'g, TNode<T>>,
+        nh: Shared<'g, TNode<T>>,
+        guard: &'g Guard,
+    ) -> bool {
+        if self
+            .head
+            .compare_exchange(h, nh, Ordering::AcqRel, Ordering::Acquire, guard)
+            .is_ok()
+        {
+            // SAFETY: unlinked by our CAS; release the structure reference.
+            let node_ref = unsafe { h.deref() };
+            let was = node_ref.unlinked.swap(true, Ordering::AcqRel);
+            debug_assert!(!was);
+            let raw = h.as_raw() as usize;
+            // SAFETY: deferred past the grace period.
+            unsafe {
+                guard.defer_unchecked(move || TNode::release(raw as *const TNode<T>));
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn absorb_cancelled(&self, guard: &Guard) {
+        loop {
+            let h = self.head.load(Ordering::Acquire, guard);
+            // SAFETY: head never null.
+            let hn = unsafe { h.deref() }.next.load(Ordering::Acquire, guard);
+            let Some(hn_ref) = (unsafe { hn.as_ref() }) else {
+                return;
+            };
+            if !hn_ref.is_cancelled() {
+                return;
+            }
+            let _ = self.advance_head(h, hn, guard);
+        }
+    }
+
+    fn producer(
+        &self,
+        mut item: Option<T>,
+        mode: PutMode,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        let mut node: Option<Owned<TNode<T>>> = None;
+        loop {
+            let guard = epoch::pin();
+            self.absorb_cancelled(&guard);
+
+            let h = self.head.load(Ordering::Acquire, &guard);
+            let t = self.tail.load(Ordering::Acquire, &guard);
+            // SAFETY: never null, protected.
+            let t_ref = unsafe { t.deref() };
+
+            if h.ptr_eq(&t) || t_ref.is_data {
+                // Append our data node.
+                let n = t_ref.next.load(Ordering::Acquire, &guard);
+                if !t.ptr_eq(&self.tail.load(Ordering::Acquire, &guard)) {
+                    continue;
+                }
+                if !n.is_null() {
+                    let _ = self.tail.compare_exchange(
+                        t,
+                        n,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                        &guard,
+                    );
+                    continue;
+                }
+                if mode == PutMode::Sync {
+                    if deadline.is_now() {
+                        return TransferOutcome::Timeout(item);
+                    }
+                    if token.is_some_and(|tk| tk.is_cancelled()) {
+                        return TransferOutcome::Cancelled(item);
+                    }
+                }
+                // Async nodes carry only the structure's reference.
+                let refs = if mode == PutMode::Async { 1 } else { 2 };
+                let owned = match node.take() {
+                    Some(n) => n,
+                    None => TNode::new(true, refs),
+                };
+                // SAFETY: unpublished node, exclusively ours.
+                unsafe { owned.put_item(item.take().expect("producer has item")) };
+                match t_ref.next.compare_exchange(
+                    Shared::null(),
+                    owned,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                    &guard,
+                ) {
+                    Ok(published) => {
+                        let _ = self.tail.compare_exchange(
+                            t,
+                            published,
+                            Ordering::Release,
+                            Ordering::Relaxed,
+                            &guard,
+                        );
+                        if mode == PutMode::Async {
+                            return TransferOutcome::Transferred(None);
+                        }
+                        let raw = published.as_raw();
+                        drop(guard);
+                        return self.await_fulfill(raw, true, deadline, token);
+                    }
+                    Err(e) => {
+                        let owned = e.new;
+                        // SAFETY: unpublished; reclaim the item.
+                        item = Some(unsafe { (*owned.item.get()).assume_init_read() });
+                        node = Some(owned);
+                        continue;
+                    }
+                }
+            }
+
+            // Reservations at the front: fulfill the oldest.
+            // SAFETY: head never null.
+            let m = unsafe { h.deref() }.next.load(Ordering::Acquire, &guard);
+            if !t.ptr_eq(&self.tail.load(Ordering::Acquire, &guard))
+                || !h.ptr_eq(&self.head.load(Ordering::Acquire, &guard))
+                || m.is_null()
+            {
+                continue;
+            }
+            // SAFETY: m reachable under our pin.
+            let m_ref = unsafe { m.deref() };
+            let matched = if m_ref
+                .state
+                .compare_exchange(WAITING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: claim grants slot write access.
+                unsafe { m_ref.put_item(item.take().expect("producer has item")) };
+                m_ref.state.store(MATCHED, Ordering::Release);
+                m_ref.waiter.wake();
+                true
+            } else {
+                false
+            };
+            let _ = self.advance_head(h, m, &guard);
+            if matched {
+                return TransferOutcome::Transferred(None);
+            }
+        }
+    }
+
+    fn consumer(&self, deadline: Deadline, token: Option<&CancelToken>) -> TransferOutcome<T> {
+        let mut node: Option<Owned<TNode<T>>> = None;
+        loop {
+            let guard = epoch::pin();
+            self.absorb_cancelled(&guard);
+
+            let h = self.head.load(Ordering::Acquire, &guard);
+            let t = self.tail.load(Ordering::Acquire, &guard);
+            // SAFETY: never null, protected.
+            let t_ref = unsafe { t.deref() };
+
+            if h.ptr_eq(&t) || !t_ref.is_data {
+                // Queue empty or holds reservations: append ours.
+                let n = t_ref.next.load(Ordering::Acquire, &guard);
+                if !t.ptr_eq(&self.tail.load(Ordering::Acquire, &guard)) {
+                    continue;
+                }
+                if !n.is_null() {
+                    let _ = self.tail.compare_exchange(
+                        t,
+                        n,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                        &guard,
+                    );
+                    continue;
+                }
+                if deadline.is_now() {
+                    return TransferOutcome::Timeout(None);
+                }
+                if token.is_some_and(|tk| tk.is_cancelled()) {
+                    return TransferOutcome::Cancelled(None);
+                }
+                let owned = match node.take() {
+                    Some(n) => n,
+                    None => TNode::new(false, 2),
+                };
+                match t_ref.next.compare_exchange(
+                    Shared::null(),
+                    owned,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                    &guard,
+                ) {
+                    Ok(published) => {
+                        let _ = self.tail.compare_exchange(
+                            t,
+                            published,
+                            Ordering::Release,
+                            Ordering::Relaxed,
+                            &guard,
+                        );
+                        let raw = published.as_raw();
+                        drop(guard);
+                        return self.await_fulfill(raw, false, deadline, token);
+                    }
+                    Err(e) => {
+                        node = Some(e.new);
+                        continue;
+                    }
+                }
+            }
+
+            // Data at the front: take the oldest.
+            // SAFETY: head never null.
+            let m = unsafe { h.deref() }.next.load(Ordering::Acquire, &guard);
+            if !t.ptr_eq(&self.tail.load(Ordering::Acquire, &guard))
+                || !h.ptr_eq(&self.head.load(Ordering::Acquire, &guard))
+                || m.is_null()
+            {
+                continue;
+            }
+            // SAFETY: m reachable under our pin.
+            let m_ref = unsafe { m.deref() };
+            let mut taken = None;
+            if m_ref
+                .state
+                .compare_exchange(WAITING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: claim grants slot read access.
+                taken = Some(unsafe { m_ref.take_item() });
+                m_ref.state.store(MATCHED, Ordering::Release);
+                m_ref.waiter.wake();
+            }
+            let _ = self.advance_head(h, m, &guard);
+            if taken.is_some() {
+                return TransferOutcome::Transferred(taken);
+            }
+        }
+    }
+
+    fn await_fulfill(
+        &self,
+        node_raw: *const TNode<T>,
+        is_data: bool,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        // SAFETY: we hold the waiter reference.
+        let node = unsafe { &*node_raw };
+        let mut spins = self.spin.spins_for(deadline.is_timed());
+        let mut parker: Option<Parker> = None;
+        let outcome = loop {
+            match node.state.load(Ordering::Acquire) {
+                MATCHED => {
+                    let item = if is_data {
+                        None
+                    } else {
+                        // SAFETY: producer wrote before MATCHED.
+                        Some(unsafe { node.take_item() })
+                    };
+                    break TransferOutcome::Transferred(item);
+                }
+                CLAIMED => {
+                    std::thread::yield_now();
+                    continue;
+                }
+                CANCELLED => unreachable!("only the waiter cancels"),
+                _ => {}
+            }
+            let cancelled = token.is_some_and(|tk| tk.is_cancelled());
+            if cancelled || deadline.expired() {
+                if node
+                    .state
+                    .compare_exchange(WAITING, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    node.waiter.take();
+                    let guard = epoch::pin();
+                    self.absorb_cancelled(&guard);
+                    drop(guard);
+                    let item = if is_data {
+                        // SAFETY: cancellation wins the item back.
+                        Some(unsafe { node.take_item() })
+                    } else {
+                        None
+                    };
+                    break if cancelled {
+                        TransferOutcome::Cancelled(item)
+                    } else {
+                        TransferOutcome::Timeout(item)
+                    };
+                }
+                continue;
+            }
+            if spins > 0 {
+                spins -= 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            let parker = parker.get_or_insert_with(Parker::new);
+            node.waiter.register(parker.unparker());
+            let _reg = token.map(|tk| tk.register(parker.unparker()));
+            if node.state.load(Ordering::Acquire) != WAITING {
+                continue;
+            }
+            match deadline {
+                Deadline::Never => parker.park(),
+                Deadline::Now => unreachable!("Now fails before enqueueing"),
+                Deadline::At(d) => {
+                    let _ = parker.park_deadline(d);
+                }
+            }
+        };
+        // SAFETY: the waiter reference.
+        unsafe { TNode::release(node_raw) };
+        outcome
+    }
+}
+
+/// A `TransferQueue` is itself a synchronous transfer point when driven
+/// through [`Transferer`]: the producer side maps to the *synchronous*
+/// `transfer` (the paper: "the base synchronous support in TransferQueues
+/// mirrors our fair synchronous queue"). This lets a `TransferQueue` slot
+/// directly into anything built over the channel traits — including the
+/// `ThreadPoolExecutor` — while still offering `put` for asynchronous use.
+impl<T: Send> Transferer<T> for TransferQueue<T> {
+    fn transfer(
+        &self,
+        item: Option<T>,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        match item {
+            Some(v) => self.producer(Some(v), PutMode::Sync, deadline, token),
+            None => self.consumer(deadline, token),
+        }
+    }
+}
+
+impl_channels_via_transferer!(TransferQueue);
+
+impl<T> Drop for TransferQueue<T> {
+    fn drop(&mut self) {
+        let guard = unsafe { epoch::unprotected() };
+        let mut p = self.head.load(Ordering::Relaxed, &guard);
+        while !p.is_null() {
+            // SAFETY: exclusive access in Drop.
+            let node = unsafe { p.deref() };
+            let next = node.next.load(Ordering::Relaxed, &guard);
+            unsafe { TNode::release(p.as_raw()) };
+            p = next;
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for TransferQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("TransferQueue { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn async_put_buffers_fifo() {
+        let q = TransferQueue::new();
+        assert!(q.is_empty());
+        q.put(1);
+        q.put(2);
+        q.put(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.take(), 1);
+        assert_eq!(q.take(), 2);
+        assert_eq!(q.take(), 3);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn poll_on_empty_fails() {
+        let q: TransferQueue<u8> = TransferQueue::new();
+        assert_eq!(q.poll(), None);
+    }
+
+    #[test]
+    fn transfer_blocks_until_taken() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let q = Arc::new(TransferQueue::new());
+        let returned = Arc::new(AtomicBool::new(false));
+        let q2 = Arc::clone(&q);
+        let r2 = Arc::clone(&returned);
+        let t = thread::spawn(move || {
+            q2.transfer(9u32);
+            r2.store(true, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(30));
+        assert!(!returned.load(Ordering::SeqCst), "transfer returned early");
+        assert_eq!(q.take(), 9);
+        t.join().unwrap();
+        assert!(returned.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn put_does_not_block() {
+        let q: TransferQueue<u32> = TransferQueue::new();
+        // No consumer exists; put must return.
+        for i in 0..100 {
+            q.put(i);
+        }
+        assert_eq!(q.len(), 100);
+    }
+
+    #[test]
+    fn try_transfer_needs_waiting_consumer() {
+        let q = Arc::new(TransferQueue::new());
+        assert_eq!(q.try_transfer(1), Err(1));
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        let mut v = 5u32;
+        loop {
+            match q.try_transfer(v) {
+                Ok(()) => break,
+                Err(back) => {
+                    v = back;
+                    thread::yield_now();
+                }
+            }
+        }
+        assert_eq!(t.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn transfer_timeout_returns_item() {
+        let q: TransferQueue<String> = TransferQueue::new();
+        let back = q
+            .transfer_timeout("x".into(), Duration::from_millis(15))
+            .unwrap_err();
+        assert_eq!(back, "x");
+        // The cancelled sync node must not count as buffered data.
+        assert_eq!(q.poll(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn consumers_wake_for_async_puts() {
+        let q = Arc::new(TransferQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        thread::sleep(Duration::from_millis(20));
+        q.put(77u32);
+        assert_eq!(t.join().unwrap(), 77);
+    }
+
+    #[test]
+    fn mixed_sync_async_ordering() {
+        let q = Arc::new(TransferQueue::new());
+        q.put(1); // buffered
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.transfer(2)); // waits behind it
+        while q.len() < 2 {
+            thread::yield_now();
+        }
+        assert_eq!(q.take(), 1);
+        assert_eq!(q.take(), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cancellation_of_waiting_transfer() {
+        let q: Arc<TransferQueue<u32>> = Arc::new(TransferQueue::new());
+        let token = CancelToken::new();
+        let canceller = token.canceller();
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.transfer_with(4, Deadline::Never, Some(&token)));
+        thread::sleep(Duration::from_millis(20));
+        canceller.cancel();
+        match t.join().unwrap() {
+            TransferOutcome::Cancelled(Some(4)) => {}
+            other => panic!("expected Cancelled(4), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn values_conserved_mixed_stress() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        const PRODUCERS: usize = 4;
+        const PER: usize = 400;
+        let q = Arc::new(TransferQueue::new());
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    let v = p * PER + i;
+                    if i % 2 == 0 {
+                        q.put(v);
+                    } else {
+                        q.transfer(v);
+                    }
+                }
+            }));
+        }
+        let sum = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let sum = Arc::clone(&sum);
+                thread::spawn(move || {
+                    for _ in 0..PER {
+                        sum.fetch_add(q.take(), Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), (0..PRODUCERS * PER).sum());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn waiting_consumer_introspection() {
+        let q: Arc<TransferQueue<u32>> = Arc::new(TransferQueue::new());
+        assert!(!q.has_waiting_consumer());
+        assert_eq!(q.waiting_consumer_count(), 0);
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        while !q.has_waiting_consumer() {
+            thread::yield_now();
+        }
+        assert_eq!(q.waiting_consumer_count(), 1);
+        q.put(5);
+        assert_eq!(t.join().unwrap(), 5);
+        assert!(!q.has_waiting_consumer());
+    }
+
+    #[test]
+    fn transferer_impl_mirrors_fair_synchronous_queue() {
+        use synq::{SyncChannel, TimedSyncChannel};
+        let q: Arc<TransferQueue<u32>> = Arc::new(TransferQueue::new());
+        // Channel-trait view: offer fails with nobody waiting (synchronous
+        // semantics), even though `put` (async) would succeed.
+        assert_eq!(q.offer(1), Err(1));
+        assert_eq!(TimedSyncChannel::poll(&*q), None);
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || SyncChannel::take(&*q2));
+        SyncChannel::put(&*q, 9); // trait put == synchronous transfer
+        assert_eq!(t.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn works_as_executor_channel() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use synq_executor::ThreadPool;
+        let pool = ThreadPool::cached(Arc::new(TransferQueue::new()));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let d = Arc::clone(&done);
+            pool.execute(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn drop_frees_buffered_items() {
+        static DROPS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        {
+            let q = TransferQueue::new();
+            for _ in 0..7 {
+                q.put(D);
+            }
+            drop(q.take());
+        }
+        assert_eq!(DROPS.load(std::sync::atomic::Ordering::SeqCst), 7);
+    }
+}

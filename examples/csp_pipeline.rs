@@ -1,0 +1,82 @@
+//! CSP-style pipeline: synchronous queues as rendezvous channels.
+//!
+//! Run with `cargo run --example csp_pipeline`.
+//!
+//! Synchronous queues "constitute the central synchronization primitive of
+//! Hoare's CSP" (paper §1): with no buffering, each stage of a pipeline
+//! runs in lock-step with its neighbours, giving natural rate-matching and
+//! bounded memory by construction. This example builds a three-stage
+//! text-processing pipeline (generate → transform → aggregate) where each
+//! handoff is a rendezvous, then shows the same topology with a
+//! `TransferQueue`, whose *asynchronous* `put` decouples the producer when
+//! desired.
+
+use std::sync::Arc;
+use std::thread;
+use synq_suite::core::SynchronousQueue;
+use synq_suite::transfer::TransferQueue;
+
+fn main() {
+    // --- Stage topology: gen -> upper -> sink, all synchronous ------------
+    let to_transform: Arc<SynchronousQueue<String>> = Arc::new(SynchronousQueue::fair());
+    let to_sink: Arc<SynchronousQueue<String>> = Arc::new(SynchronousQueue::fair());
+
+    let generator = {
+        let out = Arc::clone(&to_transform);
+        thread::spawn(move || {
+            for word in ["synchronous", "queues", "shake", "hands", "in", "pairs"] {
+                out.put(word.to_string()); // blocks until stage 2 is ready
+            }
+        })
+    };
+
+    let transformer = {
+        let input = Arc::clone(&to_transform);
+        let out = Arc::clone(&to_sink);
+        thread::spawn(move || {
+            for _ in 0..6 {
+                let word = input.take();
+                out.put(word.to_uppercase());
+            }
+        })
+    };
+
+    let sink = thread::spawn({
+        let input = Arc::clone(&to_sink);
+        move || {
+            let mut sentence = Vec::new();
+            for _ in 0..6 {
+                sentence.push(input.take());
+            }
+            sentence.join(" ")
+        }
+    });
+
+    generator.join().unwrap();
+    transformer.join().unwrap();
+    let sentence = sink.join().unwrap();
+    println!("synchronous pipeline produced: {sentence}");
+    assert_eq!(sentence, "SYNCHRONOUS QUEUES SHAKE HANDS IN PAIRS");
+
+    // --- Same idea with a TransferQueue: producers may run ahead ----------
+    // `put` is asynchronous (buffers), `transfer` is a rendezvous. A
+    // producer can stream a batch without waiting, then use `transfer` for
+    // the final element as a natural completion barrier.
+    let tq: Arc<TransferQueue<u64>> = Arc::new(TransferQueue::new());
+    let consumer = {
+        let tq = Arc::clone(&tq);
+        thread::spawn(move || (0..10).map(|_| tq.take()).sum::<u64>())
+    };
+    for i in 0..9u64 {
+        tq.put(i); // fire-and-forget
+    }
+    tq.transfer(9); // returns only once the consumer has taken it
+    let sum = consumer.join().unwrap();
+    println!("transfer queue pipeline summed 0..=9 -> {sum}");
+    assert_eq!(sum, 45);
+    // Because `transfer` is synchronous and the queue is FIFO, the
+    // consumer has necessarily drained everything we sent before it.
+    assert!(tq.is_empty());
+
+    println!("pipeline example complete");
+}

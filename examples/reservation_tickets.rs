@@ -1,0 +1,52 @@
+//! The request/follow-up interface of dual data structures (paper
+//! Listing 2 and §2.2).
+//!
+//! Run with `cargo run -p synq-suite --example reservation_tickets`.
+//!
+//! A *dual* queue lets a consumer split its dequeue into a linearizing
+//! `reserve` and contention-free `followup` polls — unlike the
+//! "call-in-a-loop" idiom over a totalized queue, where ordering "is
+//! simply a function of which thread happens to retry its dequeue first"
+//! and every retry burns memory-interconnect bandwidth.
+
+use std::time::Duration;
+use synq_suite::classic::DualQueue;
+
+fn main() {
+    let q: DualQueue<&'static str> = DualQueue::new();
+
+    // --- The §2.2 scenario ------------------------------------------------
+    // A and B request before any data exists; C and D then enqueue.
+    let mut ticket_a = q.dequeue_reserve(); // A calls dequeue
+    let mut ticket_b = q.dequeue_reserve(); // B calls dequeue
+    assert_eq!(ticket_a.try_followup(), None); // nothing yet — no spinning
+    q.enqueue("first"); // C enqueues a 1
+    q.enqueue("second"); // D enqueues a 2
+    let a_got = ticket_a.try_followup().expect("A fulfilled");
+    let b_got = ticket_b.try_followup().expect("B fulfilled");
+    println!("A (earlier request) received {a_got:?}; B received {b_got:?}");
+    // The dual queue guarantees what intuition expects:
+    assert_eq!(a_got, "first");
+    assert_eq!(b_got, "second");
+
+    // --- Abort: bounded patience without blocking -------------------------
+    let mut impatient = q.dequeue_reserve();
+    assert_eq!(impatient.try_followup(), None);
+    assert!(impatient.abort(), "no data arrived; reservation withdrawn");
+    q.enqueue("later");
+    // The aborted reservation is skipped; the value is still available.
+    assert_eq!(q.try_dequeue(), Some("later"));
+    println!("aborted reservation was skipped cleanly");
+
+    // --- Demand methods: reserve + wait in one call -----------------------
+    let ticket = q.dequeue_reserve();
+    assert_eq!(
+        ticket.wait_timeout(Duration::from_millis(30)),
+        None,
+        "patience expired"
+    );
+    q.enqueue("patience pays");
+    assert_eq!(q.dequeue(), "patience pays");
+
+    println!("reservation ticket example complete");
+}

@@ -1,0 +1,89 @@
+//! A miniature request-serving backend — the paper's "real-world"
+//! scenario (§4): a cached thread pool whose core is a synchronous queue,
+//! "which in turn forms the backbone of many Java-based server
+//! applications".
+//!
+//! Run with `cargo run --example thread_pool_server`.
+//!
+//! Requests arrive in bursts from several frontend threads. Each request
+//! is `offer`ed to the pool's synchronous queue: if a worker is already
+//! idle it starts instantly (no buffering latency); otherwise a new worker
+//! thread is spawned. Workers that stay idle past the keep-alive period
+//! retire, so the pool breathes with the load.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+use synq_suite::core::SynchronousQueue;
+use synq_suite::executor::{PoolConfig, ThreadPool};
+
+fn main() {
+    let pool = ThreadPool::new(
+        Arc::new(SynchronousQueue::unfair()), // unfair: keeps hot workers hot
+        PoolConfig {
+            core_pool_size: 0,
+            max_pool_size: 64,
+            keep_alive: Duration::from_millis(200),
+        },
+    );
+    let served = Arc::new(AtomicUsize::new(0));
+
+    println!("burst 1: 40 quick requests from 4 frontends");
+    let start = Instant::now();
+    let mut frontends = Vec::new();
+    for f in 0..4 {
+        let pool = pool.clone();
+        let served = Arc::clone(&served);
+        frontends.push(thread::spawn(move || {
+            for r in 0..10 {
+                let served = Arc::clone(&served);
+                pool.execute(move || {
+                    // "handle" the request
+                    std::hint::black_box(f * 100 + r);
+                    served.fetch_add(1, Ordering::Relaxed);
+                })
+                .expect("pool accepts while below max_pool_size");
+            }
+        }));
+    }
+    for f in frontends {
+        f.join().unwrap();
+    }
+    while served.load(Ordering::Relaxed) < 40 {
+        thread::yield_now();
+    }
+    println!(
+        "  served 40 requests in {:?} using {} workers",
+        start.elapsed(),
+        pool.worker_count()
+    );
+
+    println!("idle period: workers retire after the keep-alive lapses");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while pool.worker_count() > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(20));
+    }
+    println!("  workers now alive: {}", pool.worker_count());
+
+    println!("burst 2: the pool grows again on demand");
+    for _ in 0..5 {
+        let served = Arc::clone(&served);
+        pool.execute(move || {
+            served.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+    }
+    while served.load(Ordering::Relaxed) < 45 {
+        thread::yield_now();
+    }
+    println!("  served {} total", served.load(Ordering::Relaxed));
+
+    pool.shutdown();
+    pool.join();
+    println!(
+        "shutdown complete; {} tasks executed by the pool",
+        pool.completed_tasks()
+    );
+    assert_eq!(pool.completed_tasks(), 45);
+}

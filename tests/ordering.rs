@@ -1,0 +1,99 @@
+//! Ordering guarantees under real concurrency.
+//!
+//! Synchronous queues buffer nothing, so with a *single* producer the
+//! values any one consumer receives must respect the producer's program
+//! order — and with a single producer and single consumer, FIFO and LIFO
+//! modes are indistinguishable and both must deliver in exact sequence.
+
+use std::sync::Arc;
+use std::thread;
+use synq_suite::baselines::Java5SQ;
+use synq_suite::core::{SyncChannel, SynchronousQueue};
+
+fn single_pair_preserves_sequence(ch: Arc<dyn SyncChannel<u64>>, label: &str) {
+    const N: u64 = 3_000;
+    let ch2 = Arc::clone(&ch);
+    let producer = thread::spawn(move || {
+        for i in 0..N {
+            ch2.put(i);
+        }
+    });
+    for i in 0..N {
+        assert_eq!(ch.take(), i, "{label}: out-of-order delivery");
+    }
+    producer.join().unwrap();
+}
+
+#[test]
+fn single_pair_sequence_all_algorithms() {
+    single_pair_preserves_sequence(Arc::new(SynchronousQueue::fair()), "new-fair");
+    single_pair_preserves_sequence(Arc::new(SynchronousQueue::unfair()), "new-unfair");
+    single_pair_preserves_sequence(Arc::new(Java5SQ::fair()), "java5-fair");
+    single_pair_preserves_sequence(Arc::new(Java5SQ::unfair()), "java5-unfair");
+}
+
+#[test]
+fn per_producer_order_with_many_consumers_fair() {
+    // Fair mode with one producer, many consumers: each consumer's
+    // received values must be increasing (a later take pairs with a later
+    // put), which is implied by FIFO reservations + a single producer.
+    const N: usize = 2_000;
+    const CONSUMERS: usize = 4;
+    let q: Arc<SynchronousQueue<u64>> = Arc::new(SynchronousQueue::fair());
+    let consumers: Vec<_> = (0..CONSUMERS)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..(N / CONSUMERS) {
+                    got.push(q.take());
+                }
+                got
+            })
+        })
+        .collect();
+    for i in 0..N as u64 {
+        q.put(i);
+    }
+    let mut all = Vec::new();
+    for c in consumers {
+        let got = c.join().unwrap();
+        assert!(
+            got.windows(2).all(|w| w[0] < w[1]),
+            "a consumer observed non-increasing values: {got:?}"
+        );
+        all.extend(got);
+    }
+    all.sort_unstable();
+    assert_eq!(all, (0..N as u64).collect::<Vec<_>>());
+}
+
+#[test]
+fn fan_in_order_single_consumer() {
+    // Many producers, one consumer: each producer's values must appear in
+    // that producer's program order within the consumer's stream.
+    const PRODUCERS: usize = 4;
+    const PER: usize = 500;
+    let q: Arc<SynchronousQueue<(usize, usize)>> = Arc::new(SynchronousQueue::fair());
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..PER {
+                    q.put((p, i));
+                }
+            })
+        })
+        .collect();
+    let mut last = [None::<usize>; PRODUCERS];
+    for _ in 0..PRODUCERS * PER {
+        let (p, i) = q.take();
+        if let Some(prev) = last[p] {
+            assert!(i > prev, "producer {p}: {i} after {prev}");
+        }
+        last[p] = Some(i);
+    }
+    for t in producers {
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,148 @@
+//! Payload-type edge cases: the queues are generic over `T: Send`, so they
+//! must handle zero-sized types, large values, heap-owning values and
+//! drop-sensitive values identically in every implementation.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use synq_suite::classic::{DualQueue, DualStack};
+use synq_suite::core::{SyncChannel, SyncDualQueue, SyncDualStack, TimedSyncChannel};
+use synq_suite::transfer::TransferQueue;
+
+#[test]
+fn zero_sized_payloads() {
+    let q: Arc<SyncDualQueue<()>> = Arc::new(SyncDualQueue::new());
+    let q2 = Arc::clone(&q);
+    let t = thread::spawn(move || {
+        for _ in 0..100 {
+            q2.take();
+        }
+    });
+    for _ in 0..100 {
+        q.put(());
+    }
+    t.join().unwrap();
+
+    let s: Arc<SyncDualStack<()>> = Arc::new(SyncDualStack::new());
+    let s2 = Arc::clone(&s);
+    let t = thread::spawn(move || {
+        for _ in 0..100 {
+            s2.take();
+        }
+    });
+    for _ in 0..100 {
+        s.put(());
+    }
+    t.join().unwrap();
+}
+
+#[test]
+fn large_payloads_transfer_intact() {
+    type Big = [u64; 64]; // 512 bytes by value
+    let q: Arc<SyncDualQueue<Big>> = Arc::new(SyncDualQueue::new());
+    let q2 = Arc::clone(&q);
+    let t = thread::spawn(move || q2.take());
+    let mut big = [0u64; 64];
+    for (i, slot) in big.iter_mut().enumerate() {
+        *slot = i as u64 * 3;
+    }
+    q.put(big);
+    let got = t.join().unwrap();
+    assert!(got.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+}
+
+#[test]
+fn heap_owning_payloads_roundtrip() {
+    let q: Arc<SyncDualStack<Vec<String>>> = Arc::new(SyncDualStack::new());
+    let q2 = Arc::clone(&q);
+    let t = thread::spawn(move || q2.take());
+    q.put(vec!["alpha".into(), "beta".into()]);
+    assert_eq!(t.join().unwrap(), vec!["alpha".to_string(), "beta".to_string()]);
+}
+
+#[test]
+fn timed_failures_return_exact_value() {
+    // The very same heap allocation must come back on timeout.
+    let q: SyncDualQueue<Box<u64>> = SyncDualQueue::new();
+    let boxed = Box::new(99u64);
+    let addr = &*boxed as *const u64 as usize;
+    let back = q
+        .offer_timeout(boxed, Duration::from_millis(10))
+        .unwrap_err();
+    assert_eq!(*back, 99);
+    assert_eq!(&*back as *const u64 as usize, addr, "value was copied/replaced");
+}
+
+#[test]
+fn drop_counts_balance_across_all_structures() {
+    use std::sync::atomic::{AtomicIsize, Ordering};
+    static LIVE: AtomicIsize = AtomicIsize::new(0);
+
+    #[derive(Debug)]
+    struct Counted(#[allow(dead_code)] u64);
+    impl Counted {
+        fn new(v: u64) -> Self {
+            LIVE.fetch_add(1, Ordering::SeqCst);
+            Counted(v)
+        }
+    }
+    impl Clone for Counted {
+        fn clone(&self) -> Self {
+            Counted::new(self.0)
+        }
+    }
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    {
+        // Buffering structures holding values at drop time.
+        let tq = TransferQueue::new();
+        for i in 0..10 {
+            tq.put(Counted::new(i));
+        }
+        let dq = DualQueue::new();
+        for i in 0..10 {
+            dq.enqueue(Counted::new(i));
+        }
+        let ds = DualStack::new();
+        for i in 0..10 {
+            ds.push(Counted::new(i));
+        }
+        drop(tq.poll());
+        drop(dq.try_dequeue());
+        drop(ds.try_pop());
+    }
+    // Epoch-deferred node frees may lag; nudge the collector.
+    for _ in 0..64 {
+        if LIVE.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        let g = synq_suite::reclaim::pin();
+        g.flush();
+        drop(g);
+        thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(LIVE.load(Ordering::SeqCst), 0, "payload leak or double-free");
+}
+
+#[test]
+fn string_payload_stress_both_directions() {
+    const N: usize = 800;
+    let q: Arc<SyncDualQueue<String>> = Arc::new(SyncDualQueue::new());
+    let q2 = Arc::clone(&q);
+    let producer = thread::spawn(move || {
+        for i in 0..N {
+            q2.put(format!("message-{i}"));
+        }
+    });
+    let mut lens = 0usize;
+    for _ in 0..N {
+        lens += q.take().len();
+    }
+    producer.join().unwrap();
+    let expected: usize = (0..N).map(|i| format!("message-{i}").len()).sum();
+    assert_eq!(lens, expected);
+}

@@ -1,0 +1,198 @@
+//! Property-based tests: the synchronous queues against simple models.
+//!
+//! Strategy: generate random schedules (operation mixes, patience values,
+//! thread counts) and check the invariants that must hold on *every*
+//! execution:
+//!
+//! * conservation — the multiset of received values equals the multiset of
+//!   values whose producers reported success;
+//! * no fabrication — nothing is ever received that was not sent;
+//! * single delivery — no value is received twice;
+//! * bounded emptiness — after all threads quiesce, `poll` finds nothing.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+use synq_suite::core::SynchronousQueue;
+use synq_suite::transfer::TransferQueue;
+
+/// Runs `producers`×`per` timed offers against one drainer; checks
+/// conservation between reported-delivered and actually-received.
+fn run_timed_session(
+    fair: bool,
+    producers: usize,
+    per: usize,
+    patience_us: u64,
+) -> (usize, usize) {
+    let q = Arc::new(if fair {
+        SynchronousQueue::fair()
+    } else {
+        SynchronousQueue::unfair()
+    });
+    let delivered = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let q = Arc::clone(&q);
+        let delivered = Arc::clone(&delivered);
+        handles.push(thread::spawn(move || {
+            for i in 0..per {
+                let v = (p * per + i) as u64;
+                if q
+                    .offer_timeout(v, Duration::from_micros(patience_us))
+                    .is_ok()
+                {
+                    delivered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let drainer = {
+        let q = Arc::clone(&q);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut got = Vec::new();
+            loop {
+                match q.poll_timeout(Duration::from_micros(200)) {
+                    Some(v) => got.push(v),
+                    None => {
+                        if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            // Final drain of any in-flight producers.
+                            while let Some(v) = q.poll_timeout(Duration::from_millis(10)) {
+                                got.push(v);
+                            }
+                            return got;
+                        }
+                    }
+                }
+            }
+        })
+    };
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let got = drainer.join().unwrap();
+
+    // Single delivery + no fabrication.
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &v in &got {
+        *counts.entry(v).or_default() += 1;
+        assert!((v as usize) < producers * per, "fabricated value {v}");
+    }
+    assert!(
+        counts.values().all(|&c| c == 1),
+        "some value delivered twice"
+    );
+    (
+        delivered.load(std::sync::atomic::Ordering::Relaxed),
+        got.len(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn conservation_under_random_timeouts(
+        fair in any::<bool>(),
+        producers in 1usize..4,
+        per in 10usize..80,
+        patience_us in 1u64..500,
+    ) {
+        let (delivered, received) = run_timed_session(fair, producers, per, patience_us);
+        prop_assert_eq!(delivered, received, "reported vs received mismatch");
+    }
+
+    #[test]
+    fn transfer_queue_is_a_fifo_queue_sequentially(
+        ops in proptest::collection::vec(any::<Option<u8>>(), 0..200),
+    ) {
+        // Single-threaded: the TransferQueue with async puts must behave
+        // exactly like a VecDeque (the model).
+        use std::collections::VecDeque;
+        let q: TransferQueue<u8> = TransferQueue::new();
+        let mut model: VecDeque<u8> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    q.put(v);
+                    model.push_back(v);
+                }
+                None => {
+                    prop_assert_eq!(q.poll(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+        }
+        // Drain and compare the tails.
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(q.poll(), Some(expect));
+        }
+        prop_assert_eq!(q.poll(), None);
+    }
+
+    #[test]
+    fn offers_and_polls_never_succeed_unpaired(
+        fair in any::<bool>(),
+        rounds in 1usize..120,
+    ) {
+        // Sequentially, with no counterpart ever present, every offer and
+        // poll must fail and the queue must stay logically empty.
+        let q: SynchronousQueue<u8> = if fair {
+            SynchronousQueue::fair()
+        } else {
+            SynchronousQueue::unfair()
+        };
+        for i in 0..rounds {
+            prop_assert_eq!(q.offer(i as u8), Err(i as u8));
+            prop_assert_eq!(q.poll(), None);
+        }
+        prop_assert_eq!(q.linked_nodes(), 0);
+    }
+}
+
+#[test]
+fn parallel_session_with_shared_ledger() {
+    // A heavier, deterministic-shape session: every successful put is
+    // recorded in a ledger; every take must find its value in the ledger
+    // exactly once.
+    const PRODUCERS: usize = 4;
+    const PER: usize = 250;
+    let q = Arc::new(SynchronousQueue::unfair());
+    let ledger = Arc::new(Mutex::new(HashMap::<u64, usize>::new()));
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS {
+        let q = Arc::clone(&q);
+        let ledger = Arc::clone(&ledger);
+        handles.push(thread::spawn(move || {
+            for i in 0..PER {
+                let v = (p * PER + i) as u64;
+                q.put(v);
+                *ledger.lock().unwrap().entry(v).or_default() += 1;
+            }
+        }));
+    }
+    let consumers: Vec<_> = (0..PRODUCERS)
+        .map(|_| {
+            let q = Arc::clone(&q);
+            thread::spawn(move || (0..PER).map(|_| q.take()).collect::<Vec<_>>())
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut all: Vec<u64> = Vec::new();
+    for c in consumers {
+        all.extend(c.join().unwrap());
+    }
+    assert_eq!(all.len(), PRODUCERS * PER);
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), PRODUCERS * PER, "duplicate delivery detected");
+    let ledger = ledger.lock().unwrap();
+    assert_eq!(ledger.len(), PRODUCERS * PER);
+}
