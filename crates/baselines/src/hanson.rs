@@ -71,7 +71,7 @@ impl<T> HansonSQ<T> {
 impl<T: Send> SyncChannel<T> for HansonSQ<T> {
     fn put(&self, value: T) {
         self.send.acquire(); // line 15
-        // SAFETY: holding the send permit grants slot write access.
+                             // SAFETY: holding the send permit grants slot write access.
         unsafe { *self.item.get() = Some(value) }; // line 16
         self.recv.release(); // line 17
         self.sync.acquire(); // line 18
@@ -79,8 +79,8 @@ impl<T: Send> SyncChannel<T> for HansonSQ<T> {
 
     fn take(&self) -> T {
         self.recv.acquire(); // line 07
-        // SAFETY: the recv permit (released by the producer after writing)
-        // grants slot read access.
+                             // SAFETY: the recv permit (released by the producer after writing)
+                             // grants slot read access.
         let value = unsafe { (*self.item.get()).take() }.expect("protocol: item present");
         self.sync.release(); // line 09
         self.send.release(); // line 10

@@ -137,7 +137,6 @@ impl<T: Send> Java5SQ<T> {
         f(&mut lists)
     }
 
-
     /// Blocks on `node` until fulfilled, timed out, or cancelled.
     fn await_node(
         &self,
@@ -281,8 +280,8 @@ impl_channels_via_transferer!(Java5SQ);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use synq::{SyncChannel, TimedSyncChannel};
     use std::thread;
+    use synq::{SyncChannel, TimedSyncChannel};
 
     fn both_modes() -> Vec<Java5SQ<u32>> {
         vec![

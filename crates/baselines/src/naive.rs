@@ -67,7 +67,7 @@ impl<T: Send> SyncChannel<T> for NaiveSQ<T> {
         st.putting = true;
         st.item = Some(value);
         self.cvar.notify_all(); // line 19
-        // Lines 20–21: wait for a consumer to take the item.
+                                // Lines 20–21: wait for a consumer to take the item.
         while st.item.is_some() {
             st = self.cvar.wait(st).unwrap();
         }

@@ -36,9 +36,21 @@ fn main() {
     println!("{:<28}{:>10}{:>12}", "comparison", "measured", "paper");
     let rows = [
         ("handoff fair", &handoff, "java5-fair", "new-fair", "8-14x"),
-        ("handoff unfair", &handoff, "java5-unfair", "new-unfair", "~2-3x"),
+        (
+            "handoff unfair",
+            &handoff,
+            "java5-unfair",
+            "new-unfair",
+            "~2-3x",
+        ),
         ("executor fair", &pool, "java5-fair", "new-fair", "6-14x"),
-        ("executor unfair", &pool, "java5-unfair", "new-unfair", "~3x"),
+        (
+            "executor unfair",
+            &pool,
+            "java5-unfair",
+            "new-unfair",
+            "~3x",
+        ),
     ];
     for (label, rep, num, den, paper) in rows {
         match rep.ratio_at_max(num, den) {
@@ -48,4 +60,9 @@ fn main() {
     }
     let _ = handoff.write_json();
     let _ = pool.write_json();
+    // Repo-root perf-trajectory file for cross-PR regression comparison.
+    match synq_bench::report::write_bench_headline(&handoff, Some(&pool)) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_headline.json: {e}"),
+    }
 }

@@ -1,8 +1,10 @@
 //! Prints markdown tables for every figure JSON found under
 //! `target/figures/` (or `SYNQ_FIGURE_DIR`) — the source material for
-//! EXPERIMENTS.md. Run the figure binaries first.
+//! EXPERIMENTS.md. Run the figure binaries first. Also refreshes the
+//! repo-root `BENCH_headline.json` from the freshest handoff figure.
 
-use synq_bench::report::FigureReport;
+use synq_bench::json::Json;
+use synq_bench::report::{write_bench_headline, FigureReport};
 
 fn main() -> std::io::Result<()> {
     let dir = std::env::var("SYNQ_FIGURE_DIR").unwrap_or_else(|_| "target/figures".into());
@@ -16,9 +18,10 @@ fn main() -> std::io::Result<()> {
         eprintln!("no figure JSON in {dir}; run the figure binaries first");
         return Ok(());
     }
+    let mut reports = Vec::new();
     for path in paths {
         let data = std::fs::read_to_string(&path)?;
-        let report: FigureReport = match serde_json::from_str(&data) {
+        let report = match Json::parse(&data).and_then(|j| FigureReport::from_json(&j)) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("skipping {}: {e}", path.display());
@@ -45,6 +48,20 @@ fn main() -> std::io::Result<()> {
             println!();
         }
         println!();
+        reports.push(report);
+    }
+    // Refresh the repo-root perf-trajectory file from the best available
+    // handoff/executor figures (headline-* preferred, figure3/6 fallback).
+    let pick = |ids: [&str; 2]| {
+        ids.iter()
+            .find_map(|id| reports.iter().find(|r| r.id == *id))
+    };
+    if let Some(handoff) = pick(["headline-handoff", "figure3"]) {
+        let pool = pick(["headline-pool", "figure6"]);
+        match write_bench_headline(handoff, pool) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write BENCH_headline.json: {e}"),
+        }
     }
     Ok(())
 }

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod algos;
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod workload;
@@ -33,7 +34,9 @@ pub const FAN_LEVELS: &[usize] = &[1, 2, 3, 5, 8, 12, 18, 27, 41, 62];
 /// Reads the harness scale from the environment: `SYNQ_BENCH_QUICK=1`
 /// shrinks transfer counts and sweeps so `cargo bench`/CI stay fast.
 pub fn quick_mode() -> bool {
-    std::env::var("SYNQ_BENCH_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("SYNQ_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Transfer count for a concurrency level: enough work to dominate thread

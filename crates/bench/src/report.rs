@@ -1,11 +1,11 @@
 //! Table printing and JSON output for figure regeneration.
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 use std::io::Write;
 use std::path::PathBuf;
 
 /// One curve of a figure: an algorithm's value at each x-axis level.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Column label (algorithm name).
     pub name: String,
@@ -14,7 +14,7 @@ pub struct Series {
 }
 
 /// A regenerated figure: x-axis levels plus one series per algorithm.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Figure identifier, e.g. `"figure3"`.
     pub id: String,
@@ -28,6 +28,13 @@ pub struct FigureReport {
     pub levels: Vec<usize>,
     /// One series per algorithm.
     pub series: Vec<Series>,
+}
+
+fn str_field(json: &Json, key: &str) -> Result<String, String> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string field `{key}`"))
 }
 
 impl FigureReport {
@@ -70,6 +77,75 @@ impl FigureReport {
         out
     }
 
+    /// Converts to the JSON document written by [`FigureReport::write_json`].
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("title".into(), Json::Str(self.title.clone())),
+            ("x_label".into(), Json::Str(self.x_label.clone())),
+            ("unit".into(), Json::Str(self.unit.clone())),
+            (
+                "levels".into(),
+                Json::Arr(self.levels.iter().map(|&l| Json::Num(l as f64)).collect()),
+            ),
+            (
+                "series".into(),
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(s.name.clone())),
+                                (
+                                    "values".into(),
+                                    Json::Arr(s.values.iter().map(|&v| Json::Num(v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a JSON document produced by [`FigureReport::to_json`].
+    pub fn from_json(json: &Json) -> Result<FigureReport, String> {
+        let levels = json
+            .get("levels")
+            .and_then(Json::as_array)
+            .ok_or("missing array field `levels`")?
+            .iter()
+            .map(|l| l.as_f64().map(|v| v as usize).ok_or("non-numeric level"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let series = json
+            .get("series")
+            .and_then(Json::as_array)
+            .ok_or("missing array field `series`")?
+            .iter()
+            .map(|s| {
+                let values = s
+                    .get("values")
+                    .and_then(Json::as_array)
+                    .ok_or("series missing `values`")?
+                    .iter()
+                    .map(|v| v.as_f64().ok_or("non-numeric value"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok::<Series, String>(Series {
+                    name: str_field(s, "name")?,
+                    values,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FigureReport {
+            id: str_field(json, "id")?,
+            title: str_field(json, "title")?,
+            x_label: str_field(json, "x_label")?,
+            unit: str_field(json, "unit")?,
+            levels,
+            series,
+        })
+    }
+
     /// Writes `target/figures/<id>.json` (path overridable with the
     /// `SYNQ_FIGURE_DIR` environment variable). Returns the path.
     pub fn write_json(&self) -> std::io::Result<PathBuf> {
@@ -79,7 +155,7 @@ impl FigureReport {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(&path)?;
-        f.write_all(serde_json::to_string_pretty(self).expect("serialize").as_bytes())?;
+        f.write_all(self.to_json().pretty().as_bytes())?;
         Ok(path)
     }
 
@@ -91,6 +167,33 @@ impl FigureReport {
         let den = self.series.iter().find(|s| s.name == denominator)?;
         Some(num.values[last] / den.values[last])
     }
+}
+
+/// Writes the repo-root `BENCH_headline.json` perf-trajectory file:
+/// machine-readable ns/transfer (and optionally ns/task) per algorithm per
+/// concurrency level, consumed by future PRs for regression comparison.
+/// Returns the path written.
+pub fn write_bench_headline(
+    handoff: &FigureReport,
+    pool: Option<&FigureReport>,
+) -> std::io::Result<PathBuf> {
+    // Anchor at the workspace root regardless of the invocation directory:
+    // this crate lives at `<root>/crates/bench`.
+    let path = std::env::var("SYNQ_HEADLINE_PATH")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_headline.json")
+        });
+    let mut fields = vec![
+        ("schema".into(), Json::Str("synq-bench-headline/v1".into())),
+        ("handoff".into(), handoff.to_json()),
+    ];
+    if let Some(pool) = pool {
+        fields.push(("executor".into(), pool.to_json()));
+    }
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(Json::Obj(fields).pretty().as_bytes())?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -122,10 +225,27 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let r = sample();
-        let s = serde_json::to_string(&r).unwrap();
-        let back: FigureReport = serde_json::from_str(&s).unwrap();
+        let s = r.to_json().pretty();
+        let back = FigureReport::from_json(&Json::parse(&s).unwrap()).unwrap();
         assert_eq!(back.levels, r.levels);
         assert_eq!(back.series.len(), 2);
+        assert_eq!(back.series[1].values, r.series[1].values);
+        assert_eq!(back.id, "figureX");
+    }
+
+    #[test]
+    fn headline_file_contains_all_algorithms() {
+        let dir = std::env::temp_dir().join(format!("synq-headline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_headline.json");
+        std::env::set_var("SYNQ_HEADLINE_PATH", &path);
+        let written = write_bench_headline(&sample(), Some(&sample())).unwrap();
+        std::env::remove_var("SYNQ_HEADLINE_PATH");
+        let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        let handoff = FigureReport::from_json(doc.get("handoff").unwrap()).unwrap();
+        assert_eq!(handoff.series.len(), 2);
+        assert!(doc.get("executor").is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

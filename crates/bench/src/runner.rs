@@ -36,7 +36,12 @@ pub fn run_handoff_figure(
 }
 
 /// Runs the executor figure (Figure 6) over `algos`.
-pub fn run_executor_figure(id: &str, title: &str, levels: &[usize], algos: &[Algo]) -> FigureReport {
+pub fn run_executor_figure(
+    id: &str,
+    title: &str,
+    levels: &[usize],
+    algos: &[Algo],
+) -> FigureReport {
     let quick = quick_mode();
     let levels = sweep(levels, quick);
     let mut report = FigureReport::new(id, title, "threads", "ns/task", levels.clone());

@@ -179,8 +179,7 @@ mod tests {
     #[test]
     fn handoff_measurement_completes_fan_out_and_in() {
         for shape in [HandoffShape::fan_out(3), HandoffShape::fan_in(3)] {
-            let ns =
-                handoff_ns_per_transfer(make_blocking(Algo::NewFair), shape, 1_500);
+            let ns = handoff_ns_per_transfer(make_blocking(Algo::NewFair), shape, 1_500);
             assert!(ns > 0.0);
         }
     }
@@ -188,11 +187,7 @@ mod tests {
     #[test]
     fn handoff_works_for_every_algorithm() {
         for &algo in crate::BLOCKING_ALGOS {
-            let ns = handoff_ns_per_transfer(
-                make_blocking(algo),
-                HandoffShape::pairs(2),
-                500,
-            );
+            let ns = handoff_ns_per_transfer(make_blocking(algo), HandoffShape::pairs(2), 500);
             assert!(ns > 0.0, "algo {}", algo.name());
         }
     }

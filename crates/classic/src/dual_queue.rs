@@ -16,7 +16,7 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-use synq_primitives::{Parker, WaiterCell};
+use synq_primitives::{CachePadded, Parker, WaiterCell};
 use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
 
 const WAITING: usize = 0;
@@ -113,9 +113,14 @@ enum TicketState<T> {
 /// assert_eq!(ticket.wait(), 7);
 /// ```
 pub struct DualQueue<T> {
-    head: Atomic<Node<T>>,
-    tail: Atomic<Node<T>>,
+    /// Padded apart from `tail`: dequeue-side traffic must not invalidate
+    /// enqueuers (the contention-freedom lineage of the dual structures).
+    head: CachePadded<Atomic<Node<T>>>,
+    tail: CachePadded<Atomic<Node<T>>>,
 }
+
+const _: () = assert!(std::mem::align_of::<DualQueue<u8>>() >= 128);
+const _: () = assert!(std::mem::size_of::<DualQueue<u8>>() >= 256);
 
 // SAFETY: same argument as synq::SyncDualQueue.
 unsafe impl<T: Send> Send for DualQueue<T> {}
@@ -137,7 +142,10 @@ impl<T: Send> DualQueue<T> {
         let tail = Atomic::null();
         head.store(dummy, Ordering::Relaxed);
         tail.store(dummy, Ordering::Relaxed);
-        DualQueue { head, tail }
+        DualQueue {
+            head: CachePadded::new(head),
+            tail: CachePadded::new(tail),
+        }
     }
 
     fn advance_head<'g>(

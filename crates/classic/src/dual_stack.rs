@@ -14,7 +14,7 @@ use std::mem::MaybeUninit;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
-use synq_primitives::{Parker, WaiterCell};
+use synq_primitives::{CachePadded, Parker, WaiterCell};
 use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
 
 const REQUEST: usize = 0;
@@ -56,7 +56,10 @@ impl<T> Node<T> {
     }
 
     fn is_cancelled(&self) -> bool {
-        self.match_.load(Ordering::Acquire) == self as *const _ as *mut _
+        std::ptr::eq(
+            self.match_.load(Ordering::Acquire),
+            self as *const _ as *mut _,
+        )
     }
 
     unsafe fn take_item(&self) -> T {
@@ -109,8 +112,11 @@ enum TicketState<T> {
 /// assert_eq!(ticket.try_followup(), Some(1));
 /// ```
 pub struct DualStack<T> {
-    head: Atomic<Node<T>>,
+    /// Padded: every operation CASes `head`, so it owns its line.
+    head: CachePadded<Atomic<Node<T>>>,
 }
+
+const _: () = assert!(std::mem::align_of::<DualStack<u8>>() >= 128);
 
 // SAFETY: same argument as synq::SyncDualStack.
 unsafe impl<T: Send> Send for DualStack<T> {}
@@ -126,13 +132,16 @@ impl<T: Send> DualStack<T> {
     /// Creates an empty stack.
     pub fn new() -> Self {
         DualStack {
-            head: Atomic::null(),
+            head: CachePadded::new(Atomic::null()),
         }
     }
 
     fn release_structure_ref<'g>(&self, node: Shared<'g, Node<T>>, guard: &'g Guard) {
         // SAFETY: protected by the guard.
-        if unsafe { node.deref() }.unlinked.swap(true, Ordering::AcqRel) {
+        if unsafe { node.deref() }
+            .unlinked
+            .swap(true, Ordering::AcqRel)
+        {
             return;
         }
         let raw = node.as_raw() as usize;
@@ -182,7 +191,7 @@ impl<T: Send> DualStack<T> {
             Err(actual) => {
                 // SAFETY: revoke the speculative reference.
                 unsafe { Node::release(f.as_raw()) };
-                actual as *const Node<T> == f.as_raw()
+                std::ptr::eq(actual, f.as_raw())
             }
         }
     }
@@ -487,7 +496,7 @@ impl<T: Send> PopTicket<'_, T> {
                 // SAFETY: ticket reference.
                 let node = unsafe { &*raw };
                 let m = node.match_.load(Ordering::Acquire);
-                if m.is_null() || m as *const Node<T> == raw {
+                if m.is_null() || std::ptr::eq(m, raw) {
                     return None;
                 }
                 // Matched by fulfilling data node `m`; the matcher took a
@@ -590,10 +599,8 @@ impl<T: Send> PopTicket<'_, T> {
 
 impl<T: Send> Drop for PopTicket<'_, T> {
     fn drop(&mut self) {
-        if matches!(self.state, TicketState::Pending(_)) {
-            if !self.abort() {
-                drop(self.try_followup());
-            }
+        if matches!(self.state, TicketState::Pending(_)) && !self.abort() {
+            drop(self.try_followup());
         }
     }
 }

@@ -8,7 +8,7 @@
 
 use std::mem::MaybeUninit;
 use std::sync::atomic::Ordering;
-use synq_primitives::Backoff;
+use synq_primitives::{Backoff, CachePadded};
 use synq_reclaim::{self as epoch, Atomic, Owned};
 
 struct Node<T> {
@@ -34,9 +34,15 @@ struct Node<T> {
 /// assert_eq!(q.dequeue(), None);
 /// ```
 pub struct MsQueue<T> {
-    head: Atomic<Node<T>>,
-    tail: Atomic<Node<T>>,
+    /// Dequeuers hammer `head`; padded apart from `tail` so the two
+    /// ends of the queue do not false-share (M&S's key scalability trait).
+    head: CachePadded<Atomic<Node<T>>>,
+    /// Enqueuers hammer `tail`.
+    tail: CachePadded<Atomic<Node<T>>>,
 }
+
+const _: () = assert!(std::mem::align_of::<MsQueue<u8>>() >= 128);
+const _: () = assert!(std::mem::size_of::<MsQueue<u8>>() >= 256);
 
 impl<T> Default for MsQueue<T> {
     fn default() -> Self {
@@ -56,11 +62,11 @@ impl<T> MsQueue<T> {
         let guard = unsafe { epoch::unprotected() };
         let dummy = dummy.into_shared(&guard);
         MsQueue {
-            head: Atomic::from_owned(unsafe { dummy.into_owned() }),
+            head: CachePadded::new(Atomic::from_owned(unsafe { dummy.into_owned() })),
             tail: {
                 let a = Atomic::null();
                 a.store(dummy, Ordering::Relaxed);
-                a
+                CachePadded::new(a)
             },
         }
     }
@@ -238,7 +244,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let mut last = vec![None; PRODUCERS];
+        let mut last = [None; PRODUCERS];
         let mut count = 0;
         while let Some((p, i)) = q.dequeue() {
             if let Some(prev) = last[p] {

@@ -7,7 +7,7 @@
 
 use std::mem::ManuallyDrop;
 use std::sync::atomic::Ordering;
-use synq_primitives::Backoff;
+use synq_primitives::{Backoff, CachePadded};
 use synq_reclaim::{self as epoch, Atomic, Owned};
 
 struct Node<T> {
@@ -30,8 +30,11 @@ struct Node<T> {
 /// assert_eq!(stack.pop(), None);
 /// ```
 pub struct TreiberStack<T> {
-    head: Atomic<Node<T>>,
+    /// Padded: the single contended word of the whole structure.
+    head: CachePadded<Atomic<Node<T>>>,
 }
+
+const _: () = assert!(std::mem::align_of::<TreiberStack<u8>>() >= 128);
 
 impl<T> Default for TreiberStack<T> {
     fn default() -> Self {
@@ -43,7 +46,7 @@ impl<T> TreiberStack<T> {
     /// Creates an empty stack.
     pub fn new() -> Self {
         TreiberStack {
-            head: Atomic::null(),
+            head: CachePadded::new(Atomic::null()),
         }
     }
 
@@ -58,10 +61,13 @@ impl<T> TreiberStack<T> {
         let mut head = self.head.load(Ordering::Relaxed, &guard);
         loop {
             node.next.store(head, Ordering::Relaxed);
-            match self
-                .head
-                .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed, &guard)
-            {
+            match self.head.compare_exchange(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Relaxed,
+                &guard,
+            ) {
                 Ok(_) => return,
                 Err(e) => {
                     head = e.current;

@@ -61,12 +61,8 @@ macro_rules! impl_channels_via_transferer {
             $ty<T>: $crate::Transferer<T> + Send + Sync,
         {
             fn put(&self, value: T) {
-                match $crate::Transferer::transfer(
-                    self,
-                    Some(value),
-                    $crate::Deadline::Never,
-                    None,
-                ) {
+                match $crate::Transferer::transfer(self, Some(value), $crate::Deadline::Never, None)
+                {
                     $crate::TransferOutcome::Transferred(_) => {}
                     _ => unreachable!("untimed, uncancellable put cannot fail"),
                 }
@@ -85,8 +81,7 @@ macro_rules! impl_channels_via_transferer {
             $ty<T>: $crate::Transferer<T> + Send + Sync,
         {
             fn offer(&self, value: T) -> Result<(), T> {
-                match $crate::Transferer::transfer(self, Some(value), $crate::Deadline::Now, None)
-                {
+                match $crate::Transferer::transfer(self, Some(value), $crate::Deadline::Now, None) {
                     $crate::TransferOutcome::Transferred(_) => Ok(()),
                     other => Err(other.into_inner().expect("failed put returns the item")),
                 }
@@ -109,13 +104,8 @@ macro_rules! impl_channels_via_transferer {
             }
 
             fn poll_timeout(&self, patience: std::time::Duration) -> Option<T> {
-                $crate::Transferer::transfer(
-                    self,
-                    None,
-                    $crate::Deadline::after(patience),
-                    None,
-                )
-                .into_inner()
+                $crate::Transferer::transfer(self, None, $crate::Deadline::after(patience), None)
+                    .into_inner()
             }
 
             fn put_with(

@@ -45,13 +45,21 @@
 //! released directly when its operation returns. Waiters therefore hold no
 //! epoch pin while parked (a sleeping thread never stalls reclamation),
 //! and matchers only touch nodes while pinned.
+//!
+//! Dead nodes are not returned to the allocator: their skeletons go to a
+//! bounded per-queue free list ([`crate::node_cache`]) and are recycled by
+//! later transfers. Skeletons reach the list only through epoch-deferred
+//! closures (or with exclusive access), and are popped only under a pin —
+//! the ABA argument lives in the node-cache module docs.
 
+use crate::node_cache::{NodeCache, Recyclable};
 use crate::transferer::{Deadline, TransferOutcome, Transferer};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use synq_primitives::{CancelToken, Parker, SpinPolicy, WaiterCell};
-use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
+use std::sync::Arc;
+use synq_primitives::{CachePadded, CancelToken, Parker, SpinPolicy, WaiterCell};
+use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Pointer, Shared};
 
 /// Node states. A node leaves `WAITING` through exactly one CAS, which
 /// arbitrates matching against cancellation.
@@ -120,9 +128,9 @@ impl<T> QNode<T> {
         unsafe { (*self.item.get()).write(value) };
     }
 
-    /// Drops one reference; frees the node (and any unconsumed item) when
-    /// it was the last.
-    unsafe fn release(ptr: *const QNode<T>) {
+    /// Drops one reference. When it was the last, drops any unconsumed item
+    /// eagerly and hands the dead skeleton to `dispose` (cache or free).
+    unsafe fn release(ptr: *const QNode<T>, dispose: impl FnOnce(*mut QNode<T>)) {
         // SAFETY: caller owns one reference.
         let node = unsafe { &*ptr };
         if node.refs.fetch_sub(1, Ordering::Release) == 1 {
@@ -130,20 +138,45 @@ impl<T> QNode<T> {
             // SAFETY: last reference; nobody can reach the node (the
             // structure's release is epoch-deferred, so any pinned reader
             // has since unpinned).
-            let mut owned = unsafe { Box::from_raw(ptr as *mut QNode<T>) };
-            let has_item = if owned.is_data {
+            let node = unsafe { &mut *(ptr as *mut QNode<T>) };
+            let has_item = if node.is_data {
                 // Data item present from creation unless moved out.
-                !*owned.consumed.get_mut()
+                !*node.consumed.get_mut()
             } else {
                 // Request slot written only on a completed match.
-                *owned.state.get_mut() == MATCHED && !*owned.consumed.get_mut()
+                *node.state.get_mut() == MATCHED && !*node.consumed.get_mut()
             };
             if has_item {
                 // SAFETY: slot initialized per the rules above.
-                unsafe { (*owned.item.get()).assume_init_drop() };
+                unsafe { (*node.item.get()).assume_init_drop() };
             }
-            drop(owned);
+            dispose(ptr as *mut QNode<T>);
         }
+    }
+}
+
+impl<T> Recyclable for QNode<T> {
+    unsafe fn free_next(ptr: *mut Self) -> *mut Self {
+        // The free list reuses the node's own `next` field as its link.
+        let guard = unsafe { epoch::unprotected() };
+        // SAFETY: `ptr` is alive per the trait contract.
+        unsafe { (*ptr).next.load(Ordering::Acquire, &guard).as_raw() as *mut Self }
+    }
+
+    unsafe fn set_free_next(ptr: *mut Self, next: *mut Self) {
+        // SAFETY: exclusive ownership per the trait contract; the Shared is
+        // only a typed wrapper around the raw link value.
+        unsafe {
+            (*ptr)
+                .next
+                .store(Shared::from_raw(next as *const Self), Ordering::Release)
+        };
+    }
+
+    unsafe fn dealloc(ptr: *mut Self) {
+        // SAFETY: exclusive ownership; the item slot is empty, and QNode
+        // itself owns no other heap state beyond the WaiterCell's Drop.
+        drop(unsafe { Box::from_raw(ptr) });
     }
 }
 
@@ -167,10 +200,19 @@ impl<T> QNode<T> {
 /// assert_eq!(t.join().unwrap(), "hello");
 /// ```
 pub struct SyncDualQueue<T> {
-    head: Atomic<QNode<T>>,
-    tail: Atomic<QNode<T>>,
+    /// Consumers (matchers) hammer `head`, producers hammer `tail`; each
+    /// owns its cache line(s) so the two ends never false-share.
+    head: CachePadded<Atomic<QNode<T>>>,
+    tail: CachePadded<Atomic<QNode<T>>>,
+    /// Free list of dead node skeletons, shared with the epoch-deferred
+    /// closures that refill it.
+    cache: Arc<NodeCache<QNode<T>>>,
     spin: SpinPolicy,
 }
+
+// Layout: padding must actually separate the two ends.
+const _: () = assert!(std::mem::align_of::<SyncDualQueue<u8>>() >= 128);
+const _: () = assert!(std::mem::size_of::<SyncDualQueue<u8>>() >= 2 * 128);
 
 // SAFETY: nodes hand `T` values across threads; all shared mutation goes
 // through atomics and the claim/consume protocol.
@@ -191,7 +233,9 @@ impl<T: Send> SyncDualQueue<T> {
 
     /// Creates an empty queue with an explicit spin policy (ablation A1).
     pub fn with_spin(spin: SpinPolicy) -> Self {
+        let cache = Arc::new(NodeCache::new());
         // The initial dummy holds only the structure reference.
+        cache.note_alloc();
         let dummy = QNode::new(false, 1);
         let guard = unsafe { epoch::unprotected() };
         let dummy = dummy.into_shared(&guard);
@@ -199,7 +243,47 @@ impl<T: Send> SyncDualQueue<T> {
         let tail = Atomic::null();
         head.store(dummy, Ordering::Relaxed);
         tail.store(dummy, Ordering::Relaxed);
-        SyncDualQueue { head, tail, spin }
+        SyncDualQueue {
+            head: CachePadded::new(head),
+            tail: CachePadded::new(tail),
+            cache,
+            spin,
+        }
+    }
+
+    /// Gets a node for this transfer: a recycled skeleton when one is
+    /// available, a fresh allocation otherwise. `_guard` witnesses the
+    /// epoch pin the free-list pop requires.
+    fn alloc_node(&self, is_data: bool, _guard: &Guard) -> Owned<QNode<T>> {
+        // SAFETY: pinned, per `_guard`.
+        if let Some(p) = unsafe { self.cache.pop() } {
+            // SAFETY: the pop transferred exclusive ownership of a dead
+            // skeleton (item slot empty); re-arm every field in place.
+            unsafe {
+                let node = &mut *p;
+                *node.state.get_mut() = WAITING;
+                *node.consumed.get_mut() = false;
+                node.next = Atomic::null();
+                node.is_data = is_data;
+                let _ = node.waiter.take();
+                *node.refs.get_mut() = 2;
+                *node.unlinked.get_mut() = false;
+                Owned::from_usize(p as usize)
+            }
+        } else {
+            self.cache.note_alloc();
+            QNode::new(is_data, 2)
+        }
+    }
+
+    /// Diagnostic: nodes heap-allocated over the queue's lifetime.
+    pub fn nodes_allocated(&self) -> usize {
+        self.cache.allocs()
+    }
+
+    /// Diagnostic: allocations avoided by recycling dead nodes.
+    pub fn nodes_recycled(&self) -> usize {
+        self.cache.reuses()
     }
 
     /// Advances `head` from `h` to `nh`, releasing the old dummy's
@@ -229,11 +313,36 @@ impl<T: Send> SyncDualQueue<T> {
         let was = node_ref.unlinked.swap(true, Ordering::AcqRel);
         debug_assert!(!was, "structure reference released twice");
         let raw = node.as_raw() as usize;
+        let cache = Arc::clone(&self.cache);
         // SAFETY: runs after every thread pinned at unlink time has
         // unpinned; the waiter's own reference keeps the node alive beyond
-        // that if it is still waking up.
+        // that if it is still waking up. Running *inside* the deferral
+        // satisfies the free-list push contract, so the skeleton can go to
+        // the cache directly.
         unsafe {
-            guard.defer_unchecked(move || QNode::release(raw as *const QNode<T>));
+            guard.defer_unchecked(move || {
+                // SAFETY (push): runs inside this deferral with exclusive
+                // skeleton ownership, satisfying the free-list contract.
+                QNode::release(raw as *const QNode<T>, |p| cache.push(p));
+            });
+        }
+    }
+
+    /// Releases a reference from outside any deferral (the waiter's own
+    /// reference). If it is the last, the item is dropped now but the
+    /// skeleton's return to the free list is itself deferred — re-pushing
+    /// before a grace period would reintroduce free-list ABA.
+    fn release_direct(&self, ptr: *const QNode<T>) {
+        // SAFETY: caller owns the reference being dropped. The dispose
+        // closure defers the free-list push past a grace period, so it
+        // satisfies the push contract; the skeleton is exclusively ours.
+        unsafe {
+            QNode::release(ptr, |p| {
+                let cache = Arc::clone(&self.cache);
+                let addr = p as usize;
+                let guard = epoch::pin();
+                guard.defer_unchecked(move || cache.push(addr as *mut QNode<T>));
+            });
         }
     }
 
@@ -242,8 +351,8 @@ impl<T: Send> SyncDualQueue<T> {
     /// docs). Returns true if it advanced the head at all.
     fn absorb_cancelled(&self, guard: &Guard) -> bool {
         let mut advanced = false;
+        let mut h = self.head.load(Ordering::Acquire, guard);
         loop {
-            let h = self.head.load(Ordering::Acquire, guard);
             // SAFETY: head is never null (dummy invariant) and protected.
             let h_ref = unsafe { h.deref() };
             let hn = h_ref.next.load(Ordering::Acquire, guard);
@@ -254,7 +363,14 @@ impl<T: Send> SyncDualQueue<T> {
                 return advanced;
             }
             if self.advance_head(h, hn, guard) {
+                // Our CAS installed `hn` as the head: continue from it
+                // directly instead of re-reading `head` (which a competing
+                // absorber may already have moved further — the stale
+                // re-read would just fail its next CAS anyway).
                 advanced = true;
+                h = hn;
+            } else {
+                h = self.head.load(Ordering::Acquire, guard);
             }
         }
     }
@@ -306,7 +422,7 @@ impl<T: Send> SyncDualQueue<T> {
                 }
                 let owned = match node.take() {
                     Some(n) => n,
-                    None => QNode::new(is_data, 2),
+                    None => self.alloc_node(is_data, &guard),
                 };
                 // (Re-)arm the node for this attempt.
                 if is_data {
@@ -337,9 +453,7 @@ impl<T: Send> SyncDualQueue<T> {
                         if is_data {
                             // SAFETY: node unpublished; we wrote the slot
                             // above and nobody else can see it.
-                            item = Some(unsafe {
-                                (*owned.item.get()).assume_init_read()
-                            });
+                            item = Some(unsafe { (*owned.item.get()).assume_init_read() });
                         }
                         node = Some(owned);
                         continue;
@@ -490,8 +604,8 @@ impl<T: Send> SyncDualQueue<T> {
                 let _ = self.advance_head(h, hn, &guard);
             }
         }
-        // SAFETY: balanced with the creation refcount of 2.
-        unsafe { QNode::release(node_raw) };
+        // Balanced with the creation refcount of 2.
+        self.release_direct(node_raw);
         outcome
     }
 
@@ -515,10 +629,7 @@ impl<T: Send> SyncDualQueue<T> {
 }
 
 /// Loads `h.next`, returning `None` (retry) if it is null.
-fn h_ref_next<'g, T>(
-    h: Shared<'g, QNode<T>>,
-    guard: &'g Guard,
-) -> Option<Shared<'g, QNode<T>>> {
+fn h_ref_next<'g, T>(h: Shared<'g, QNode<T>>, guard: &'g Guard) -> Option<Shared<'g, QNode<T>>> {
     // SAFETY: h is the protected head.
     let next = unsafe { h.deref() }.next.load(Ordering::Acquire, guard);
     if next.is_null() {
@@ -547,10 +658,11 @@ impl<T> Drop for SyncDualQueue<T> {
         let mut p = self.head.load(Ordering::Relaxed, &guard);
         while !p.is_null() {
             // SAFETY: exclusive access; chain nodes each hold exactly the
-            // structure reference now.
+            // structure reference now, so free them outright (the cache
+            // drains itself when its last Arc drops).
             let node = unsafe { p.deref() };
             let next = node.next.load(Ordering::Relaxed, &guard);
-            unsafe { QNode::release(p.as_raw()) };
+            unsafe { QNode::release(p.as_raw(), |n| QNode::dealloc(n)) };
             p = next;
         }
     }
@@ -683,8 +795,7 @@ mod tests {
         let token = CancelToken::new();
         let canceller = token.canceller();
         let q2 = Arc::clone(&q);
-        let t =
-            thread::spawn(move || q2.put_with(vec![1, 2, 3], Deadline::Never, Some(&token)));
+        let t = thread::spawn(move || q2.put_with(vec![1, 2, 3], Deadline::Never, Some(&token)));
         thread::sleep(Duration::from_millis(30));
         canceller.cancel();
         match t.join().unwrap() {

@@ -45,13 +45,15 @@
 //! a match first takes an extra reference on the fulfilling node *on the
 //! waiter's behalf*; the waiter releases it after reading.
 
+use crate::node_cache::{NodeCache, Recyclable};
 use crate::transferer::{Deadline, TransferOutcome, Transferer};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
-use synq_primitives::{CancelToken, Parker, SpinPolicy, WaiterCell};
-use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
+use std::sync::Arc;
+use synq_primitives::{CachePadded, CancelToken, Parker, SpinPolicy, WaiterCell};
+use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Pointer, Shared};
 
 /// Node is a waiting consumer.
 const REQUEST: usize = 0;
@@ -100,7 +102,10 @@ impl<T> SNode<T> {
     }
 
     fn is_cancelled(&self) -> bool {
-        self.match_.load(Ordering::Acquire) == self as *const _ as *mut _
+        std::ptr::eq(
+            self.match_.load(Ordering::Acquire),
+            self as *const _ as *mut _,
+        )
     }
 
     /// Moves the item out (see `QNode::take_item`).
@@ -111,21 +116,54 @@ impl<T> SNode<T> {
         unsafe { (*self.item.get()).assume_init_read() }
     }
 
-    /// Drops one reference; frees when it was the last.
-    unsafe fn release(ptr: *const SNode<T>) {
+    /// Drops one reference. When it was the last, drops any unconsumed item
+    /// eagerly and hands the dead skeleton to `dispose` (cache or free).
+    unsafe fn release(ptr: *const SNode<T>, dispose: impl FnOnce(*mut SNode<T>)) {
         // SAFETY: caller owns one reference.
         let node = unsafe { &*ptr };
         if node.refs.fetch_sub(1, Ordering::Release) == 1 {
             std::sync::atomic::fence(Ordering::Acquire);
             // SAFETY: last reference (see QNode::release for the argument).
-            let mut owned = unsafe { Box::from_raw(ptr as *mut SNode<T>) };
-            if owned.is_data() && !*owned.consumed.get_mut() {
+            let node = unsafe { &mut *(ptr as *mut SNode<T>) };
+            if node.is_data() && !*node.consumed.get_mut() {
                 // SAFETY: data nodes hold an item from creation until
                 // consumed.
-                unsafe { (*owned.item.get()).assume_init_drop() };
+                unsafe { (*node.item.get()).assume_init_drop() };
             }
-            drop(owned);
+            dispose(ptr as *mut SNode<T>);
         }
+    }
+
+    /// Frees the allocation of a dead skeleton (item slot empty).
+    ///
+    /// # Safety
+    ///
+    /// Caller must own `ptr` exclusively.
+    unsafe fn dealloc(ptr: *mut SNode<T>) {
+        drop(unsafe { Box::from_raw(ptr) });
+    }
+}
+
+impl<T> Recyclable for SNode<T> {
+    unsafe fn free_next(ptr: *mut Self) -> *mut Self {
+        // The free list reuses the node's own `next` field as its link.
+        let guard = unsafe { epoch::unprotected() };
+        // SAFETY: `ptr` is alive per the trait contract.
+        unsafe { (*ptr).next.load(Ordering::Acquire, &guard).as_raw() as *mut Self }
+    }
+
+    unsafe fn set_free_next(ptr: *mut Self, next: *mut Self) {
+        // SAFETY: exclusive ownership per the trait contract.
+        unsafe {
+            (*ptr)
+                .next
+                .store(Shared::from_raw(next as *const Self), Ordering::Release)
+        };
+    }
+
+    unsafe fn dealloc(ptr: *mut Self) {
+        // SAFETY: per the trait contract.
+        unsafe { SNode::dealloc(ptr) };
     }
 }
 
@@ -146,9 +184,18 @@ impl<T> SNode<T> {
 /// assert_eq!(t.join().unwrap(), 7);
 /// ```
 pub struct SyncDualStack<T> {
-    head: Atomic<SNode<T>>,
+    /// The single contended word of the structure: padded so the free-list
+    /// head and spin policy beside it never ride its cache line.
+    head: CachePadded<Atomic<SNode<T>>>,
+    /// Free list of dead node skeletons, shared with the epoch-deferred
+    /// closures that refill it.
+    cache: Arc<NodeCache<SNode<T>>>,
     spin: SpinPolicy,
 }
+
+// Layout: `head` must own its line(s).
+const _: () = assert!(std::mem::align_of::<SyncDualStack<u8>>() >= 128);
+const _: () = assert!(std::mem::size_of::<SyncDualStack<u8>>() >= 128);
 
 // SAFETY: as for SyncDualQueue.
 unsafe impl<T: Send> Send for SyncDualStack<T> {}
@@ -169,8 +216,62 @@ impl<T: Send> SyncDualStack<T> {
     /// Creates an empty stack with an explicit spin policy (ablation A1).
     pub fn with_spin(spin: SpinPolicy) -> Self {
         SyncDualStack {
-            head: Atomic::null(),
+            head: CachePadded::new(Atomic::null()),
+            cache: Arc::new(NodeCache::new()),
             spin,
+        }
+    }
+
+    /// Gets a node for this transfer: a recycled skeleton when one is
+    /// available, a fresh allocation otherwise. `_guard` witnesses the
+    /// epoch pin the free-list pop requires.
+    fn alloc_node(&self, mode: usize, _guard: &Guard) -> Owned<SNode<T>> {
+        // SAFETY: pinned, per `_guard`.
+        if let Some(p) = unsafe { self.cache.pop() } {
+            // SAFETY: the pop transferred exclusive ownership of a dead
+            // skeleton (item slot empty); re-arm every field in place.
+            unsafe {
+                let node = &mut *p;
+                node.mode = mode;
+                *node.match_.get_mut() = ptr::null_mut();
+                *node.consumed.get_mut() = false;
+                node.next = Atomic::null();
+                let _ = node.waiter.take();
+                *node.refs.get_mut() = 2;
+                *node.unlinked.get_mut() = false;
+                Owned::from_usize(p as usize)
+            }
+        } else {
+            self.cache.note_alloc();
+            SNode::new(None, mode)
+        }
+    }
+
+    /// Diagnostic: nodes heap-allocated over the stack's lifetime.
+    pub fn nodes_allocated(&self) -> usize {
+        self.cache.allocs()
+    }
+
+    /// Diagnostic: allocations avoided by recycling dead nodes.
+    pub fn nodes_recycled(&self) -> usize {
+        self.cache.reuses()
+    }
+
+    /// Releases a reference from outside any deferral (an owner or
+    /// waiter-held reference). If it is the last, the item is dropped now
+    /// but the skeleton's return to the free list is itself deferred —
+    /// re-pushing before a grace period would reintroduce free-list ABA.
+    fn release_direct(&self, ptr: *const SNode<T>) {
+        // SAFETY: caller owns the reference being dropped. The dispose
+        // closure defers the free-list push past a grace period, so it
+        // satisfies the push contract; the skeleton is exclusively ours.
+        unsafe {
+            SNode::release(ptr, |p| {
+                let cache = Arc::clone(&self.cache);
+                let addr = p as usize;
+                let guard = epoch::pin();
+                guard.defer_unchecked(move || cache.push(addr as *mut SNode<T>));
+            });
         }
     }
 
@@ -206,9 +307,14 @@ impl<T: Send> SyncDualStack<T> {
             return; // already released by a racing remover
         }
         let raw = node.as_raw() as usize;
-        // SAFETY: see QNode: deferred past the grace period.
+        let cache = Arc::clone(&self.cache);
+        // SAFETY: see QNode: deferred past the grace period. Running inside
+        // the deferral satisfies the free-list push contract, so the
+        // skeleton can go to the cache directly.
         unsafe {
-            guard.defer_unchecked(move || SNode::release(raw as *const SNode<T>));
+            guard.defer_unchecked(move || {
+                SNode::release(raw as *const SNode<T>, |p| cache.push(p));
+            });
         }
     }
 
@@ -238,9 +344,9 @@ impl<T: Send> SyncDualStack<T> {
                 true
             }
             Err(actual) => {
-                // SAFETY: revoking the reference we just added.
-                unsafe { SNode::release(f.as_raw()) };
-                actual as *const SNode<T> == f.as_raw()
+                // Revoke the reference we just added.
+                self.release_direct(f.as_raw());
+                std::ptr::eq(actual, f.as_raw())
             }
         }
     }
@@ -290,7 +396,7 @@ impl<T: Send> SyncDualStack<T> {
                         n.mode = mode;
                         n
                     }
-                    None => SNode::new(None, mode),
+                    None => self.alloc_node(mode, &guard),
                 };
                 if is_data {
                     // SAFETY: we own the unpublished node.
@@ -332,7 +438,7 @@ impl<T: Send> SyncDualStack<T> {
                         n.mode = mode | FULFILLING;
                         n
                     }
-                    None => SNode::new(None, mode | FULFILLING),
+                    None => self.alloc_node(mode | FULFILLING, &guard),
                 };
                 if is_data {
                     // SAFETY: we own the unpublished node.
@@ -376,8 +482,8 @@ impl<T: Send> SyncDualStack<T> {
                             // does not double-free the moved-out item.)
                             item = Some(unsafe { f_ref.take_item() });
                         }
-                        // SAFETY: our owner reference.
-                        unsafe { SNode::release(f.as_raw()) };
+                        // Our owner reference.
+                        self.release_direct(f.as_raw());
                         break;
                     };
                     let mn = m_ref.next.load(Ordering::Acquire, &guard);
@@ -390,8 +496,8 @@ impl<T: Send> SyncDualStack<T> {
                             // unique read access to m's item.
                             TransferOutcome::Transferred(Some(unsafe { m_ref.take_item() }))
                         };
-                        // SAFETY: our owner reference on f.
-                        unsafe { SNode::release(f.as_raw()) };
+                        // Our owner reference on f.
+                        self.release_direct(f.as_raw());
                         return out;
                     }
                     // m was cancelled: skip and release it.
@@ -445,12 +551,12 @@ impl<T: Send> SyncDualStack<T> {
         loop {
             let m = node.match_.load(Ordering::Acquire);
             if !m.is_null() {
-                debug_assert!(m as *const _ != node_raw, "waiter saw its own cancel");
+                debug_assert!(!std::ptr::eq(m, node_raw), "waiter saw its own cancel");
                 // Matched. Help pop the fulfilling pair if still on top.
                 {
                     let guard = epoch::pin();
                     let h = self.head.load(Ordering::Acquire, &guard);
-                    if h.as_raw() == m as *const SNode<T> {
+                    if std::ptr::eq(h.as_raw(), m) {
                         // SAFETY: we hold a reference on our own node.
                         let our_next = node.next.load(Ordering::Acquire, &guard);
                         let node_shared = shared_from_raw(node_raw);
@@ -467,10 +573,10 @@ impl<T: Send> SyncDualStack<T> {
                     // fulfiller's item.
                     TransferOutcome::Transferred(Some(unsafe { m_ref.take_item() }))
                 };
-                // SAFETY: the reference taken on our behalf in try_match.
-                unsafe { SNode::release(m) };
-                // SAFETY: our owner reference.
-                unsafe { SNode::release(node_raw) };
+                // The reference taken on our behalf in try_match.
+                self.release_direct(m);
+                // Our owner reference.
+                self.release_direct(node_raw);
                 return out;
             }
 
@@ -496,8 +602,8 @@ impl<T: Send> SyncDualStack<T> {
                     } else {
                         None
                     };
-                    // SAFETY: our owner reference.
-                    unsafe { SNode::release(node_raw) };
+                    // Our owner reference.
+                    self.release_direct(node_raw);
                     return if cancelled {
                         TransferOutcome::Cancelled(item)
                     } else {
@@ -584,7 +690,7 @@ impl<T> Drop for SyncDualStack<T> {
             // structure's.
             let node = unsafe { p.deref() };
             let next = node.next.load(Ordering::Relaxed, &guard);
-            unsafe { SNode::release(p.as_raw()) };
+            unsafe { SNode::release(p.as_raw(), |n| SNode::dealloc(n)) };
             p = next;
         }
     }

@@ -50,6 +50,7 @@
 pub mod channel;
 pub mod dual_queue;
 pub mod dual_stack;
+mod node_cache;
 pub mod queue;
 pub mod transferer;
 

@@ -176,7 +176,9 @@ impl<T> std::fmt::Debug for SynchronousQueue<T> {
             Inner::Fair(_) => "fair",
             Inner::Unfair(_) => "unfair",
         };
-        f.debug_struct("SynchronousQueue").field("mode", &mode).finish()
+        f.debug_struct("SynchronousQueue")
+            .field("mode", &mode)
+            .finish()
     }
 }
 

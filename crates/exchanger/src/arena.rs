@@ -16,6 +16,7 @@ use std::cell::UnsafeCell;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
+use synq_primitives::CachePadded;
 
 const WAITING: usize = 0;
 const DONE: usize = 1;
@@ -34,17 +35,25 @@ unsafe impl<T: Send> Sync for ArenaNode<T> {}
 
 /// The asymmetric elimination arena.
 pub struct EliminationArena<T> {
-    slots: Box<[AtomicPtr<ArenaNode<T>>]>,
-    eliminated: AtomicUsize,
+    /// One slot per cache-line pair: the whole point of the arena is to
+    /// spread contention across slots, which padding makes literal — two
+    /// threads hashing to adjacent slots otherwise still collide on the
+    /// line and the arena degenerates into one contended word.
+    slots: Box<[CachePadded<AtomicPtr<ArenaNode<T>>>]>,
+    eliminated: CachePadded<AtomicUsize>,
 }
+
+const _: () = assert!(std::mem::align_of::<CachePadded<AtomicPtr<ArenaNode<u8>>>>() >= 128);
 
 impl<T: Send> EliminationArena<T> {
     /// Creates an arena with `n` slots (`n == 0` disables elimination —
     /// every visit fails fast, for the A3 control arm).
     pub fn new(n: usize) -> Self {
         EliminationArena {
-            slots: (0..n).map(|_| AtomicPtr::new(ptr::null_mut())).collect(),
-            eliminated: AtomicUsize::new(0),
+            slots: (0..n)
+                .map(|_| CachePadded::new(AtomicPtr::new(ptr::null_mut())))
+                .collect(),
+            eliminated: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 

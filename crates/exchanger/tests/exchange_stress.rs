@@ -4,8 +4,8 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
-use synq_exchanger::{EliminationSyncStack, Exchanger};
 use synq::{SyncChannel, TimedSyncChannel};
+use synq_exchanger::{EliminationSyncStack, Exchanger};
 
 #[test]
 fn repeated_rounds_reuse_the_arena() {
@@ -27,8 +27,16 @@ fn repeated_rounds_reuse_the_arena() {
     }
     let peer_got = peer.join().unwrap();
     for r in 0..ROUNDS {
-        assert_eq!(got[r], (1, r), "main got a stale/foreign value in round {r}");
-        assert_eq!(peer_got[r], (0, r), "peer got a stale/foreign value in round {r}");
+        assert_eq!(
+            got[r],
+            (1, r),
+            "main got a stale/foreign value in round {r}"
+        );
+        assert_eq!(
+            peer_got[r],
+            (0, r),
+            "peer got a stale/foreign value in round {r}"
+        );
     }
 }
 
@@ -45,16 +53,25 @@ fn odd_thread_out_times_out() {
         .collect();
     let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let timeouts = results.iter().filter(|r| r.is_err()).count();
-    assert_eq!(timeouts, 1, "exactly one of three should time out: {results:?}");
+    assert_eq!(
+        timeouts, 1,
+        "exactly one of three should time out: {results:?}"
+    );
     // The two successes received each other's values.
-    let received: HashSet<u32> = results.iter().filter_map(|r| r.as_ref().ok().copied()).collect();
+    let received: HashSet<u32> = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok().copied())
+        .collect();
     let timed_out: u32 = results
         .iter()
         .filter_map(|r| r.as_ref().err().copied())
         .next()
         .unwrap();
     assert_eq!(received.len(), 2);
-    assert!(!received.contains(&timed_out), "timed-out value was also delivered");
+    assert!(
+        !received.contains(&timed_out),
+        "timed-out value was also delivered"
+    );
 }
 
 #[test]
@@ -91,7 +108,9 @@ fn elimination_stack_conserves_under_timed_chaos() {
         let delivered = Arc::clone(&delivered);
         handles.push(thread::spawn(move || {
             for i in 0..PER {
-                if q.offer_timeout(i as u64, Duration::from_micros(150)).is_ok() {
+                if q.offer_timeout(i as u64, Duration::from_micros(150))
+                    .is_ok()
+                {
                     delivered.fetch_add(1, Ordering::Relaxed);
                 }
             }

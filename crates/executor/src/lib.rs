@@ -28,6 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use synq::{CancelToken, Deadline, TimedSyncChannel, TransferOutcome};
+use synq_primitives::CachePadded;
 
 /// A unit of work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -98,13 +99,18 @@ impl Default for PoolConfig {
 struct PoolInner {
     channel: Arc<dyn TimedSyncChannel<Job>>,
     config: PoolConfig,
-    worker_count: AtomicUsize,
+    /// Padded: bumped by every spawn/retire while `completed` (below) is
+    /// bumped by every task — unpadded they'd share a line and every task
+    /// completion would invalidate the spawn path's cached count.
+    worker_count: CachePadded<AtomicUsize>,
     largest_pool_size: AtomicUsize,
-    completed: AtomicUsize,
+    completed: CachePadded<AtomicUsize>,
     shutdown: AtomicBool,
     interrupt: CancelToken,
     handles: Mutex<Vec<JoinHandle<()>>>,
 }
+
+const _: () = assert!(std::mem::align_of::<PoolInner>() >= 128);
 
 /// The result side of [`ThreadPool::submit`]: a one-shot join handle.
 ///
@@ -190,9 +196,9 @@ impl ThreadPool {
             inner: Arc::new(PoolInner {
                 channel,
                 config,
-                worker_count: AtomicUsize::new(0),
+                worker_count: CachePadded::new(AtomicUsize::new(0)),
                 largest_pool_size: AtomicUsize::new(0),
-                completed: AtomicUsize::new(0),
+                completed: CachePadded::new(AtomicUsize::new(0)),
                 shutdown: AtomicBool::new(false),
                 interrupt: CancelToken::new(),
                 handles: Mutex::new(Vec::new()),
@@ -230,7 +236,9 @@ impl ThreadPool {
             Err(_) => return Err(ExecuteError::Saturated(job)),
         };
         let core = slot < inner.config.core_pool_size;
-        inner.largest_pool_size.fetch_max(slot + 1, Ordering::AcqRel);
+        inner
+            .largest_pool_size
+            .fetch_max(slot + 1, Ordering::AcqRel);
         let pool = Arc::clone(inner);
         let handle = std::thread::spawn(move || worker_loop(pool, job, core));
         inner.handles.lock().unwrap().push(handle);
@@ -371,7 +379,8 @@ mod tests {
         for _ in 0..20 {
             let done = Arc::new(AtomicBool::new(false));
             let d = Arc::clone(&done);
-            pool.execute(move || d.store(true, Ordering::SeqCst)).unwrap();
+            pool.execute(move || d.store(true, Ordering::SeqCst))
+                .unwrap();
             while !done.load(Ordering::SeqCst) {
                 std::thread::yield_now();
             }
@@ -583,6 +592,9 @@ mod submit_tests {
         gate.store(true, Ordering::SeqCst);
         pool.shutdown();
         pool.join();
-        assert!(pool.largest_pool_size() >= 2, "high-water mark must persist");
+        assert!(
+            pool.largest_pool_size() >= 2,
+            "high-water mark must persist"
+        );
     }
 }

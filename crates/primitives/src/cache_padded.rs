@@ -1,0 +1,115 @@
+//! Cache-line padding for contended atomics.
+//!
+//! The paper's contention-freedom property (§2.2) is about keeping waiting
+//! threads off cache lines that other threads must write; that discipline
+//! is wasted if two independently contended words share one physical line
+//! and ping-pong anyway (false sharing). [`CachePadded`] aligns its
+//! contents to 128 bytes: on modern x86 the spatial prefetcher treats
+//! aligned 128-byte blocks as a unit (two 64-byte lines), and several arm64
+//! parts (Apple M-series, some Cortex) have true 128-byte lines, so 128 is
+//! the safe portable choice — the same one crossbeam-utils makes.
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so it owns its cache line(s).
+///
+/// Wrap each independently contended hot word (a queue's `head` and `tail`,
+/// a ticket lock's two counters, per-thread epoch records) so writers of
+/// one word do not invalidate readers of its neighbours.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value`, padding it out to its own cache line(s).
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value, consuming the wrapper.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+// The padding bytes carry no data, so the wrapper is exactly as thread-safe
+// as its contents.
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::mem::{align_of, size_of};
+    use core::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn alignment_is_at_least_128() {
+        assert!(align_of::<CachePadded<u8>>() >= 128);
+        assert!(align_of::<CachePadded<AtomicUsize>>() >= 128);
+        assert!(align_of::<CachePadded<[u8; 1024]>>() >= 128);
+    }
+
+    #[test]
+    fn size_rounds_up_to_alignment_multiples() {
+        assert_eq!(size_of::<CachePadded<u8>>(), 128);
+        assert_eq!(size_of::<CachePadded<AtomicUsize>>(), 128);
+        assert_eq!(size_of::<CachePadded<[u8; 130]>>(), 256);
+        // Arrays of padded values put each element on its own line(s).
+        assert_eq!(size_of::<[CachePadded<AtomicUsize>; 4]>(), 4 * 128);
+    }
+
+    #[test]
+    fn deref_and_deref_mut_reach_the_value() {
+        let mut padded = CachePadded::new(AtomicUsize::new(7));
+        assert_eq!(padded.load(Ordering::Relaxed), 7);
+        padded.store(9, Ordering::Relaxed);
+        assert_eq!(padded.load(Ordering::Relaxed), 9);
+        *padded.get_mut() = 11;
+        assert_eq!(padded.into_inner().into_inner(), 11);
+    }
+
+    #[test]
+    fn default_debug_from_behave() {
+        let padded: CachePadded<usize> = CachePadded::default();
+        assert_eq!(*padded, 0);
+        let from: CachePadded<usize> = 42.into();
+        assert_eq!(*from, 42);
+        assert_eq!(format!("{from:?}"), "CachePadded(42)");
+    }
+
+    #[test]
+    fn const_constructible() {
+        static SHARED: CachePadded<AtomicUsize> = CachePadded::new(AtomicUsize::new(3));
+        assert_eq!(SHARED.load(Ordering::Relaxed), 3);
+    }
+}

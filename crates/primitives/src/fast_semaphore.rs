@@ -24,6 +24,7 @@
 //! need it — which is exactly the paper's point about that design's
 //! inflexibility.
 
+use crate::cache_padded::CachePadded;
 use crate::semaphore::Semaphore;
 use std::sync::atomic::{AtomicI64, Ordering};
 
@@ -42,17 +43,22 @@ use std::sync::atomic::{AtomicI64, Ordering};
 /// ```
 #[derive(Debug)]
 pub struct FastSemaphore {
-    /// Available permits minus pending waiters.
-    count: AtomicI64,
+    /// Available permits minus pending waiters. Padded so the RMW-heavy
+    /// fast path never contends with the slow-path monitor state below.
+    count: CachePadded<AtomicI64>,
     /// Wakeup tokens for threads that lost the fast path.
     tokens: Semaphore,
 }
+
+// The whole point of the benaphore is that the fast path touches only
+// `count`; keep the slow-path machinery off its cache line.
+const _: () = assert!(std::mem::align_of::<FastSemaphore>() >= 128);
 
 impl FastSemaphore {
     /// Creates a semaphore with `permits` initial permits.
     pub fn new(permits: i64) -> Self {
         FastSemaphore {
-            count: AtomicI64::new(permits),
+            count: CachePadded::new(AtomicI64::new(permits)),
             tokens: Semaphore::new(0),
         }
     }
@@ -70,12 +76,10 @@ impl FastSemaphore {
     pub fn try_acquire(&self) -> bool {
         let mut c = self.count.load(Ordering::Acquire);
         while c > 0 {
-            match self.count.compare_exchange_weak(
-                c,
-                c - 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .count
+                .compare_exchange_weak(c, c - 1, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return true,
                 Err(actual) => c = actual,
             }

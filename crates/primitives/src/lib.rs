@@ -21,6 +21,9 @@
 //!   waiter publishes its [`Unparker`] to whichever thread fulfills it.
 //! * [`CancelToken`] — cooperative cancellation (the paper's "asynchronous
 //!   interrupt" of waiting threads).
+//! * [`CachePadded`] — 128-byte alignment wrapper keeping independently
+//!   contended hot words on separate cache lines (the layout discipline
+//!   behind the paper's contention-freedom property).
 //!
 //! Everything here is built from `std` only (mutexes, condition variables,
 //! atomics); no external crates.
@@ -29,6 +32,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod backoff;
+pub mod cache_padded;
 pub mod cancel;
 pub mod fast_semaphore;
 pub mod mcs_lock;
@@ -39,6 +43,7 @@ pub mod ticket_lock;
 pub mod waiter;
 
 pub use backoff::Backoff;
+pub use cache_padded::CachePadded;
 pub use cancel::{CancelToken, Canceller};
 pub use fast_semaphore::FastSemaphore;
 pub use mcs_lock::{McsLock, McsLockGuard};

@@ -144,12 +144,10 @@ impl McsLock {
     /// Acquires only if nobody holds or waits for the lock.
     pub fn try_lock(&self) -> Option<McsLockGuard<'_>> {
         let node = Box::into_raw(McsNode::new());
-        match self.tail.compare_exchange(
-            ptr::null_mut(),
-            node,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
+        match self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+        {
             Ok(_) => Some(McsLockGuard { lock: self, node }),
             Err(_) => {
                 // SAFETY: node never published.

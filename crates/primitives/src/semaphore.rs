@@ -14,6 +14,7 @@
 //! reintroduce the naive queue's quadratic wakeups and unfairly handicap the
 //! Hanson baseline).
 
+use crate::cache_padded::CachePadded;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -35,9 +36,14 @@ use std::time::{Duration, Instant};
 /// ```
 #[derive(Debug)]
 pub struct Semaphore {
-    state: Mutex<State>,
+    /// Monitor state, padded: Hanson's queue packs three semaphores into
+    /// one struct, and without padding their mutexes share cache lines —
+    /// every `sync` handshake would then invalidate `send`/`recv` holders.
+    state: CachePadded<Mutex<State>>,
     cvar: Condvar,
 }
+
+const _: () = assert!(std::mem::align_of::<Semaphore>() >= 128);
 
 #[derive(Debug)]
 struct State {
@@ -49,10 +55,10 @@ impl Semaphore {
     /// Creates a semaphore with `permits` initial permits.
     pub fn new(permits: i64) -> Self {
         Semaphore {
-            state: Mutex::new(State {
+            state: CachePadded::new(Mutex::new(State {
                 count: permits,
                 waiters: 0,
-            }),
+            })),
             cvar: Condvar::new(),
         }
     }

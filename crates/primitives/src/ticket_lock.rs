@@ -16,25 +16,29 @@
 //!
 //! Both properties are exactly what makes fair locks slow under contention,
 //! and both are absent from an ordinary (unfair) mutex.
+//!
+//! The implementation is a classic *ticket lock*: arrival order is fixed by
+//! a fetch-and-increment on a `next_ticket` word, and the holder advances a
+//! separate `now_serving` word on release. The two counters live on
+//! [`CachePadded`] lines of their own — arriving threads hammer
+//! `next_ticket` while waiters poll `now_serving`, and sharing one line
+//! would make every arrival invalidate every waiter (exactly the
+//! false-sharing coupling the paper's contention-freedom property warns
+//! about). Waiters spin only until registered, then park; release grants by
+//! ticket number, so the handoff is direct and barging is structurally
+//! impossible (`try_lock` succeeds only when `next_ticket == now_serving`).
 
+use crate::cache_padded::CachePadded;
 use crate::parker::{Parker, Unparker};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-#[derive(Debug)]
-struct WaitNode {
-    granted: AtomicBool,
-    unparker: Unparker,
-}
+// The two counters must not share a cache line (see module docs); padding
+// both also keeps the trailing `Mutex` off `now_serving`'s line.
+const _: () = assert!(std::mem::align_of::<CachePadded<AtomicUsize>>() >= 128);
 
-#[derive(Debug)]
-struct Inner {
-    locked: bool,
-    queue: VecDeque<Arc<WaitNode>>,
-}
-
-/// FIFO-fair lock. See the module docs for why this exists.
+/// FIFO-fair ticket lock. See the module docs for why this exists.
 ///
 /// # Examples
 ///
@@ -50,10 +54,15 @@ struct Inner {
 /// ```
 #[derive(Debug)]
 pub struct TicketLock {
-    inner: Mutex<Inner>,
+    /// Next ticket to hand to an arriving thread.
+    next_ticket: CachePadded<AtomicUsize>,
+    /// Ticket currently allowed to hold the lock.
+    now_serving: CachePadded<AtomicUsize>,
+    /// Parking registry for tickets that found the lock held.
+    waiters: Mutex<VecDeque<(usize, Unparker)>>,
 }
 
-/// RAII guard; releasing hands the lock to the next queued waiter, if any.
+/// RAII guard; releasing hands the lock to the next queued ticket, if any.
 #[derive(Debug)]
 pub struct TicketLockGuard<'a> {
     lock: &'a TicketLock,
@@ -69,42 +78,46 @@ impl TicketLock {
     /// Creates an unlocked lock.
     pub fn new() -> Self {
         TicketLock {
-            inner: Mutex::new(Inner {
-                locked: false,
-                queue: VecDeque::new(),
-            }),
+            next_ticket: CachePadded::new(AtomicUsize::new(0)),
+            now_serving: CachePadded::new(AtomicUsize::new(0)),
+            waiters: Mutex::new(VecDeque::new()),
         }
     }
 
     /// Acquires the lock, queuing FIFO behind any existing waiters.
     pub fn lock(&self) -> TicketLockGuard<'_> {
-        let mut inner = self.inner.lock().unwrap();
-        if !inner.locked {
-            debug_assert!(inner.queue.is_empty());
-            inner.locked = true;
+        let ticket = self.next_ticket.fetch_add(1, Ordering::AcqRel);
+        if self.now_serving.load(Ordering::Acquire) == ticket {
             return TicketLockGuard { lock: self };
         }
+        // Slow path: register, then re-check before parking. The release
+        // path stores `now_serving` *before* scanning the registry, so
+        // either our registration is seen by the releaser (it unparks us)
+        // or our re-check sees the new `now_serving` — never neither.
         let parker = Parker::new();
-        let node = Arc::new(WaitNode {
-            granted: AtomicBool::new(false),
-            unparker: parker.unparker(),
-        });
-        inner.queue.push_back(Arc::clone(&node));
-        drop(inner);
-        while !node.granted.load(Ordering::Acquire) {
+        self.waiters
+            .lock()
+            .unwrap()
+            .push_back((ticket, parker.unparker()));
+        while self.now_serving.load(Ordering::Acquire) != ticket {
             parker.park();
         }
-        // Ownership was handed to us directly by the releasing thread.
+        // Granted. Drop our registry entry if the granter did not (we may
+        // have observed `now_serving` before the granter's scan ran).
+        self.waiters.lock().unwrap().retain(|(t, _)| *t != ticket);
         TicketLockGuard { lock: self }
     }
 
     /// Acquires the lock only if it is free *and* no one is queued
-    /// (fairness forbids barging past waiters).
+    /// (fairness forbids barging past waiters): with tickets both conditions
+    /// collapse into `next_ticket == now_serving`, checked by a single CAS.
     pub fn try_lock(&self) -> Option<TicketLockGuard<'_>> {
-        let mut inner = self.inner.lock().unwrap();
-        if !inner.locked {
-            debug_assert!(inner.queue.is_empty());
-            inner.locked = true;
+        let serving = self.now_serving.load(Ordering::Acquire);
+        if self
+            .next_ticket
+            .compare_exchange(serving, serving + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
             Some(TicketLockGuard { lock: self })
         } else {
             None
@@ -114,18 +127,22 @@ impl TicketLock {
     /// Number of threads currently queued for the lock (diagnostic; the
     /// benchmark harness samples this to visualize pileups).
     pub fn queue_len(&self) -> usize {
-        self.inner.lock().unwrap().queue.len()
+        let next = self.next_ticket.load(Ordering::Acquire);
+        let serving = self.now_serving.load(Ordering::Acquire);
+        // One outstanding ticket is the holder; the rest are queued.
+        next.wrapping_sub(serving).saturating_sub(1)
     }
 
     fn unlock(&self) {
-        let mut inner = self.inner.lock().unwrap();
-        debug_assert!(inner.locked);
-        if let Some(node) = inner.queue.pop_front() {
-            // Direct handoff: `locked` stays true on behalf of the waiter.
-            node.granted.store(true, Ordering::Release);
-            node.unparker.unpark();
-        } else {
-            inner.locked = false;
+        let granted = self.now_serving.load(Ordering::Relaxed).wrapping_add(1);
+        self.now_serving.store(granted, Ordering::Release);
+        // Scan after the store (see `lock` for the pairing) and hand the
+        // wakeup directly to the granted ticket, if it is parked.
+        let mut waiters = self.waiters.lock().unwrap();
+        if let Some(pos) = waiters.iter().position(|(t, _)| *t == granted) {
+            let (_, unparker) = waiters.remove(pos).unwrap();
+            drop(waiters);
+            unparker.unpark();
         }
     }
 }
@@ -140,6 +157,7 @@ impl Drop for TicketLockGuard<'_> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
     use std::thread;
     use std::time::Duration;
 
@@ -157,6 +175,16 @@ mod tests {
         assert!(lock.try_lock().is_none());
         drop(g);
         assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn counters_live_on_separate_cache_lines() {
+        let lock = TicketLock::new();
+        let next = &*lock.next_ticket as *const AtomicUsize as usize;
+        let serving = &*lock.now_serving as *const AtomicUsize as usize;
+        assert!(next.abs_diff(serving) >= 128);
+        assert_eq!(next % 128, 0);
+        assert_eq!(serving % 128, 0);
     }
 
     #[test]
@@ -199,7 +227,7 @@ mod tests {
                 let _g = lock2.lock();
                 order.lock().unwrap().push(i);
             }));
-            // Wait until thread i is queued before spawning i+1 so the
+            // Wait until thread i holds a ticket before spawning i+1 so the
             // arrival order is deterministic.
             while lock.queue_len() < i + 1 {
                 thread::yield_now();
@@ -226,6 +254,7 @@ mod tests {
         // A try_lock while someone is queued must fail even after release,
         // because release hands the lock directly to the waiter.
         drop(g);
+        assert!(lock.try_lock().is_none() || lock.queue_len() == 0);
         thread::sleep(Duration::from_millis(5));
         waiter.join().unwrap();
         // Once the queue drains the lock is takable again.

@@ -28,7 +28,10 @@ fn compose<T>(raw: *const T, tag: usize) -> usize {
 
 #[inline]
 fn decompose<T>(data: usize) -> (*const T, usize) {
-    ((data & !low_bits::<T>()) as *const T, data & low_bits::<T>())
+    (
+        (data & !low_bits::<T>()) as *const T,
+        data & low_bits::<T>(),
+    )
 }
 
 /// Types that can be passed as the "new" operand of atomic operations.
@@ -354,7 +357,12 @@ impl<T> Atomic<T> {
     }
 
     /// Atomically swaps the pointer, returning the previous value.
-    pub fn swap<'g, P: Pointer<T>>(&self, new: P, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
         // SAFETY: previous word was held by this Atomic.
         unsafe { Shared::from_usize(self.data.swap(new.into_usize(), ord)) }
     }
@@ -500,7 +508,13 @@ mod tests {
         // Failure path returns the Owned for reuse.
         let wrong = Shared::<u64>::null();
         let err = a
-            .compare_exchange(wrong, Owned::new(2u64), Ordering::AcqRel, Ordering::Acquire, &g)
+            .compare_exchange(
+                wrong,
+                Owned::new(2u64),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                &g,
+            )
             .unwrap_err();
         assert!(err.current.ptr_eq(&cur));
         let recovered = err.new;

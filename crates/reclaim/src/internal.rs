@@ -14,18 +14,30 @@
 //! * **Garbage stack** — a Treiber-style stack of [`SealedBag`]s. Collection
 //!   detaches the whole stack with one `swap`, frees expired bags, and
 //!   pushes the rest back; concurrent collectors therefore operate on
-//!   disjoint chains and never contend beyond the two CAS words.
-//! * **Pinning** — `local.epoch = (global << 1) | 1` followed by a `SeqCst`
-//!   fence. The fence globally orders the pin against `try_advance`'s scan,
-//!   which is what makes the two-advance grace period sound.
+//!   disjoint chains and never contend beyond the two CAS words. The stack's
+//!   node skeletons are pooled ([`NODE_POOL_CAP`]) so a steady defer/collect
+//!   load does not allocate.
+//! * **Pinning** — the outermost pin publishes `(global << 2) | PINNED` in
+//!   the thread's epoch slot, with a `SeqCst` fence that globally orders the
+//!   publication against `try_advance`'s scan (that ordering is what makes
+//!   the two-advance grace period sound). Unpinning is *lazy*: the slot
+//!   keeps the epoch with a [`LAZY`] bit ORed in, so a re-pin that finds the
+//!   global epoch unchanged can clear the bit with one relaxed CAS and skip
+//!   the fence — the word was continuously published since the last fenced
+//!   pin, so every scan in between already treated the thread as pinned.
+//!   `try_advance` neutralizes stale lazy slots (CAS to 0); the CAS
+//!   arbitrates against a concurrent fast-path re-pin, and whichever side
+//!   loses falls back to its slow path.
 
 use crate::bag::{Bag, SealedBag};
 use crate::deferred::Deferred;
 use crate::guard::Guard;
 use std::cell::{Cell, UnsafeCell};
+use std::mem::MaybeUninit;
 use std::ptr;
 use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use synq_primitives::CachePadded;
 
 /// `Local::state` values.
 const FREE: usize = 0;
@@ -34,6 +46,16 @@ const IN_USE: usize = 1;
 /// Collect every `PINS_BETWEEN_COLLECT` pins.
 const PINS_BETWEEN_COLLECT: usize = 128;
 
+/// `Local::epoch` is `(global_epoch << EPOCH_SHIFT) | flags`, or `0` when
+/// nothing is published.
+const PINNED: usize = 1;
+/// Set by `unpin`: the epoch is still published but no guard holds it.
+const LAZY: usize = 2;
+const EPOCH_SHIFT: u32 = 2;
+
+/// Maximum number of dead [`GarbageNode`] skeletons kept for reuse.
+const NODE_POOL_CAP: usize = 32;
+
 struct GarbageNode {
     sealed: SealedBag,
     next: *mut GarbageNode,
@@ -41,25 +63,38 @@ struct GarbageNode {
 
 /// Shared collector state. One per [`crate::Collector`].
 pub(crate) struct Global {
-    /// The global epoch (raw counter; wraps).
-    epoch: AtomicUsize,
+    /// The global epoch (raw counter; wraps). Padded: read on every pin and
+    /// written by `try_advance` — it must not share a line with the
+    /// registry or garbage heads below.
+    epoch: CachePadded<AtomicUsize>,
     /// Head of the participant registry (push-only list of `Local`s).
-    registry: AtomicPtr<Local>,
+    registry: CachePadded<AtomicPtr<Local>>,
     /// Head of the garbage stack.
-    garbage: AtomicPtr<GarbageNode>,
+    garbage: CachePadded<AtomicPtr<GarbageNode>>,
+    /// Dead `GarbageNode` skeletons (sealed bag moved out) awaiting reuse
+    /// by `push_sealed`. A `Mutex` rather than a Treiber stack because
+    /// `push_sealed` may run unpinned, where a lock-free pop would be
+    /// ABA-unsafe.
+    node_pool: CachePadded<Mutex<Vec<*mut GarbageNode>>>,
 }
 
-// SAFETY: all shared state is atomics; `Local` cells are only touched by
-// their owning thread while IN_USE.
+// Layout: each of the four hot words above owns its cache line(s).
+const _: () = assert!(std::mem::align_of::<Global>() >= 128);
+const _: () = assert!(std::mem::size_of::<Global>() >= 4 * 128);
+
+// SAFETY: all shared state is atomics (or mutex-guarded); `Local` cells are
+// only touched by their owning thread while IN_USE. The pooled raw pointers
+// are plain uninitialized allocations owned by the pool.
 unsafe impl Send for Global {}
 unsafe impl Sync for Global {}
 
 impl Global {
     pub(crate) fn new() -> Self {
         Global {
-            epoch: AtomicUsize::new(0),
-            registry: AtomicPtr::new(ptr::null_mut()),
-            garbage: AtomicPtr::new(ptr::null_mut()),
+            epoch: CachePadded::new(AtomicUsize::new(0)),
+            registry: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            garbage: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            node_pool: CachePadded::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -81,6 +116,7 @@ impl Global {
                     debug_assert!((*local.bag.get()).is_empty());
                     *local.global.get() = Some(Arc::clone(self));
                 }
+                debug_assert_eq!(local.epoch.load(Ordering::Relaxed), 0);
                 local.guard_count.set(0);
                 local.handle_count.set(1);
                 local.pin_count.set(0);
@@ -104,12 +140,10 @@ impl Global {
         loop {
             // SAFETY: `local` is ours until the push succeeds.
             unsafe { (*local).next.store(head, Ordering::Relaxed) };
-            match self.registry.compare_exchange(
-                head,
-                local,
-                Ordering::Release,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .registry
+                .compare_exchange(head, local, Ordering::Release, Ordering::Relaxed)
+            {
                 Ok(_) => return local,
                 Err(h) => head = h,
             }
@@ -128,15 +162,32 @@ impl Global {
         let global_epoch = self.epoch.load(Ordering::Relaxed);
         fence(Ordering::SeqCst);
 
+        let current = (global_epoch << EPOCH_SHIFT) | PINNED;
         let mut p = self.registry.load(Ordering::Acquire);
         while !p.is_null() {
             // SAFETY: registry nodes live as long as the Global.
             let local = unsafe { &*p };
             if local.state.load(Ordering::Acquire) == IN_USE {
                 let le = local.epoch.load(Ordering::Relaxed);
-                if le & 1 == 1 && le != (global_epoch << 1) | 1 {
-                    // Pinned at a different epoch: cannot advance.
-                    return global_epoch;
+                // A slot published at the current epoch never blocks us,
+                // lazy or not.
+                if le & PINNED != 0 && le | LAZY != current | LAZY {
+                    if le & LAZY == 0 {
+                        // Genuinely pinned at a different epoch.
+                        return global_epoch;
+                    }
+                    // Published but not held (lazy unpin at a stale epoch):
+                    // neutralize the slot so it cannot block the advance.
+                    // If the owner's fast-path re-pin races us, exactly one
+                    // of the two CASes on the word succeeds.
+                    if local
+                        .epoch
+                        .compare_exchange(le, 0, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        // The owner won and is pinned at the stale epoch.
+                        return global_epoch;
+                    }
                 }
             }
             p = local.next.load(Ordering::Acquire);
@@ -152,12 +203,35 @@ impl Global {
         self.epoch.load(Ordering::Relaxed)
     }
 
-    /// Pushes a sealed bag onto the garbage stack.
+    /// Pushes a sealed bag onto the garbage stack, reusing a pooled node
+    /// skeleton when one is available.
     pub(crate) fn push_sealed(&self, sealed: SealedBag) {
-        let node = Box::into_raw(Box::new(GarbageNode {
-            sealed,
-            next: ptr::null_mut(),
-        }));
+        let pooled = self.node_pool.lock().unwrap().pop();
+        let node = match pooled {
+            Some(p) => {
+                // SAFETY: pooled skeletons are logically uninitialized
+                // allocations we own exclusively.
+                unsafe {
+                    ptr::write(
+                        p,
+                        GarbageNode {
+                            sealed,
+                            next: ptr::null_mut(),
+                        },
+                    )
+                };
+                p
+            }
+            None => Box::into_raw(Box::new(GarbageNode {
+                sealed,
+                next: ptr::null_mut(),
+            })),
+        };
+        self.push_node(node);
+    }
+
+    /// Treiber-push of an initialized node onto the garbage stack.
+    fn push_node(&self, node: *mut GarbageNode) {
         let mut head = self.garbage.load(Ordering::Relaxed);
         loop {
             // SAFETY: node is ours until the push succeeds.
@@ -172,6 +246,24 @@ impl Global {
         }
     }
 
+    /// Returns a dead node skeleton to the pool, or frees it if full.
+    ///
+    /// # Safety
+    ///
+    /// `node.sealed` must already have been moved out and `node` must be
+    /// exclusively owned.
+    unsafe fn retire_node_skeleton(&self, node: *mut GarbageNode) {
+        let mut pool = self.node_pool.lock().unwrap();
+        if pool.len() < NODE_POOL_CAP {
+            pool.push(node);
+        } else {
+            drop(pool);
+            // The SealedBag was moved out; free the raw allocation without
+            // dropping the logically-uninitialized contents.
+            drop(unsafe { Box::from_raw(node as *mut MaybeUninit<GarbageNode>) });
+        }
+    }
+
     /// Tries to advance the epoch, then frees every expired bag.
     pub(crate) fn collect(&self) {
         let global_epoch = self.try_advance();
@@ -180,13 +272,19 @@ impl Global {
         let mut p = self.garbage.swap(ptr::null_mut(), Ordering::AcqRel);
         while !p.is_null() {
             // SAFETY: detached chain is exclusively ours.
-            let node = unsafe { Box::from_raw(p) };
-            p = node.next;
-            if node.sealed.is_expired(global_epoch) {
-                drop(node); // runs the bag's deferreds
+            let next = unsafe { (*p).next };
+            if unsafe { (*p).sealed.is_expired(global_epoch) } {
+                // Move the bag out and recycle the skeleton *before*
+                // running the deferreds: they may re-enter `push_sealed`,
+                // and we must not hold the pool lock while they run.
+                let sealed = unsafe { ptr::read(&(*p).sealed) };
+                unsafe { self.retire_node_skeleton(p) };
+                drop(sealed); // runs the bag's deferreds
             } else {
-                self.push_sealed(node.sealed);
+                // Unexpired: re-push the node as-is, no realloc.
+                self.push_node(p);
             }
+            p = next;
         }
     }
 }
@@ -203,6 +301,10 @@ impl Drop for Global {
             g = node.next;
             drop(node);
         }
+        for p in self.node_pool.get_mut().unwrap().drain(..) {
+            // SAFETY: pooled skeletons are logically uninitialized.
+            drop(unsafe { Box::from_raw(p as *mut MaybeUninit<GarbageNode>) });
+        }
         let mut p = *self.registry.get_mut();
         while !p.is_null() {
             // SAFETY: exclusive access in Drop; Locals hold no Arc (FREE).
@@ -215,8 +317,14 @@ impl Drop for Global {
 }
 
 /// Per-thread participant record. Cells are owner-thread-only while IN_USE.
+///
+/// Line-aligned so records of different threads never share a cache line:
+/// `epoch` is scanned by every `try_advance` while the owning thread hammers
+/// `guard_count`/`pin_count` on each pin.
+#[repr(align(128))]
 pub(crate) struct Local {
-    /// `(global_epoch << 1) | 1` while pinned; `0` while unpinned.
+    /// `(global_epoch << 2) | PINNED [| LAZY]` while published; `0` when
+    /// not. See the module docs for the lazy-unpin protocol.
     epoch: AtomicUsize,
     /// FREE / IN_USE.
     state: AtomicUsize,
@@ -234,6 +342,8 @@ pub(crate) struct Local {
     global: UnsafeCell<Option<Arc<Global>>>,
 }
 
+const _: () = assert!(std::mem::align_of::<Local>() >= 128);
+
 impl Local {
     fn global(&self) -> &Arc<Global> {
         // SAFETY: `global` is Some for the whole IN_USE lifetime and only
@@ -249,20 +359,55 @@ impl Local {
         let count = self.guard_count.get();
         self.guard_count.set(count + 1);
         if count == 0 {
-            let global = self.global();
-            let ge = global.epoch.load(Ordering::Relaxed);
-            self.epoch.store((ge << 1) | 1, Ordering::Relaxed);
-            // Globally order the pin against `try_advance`'s scan. On x86
-            // this is the one real cost of pinning (~ one locked insn).
-            fence(Ordering::SeqCst);
-
-            let pins = self.pin_count.get().wrapping_add(1);
-            self.pin_count.set(pins);
-            if pins % PINS_BETWEEN_COLLECT == 0 {
-                global.collect();
-            }
+            self.publish();
         }
         guard
+    }
+
+    /// Publishes the epoch for an outermost guard.
+    fn publish(&self) {
+        let global = self.global();
+        let ge = global.epoch.load(Ordering::Relaxed);
+        let pinned = (ge << EPOCH_SHIFT) | PINNED;
+        // Fast path: our slot is still published at the current global
+        // epoch from a lazily-unpinned previous guard. Clearing the LAZY
+        // bit with a relaxed CAS suffices: the word has been continuously
+        // published since our last *fenced* publish, so every
+        // `try_advance` scan since then already saw us pinned at `ge`, and
+        // the CAS arbitrates the race with a concurrent neutralization
+        // (exactly one of the two CASes on this word succeeds).
+        let lazy = pinned | LAZY;
+        let fast = self.epoch.load(Ordering::Relaxed) == lazy
+            && self
+                .epoch
+                .compare_exchange(lazy, pinned, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok();
+        if !fast {
+            Self::publish_slow(&self.epoch, pinned);
+        }
+
+        let pins = self.pin_count.get().wrapping_add(1);
+        self.pin_count.set(pins);
+        if pins.is_multiple_of(PINS_BETWEEN_COLLECT) {
+            global.collect();
+        }
+    }
+
+    /// Full fenced publication, globally ordered against `try_advance`.
+    #[cold]
+    fn publish_slow(epoch: &AtomicUsize, pinned: usize) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        {
+            // A SeqCst swap compiles to a single `xchg`, which is both the
+            // store and the full barrier — one locked instruction instead
+            // of a store followed by `mfence`.
+            epoch.swap(pinned, Ordering::SeqCst);
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        {
+            epoch.store(pinned, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+        }
     }
 
     /// True if a guard is currently alive on this thread.
@@ -276,7 +421,12 @@ impl Local {
         debug_assert!(count > 0, "unpin without pin");
         self.guard_count.set(count - 1);
         if count == 1 {
-            self.epoch.store(0, Ordering::Release);
+            // Lazy unpin: keep the epoch published with the LAZY bit so an
+            // immediate re-pin at the same global epoch can skip the full
+            // fence. While genuinely pinned only we write this word, so
+            // the plain read-modify-write below cannot race.
+            let e = self.epoch.load(Ordering::Relaxed);
+            self.epoch.store(e | LAZY, Ordering::Release);
             if self.handle_count.get() == 0 {
                 self.finalize();
             }
@@ -301,6 +451,11 @@ impl Local {
             return;
         }
         let global = self.global();
+        // Globally order the seal-epoch read after every prior access to
+        // the retired objects (crossbeam's `push_bag` carries the same
+        // fence). Without it the read could return a stale, older epoch
+        // and the bag would expire one grace period early.
+        fence(Ordering::SeqCst);
         let epoch = global.epoch();
         global.push_sealed(SealedBag {
             epoch,
@@ -330,6 +485,10 @@ impl Local {
         debug_assert_eq!(self.guard_count.get(), 0);
         debug_assert_eq!(self.handle_count.get(), 0);
         self.seal_bag();
+        // Clear any lazily-published epoch: a recycled record must never
+        // satisfy a later owner's fence-free fast path on the strength of
+        // a publish this thread made.
+        self.epoch.store(0, Ordering::Release);
         // SAFETY: owner-thread-only cell; after this we only touch `state`.
         let global = unsafe { (*self.global.get()).take().expect("double finalize") };
         self.state.store(FREE, Ordering::Release);

@@ -21,7 +21,9 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
-use synq::{impl_channels_via_transferer, CancelToken, Deadline, SpinPolicy, Transferer, TransferOutcome};
+use synq::{
+    impl_channels_via_transferer, CancelToken, Deadline, SpinPolicy, TransferOutcome, Transferer,
+};
 use synq_primitives::{Parker, WaiterCell};
 use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
 
@@ -222,11 +224,7 @@ impl<T: Send> TransferQueue<T> {
     }
 
     /// Fully general receive.
-    pub fn take_with(
-        &self,
-        deadline: Deadline,
-        token: Option<&CancelToken>,
-    ) -> TransferOutcome<T> {
+    pub fn take_with(&self, deadline: Deadline, token: Option<&CancelToken>) -> TransferOutcome<T> {
         self.consumer(deadline, token)
     }
 

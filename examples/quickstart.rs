@@ -28,7 +28,10 @@ fn main() {
     // --- 2. Non-blocking probes ------------------------------------------
     // Nobody is waiting, so both fail immediately and hand the item back.
     assert_eq!(q.poll(), None);
-    assert_eq!(q.offer("nobody is listening".into()), Err("nobody is listening".into()));
+    assert_eq!(
+        q.offer("nobody is listening".into()),
+        Err("nobody is listening".into())
+    );
 
     // --- 3. Patience (timed offer/poll) ----------------------------------
     let started = std::time::Instant::now();

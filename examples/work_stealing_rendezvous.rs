@@ -25,8 +25,7 @@ fn main() {
         let x = Arc::clone(&exchanger);
         thread::spawn(move || {
             let backlog: Vec<u32> = (0..100).collect();
-            let (keep, give): (Vec<u32>, Vec<u32>) =
-                backlog.into_iter().partition(|v| v % 2 == 0);
+            let (keep, give): (Vec<u32>, Vec<u32>) = backlog.into_iter().partition(|v| v % 2 == 0);
             // Swap our surplus for whatever the partner offers (an empty
             // batch, in this case).
             let received = x.exchange(give);

@@ -203,3 +203,103 @@ fn executor_survives_cancellation_mid_burst() {
     pool.join();
     assert_eq!(done.load(Ordering::Relaxed), accepted);
 }
+
+/// Node-recycling churn: far more handoffs than the free list can hold, so
+/// every skeleton is reused many times over — with timed failures mixed in
+/// so recycled nodes also pass through the cancelled state carrying an
+/// *unconsumed* item. Each payload must drop exactly once: a recycled node
+/// whose item slot was not moved out (or not cleared before reuse) shows up
+/// here as a leak or a double-free.
+fn recycling_churn(fair: bool) {
+    const OPS: usize = 3_000;
+    let live = Arc::new(AtomicUsize::new(0));
+    let q: Arc<SynchronousQueue<Tracked>> = Arc::new(if fair {
+        SynchronousQueue::fair()
+    } else {
+        SynchronousQueue::unfair()
+    });
+    let delivered = Arc::new(AtomicUsize::new(0));
+
+    let producer = {
+        let q = Arc::clone(&q);
+        let live = Arc::clone(&live);
+        let delivered = Arc::clone(&delivered);
+        thread::spawn(move || {
+            for i in 0..OPS {
+                let item = Tracked::new(&live);
+                if i % 8 == 0 {
+                    // Mostly-failing timed offer: leaves a cancelled node
+                    // (item still aboard) for the recycler to clean up.
+                    match q.offer_timeout(item, Duration::from_micros(1)) {
+                        Ok(()) => {
+                            delivered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(item) => drop(item),
+                    }
+                } else {
+                    q.put(item);
+                    delivered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+    };
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let drainer = {
+        let q = Arc::clone(&q);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut got = 0usize;
+            loop {
+                match q.poll_timeout(Duration::from_micros(300)) {
+                    Some(item) => {
+                        got += 1;
+                        drop(item);
+                    }
+                    None => {
+                        if stop.load(Ordering::Acquire) {
+                            return got;
+                        }
+                    }
+                }
+            }
+        })
+    };
+
+    producer.join().unwrap();
+    stop.store(true, Ordering::Release);
+    let received = drainer.join().unwrap();
+    assert_eq!(
+        delivered.load(Ordering::SeqCst),
+        received,
+        "every delivered item must come out exactly once despite node reuse"
+    );
+
+    // The free list must drain fully on drop: once the queue and all
+    // epoch-deferred releases are gone, every payload has dropped.
+    drop(q);
+    for _ in 0..64 {
+        if live.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        let g = synq_suite::reclaim::pin();
+        g.flush();
+        drop(g);
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        live.load(Ordering::SeqCst),
+        0,
+        "payloads leaked through the node cache (double-frees would have underflowed)"
+    );
+}
+
+#[test]
+fn recycling_churn_fair() {
+    recycling_churn(true);
+}
+
+#[test]
+fn recycling_churn_unfair() {
+    recycling_churn(false);
+}

@@ -68,7 +68,10 @@ fn synchronous_adds_producer_waiting() {
         r2.store(true, Ordering::SeqCst);
     });
     thread::sleep(Duration::from_millis(30));
-    assert!(!returned.load(Ordering::SeqCst), "synchronous put returned early");
+    assert!(
+        !returned.load(Ordering::SeqCst),
+        "synchronous put returned early"
+    );
     assert_eq!(sq.take(), 1);
     producer.join().unwrap();
 }

@@ -57,7 +57,10 @@ fn heap_owning_payloads_roundtrip() {
     let q2 = Arc::clone(&q);
     let t = thread::spawn(move || q2.take());
     q.put(vec!["alpha".into(), "beta".into()]);
-    assert_eq!(t.join().unwrap(), vec!["alpha".to_string(), "beta".to_string()]);
+    assert_eq!(
+        t.join().unwrap(),
+        vec!["alpha".to_string(), "beta".to_string()]
+    );
 }
 
 #[test]
@@ -70,7 +73,10 @@ fn timed_failures_return_exact_value() {
         .offer_timeout(boxed, Duration::from_millis(10))
         .unwrap_err();
     assert_eq!(*back, 99);
-    assert_eq!(&*back as *const u64 as usize, addr, "value was copied/replaced");
+    assert_eq!(
+        &*back as *const u64 as usize, addr,
+        "value was copied/replaced"
+    );
 }
 
 #[test]
@@ -125,7 +131,11 @@ fn drop_counts_balance_across_all_structures() {
         drop(g);
         thread::sleep(Duration::from_millis(2));
     }
-    assert_eq!(LIVE.load(Ordering::SeqCst), 0, "payload leak or double-free");
+    assert_eq!(
+        LIVE.load(Ordering::SeqCst),
+        0,
+        "payload leak or double-free"
+    );
 }
 
 #[test]

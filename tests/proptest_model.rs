@@ -20,12 +20,7 @@ use synq_suite::transfer::TransferQueue;
 
 /// Runs `producers`×`per` timed offers against one drainer; checks
 /// conservation between reported-delivered and actually-received.
-fn run_timed_session(
-    fair: bool,
-    producers: usize,
-    per: usize,
-    patience_us: u64,
-) -> (usize, usize) {
+fn run_timed_session(fair: bool, producers: usize, per: usize, patience_us: u64) -> (usize, usize) {
     let q = Arc::new(if fair {
         SynchronousQueue::fair()
     } else {
@@ -39,8 +34,7 @@ fn run_timed_session(
         handles.push(thread::spawn(move || {
             for i in 0..per {
                 let v = (p * per + i) as u64;
-                if q
-                    .offer_timeout(v, Duration::from_micros(patience_us))
+                if q.offer_timeout(v, Duration::from_micros(patience_us))
                     .is_ok()
                 {
                     delivered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -195,4 +189,55 @@ fn parallel_session_with_shared_ledger() {
     assert_eq!(all.len(), PRODUCERS * PER, "duplicate delivery detected");
     let ledger = ledger.lock().unwrap();
     assert_eq!(ledger.len(), PRODUCERS * PER);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Node recycling must be invisible to the values: random-length
+    /// ping-pong sessions conserve the value multiset (checked via the
+    /// sum), and the allocation diagnostics must account for every node
+    /// acquisition — each transfer's node came either from the allocator
+    /// or from the free list, never from thin air.
+    #[test]
+    fn queue_node_recycling_is_value_transparent(n in 64usize..512) {
+        use synq_suite::core::{SyncChannel, SyncDualQueue};
+        let q = Arc::new(SyncDualQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..n {
+                sum += q2.take();
+            }
+            sum
+        });
+        for i in 0..n as u64 {
+            q.put(i);
+        }
+        prop_assert_eq!(t.join().unwrap(), (n as u64 * (n as u64 - 1)) / 2);
+        // Demand is one node per transfer plus the dummy; retries may add
+        // a few more. Every acquisition is either a fresh alloc or a
+        // cache pop.
+        prop_assert!(q.nodes_allocated() + q.nodes_recycled() > n);
+    }
+
+    #[test]
+    fn stack_node_recycling_is_value_transparent(n in 64usize..512) {
+        use synq_suite::core::{SyncChannel, SyncDualStack};
+        let s = Arc::new(SyncDualStack::new());
+        let s2 = Arc::clone(&s);
+        let t = thread::spawn(move || {
+            let mut sum = 0u64;
+            for _ in 0..n {
+                sum += s2.take();
+            }
+            sum
+        });
+        for i in 0..n as u64 {
+            s.put(i);
+        }
+        prop_assert_eq!(t.join().unwrap(), (n as u64 * (n as u64 - 1)) / 2);
+        // Two nodes per transfer here: the waiter's and the fulfilling one.
+        prop_assert!(s.nodes_allocated() + s.nodes_recycled() >= 2 * n);
+    }
 }

@@ -1,0 +1,156 @@
+//! Offline drop-in subset of the `criterion` crate API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its `[[bench]]` targets use: benchmark
+//! groups, [`BenchmarkId`], and [`Bencher::iter`]/[`Bencher::iter_custom`].
+//! Instead of criterion's statistical sampling it runs each benchmark a
+//! small fixed number of iterations and prints one `ns/iter` line — enough
+//! for `cargo bench` to produce comparable smoke numbers without the heavy
+//! dependency tree. `SYNQ_CRITERION_ITERS` overrides the iteration count.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: a function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: Display>(name: S, param: P) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+/// Measurement driver handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time `iters` iterations itself and report the total
+    /// duration (used when per-iteration setup must be excluded).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed in this subset.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is skipped in this subset.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input parameter.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let iters = std::env::var("SYNQ_CRITERION_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3u64);
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        let ns = b.elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        println!("{}/{}/{}: {ns:.0} ns/iter", self.name, id.name, id.param);
+        self
+    }
+
+    /// Ends the group (prints nothing in this subset).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(5).warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        g.bench_with_input(BenchmarkId::new("iter", 1), &(), |b, _| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("custom", 2), &(), |b, _| {
+            b.iter_custom(|iters| {
+                ran += iters;
+                Duration::from_nanos(42 * iters)
+            })
+        });
+        g.finish();
+        assert!(ran >= 6);
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of `rand` it actually uses: [`thread_rng`] and
+//! [`Rng::gen_range`] over half-open and inclusive integer ranges. The
+//! generator is a per-thread SplitMix64 seeded from the system clock and a
+//! process-global counter — statistically fine for randomized tests and
+//! benchmark slot picking, and deliberately **not** cryptographic.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::{Range, RangeInclusive};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A source of random bits, mirroring the subset of `rand::Rng` this
+/// workspace uses.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed value from `range`.
+    ///
+    /// Supports `lo..hi` and `lo..=hi` over the primitive integer types.
+    /// Parameterizing [`SampleRange`] by the output type (rather than using
+    /// an associated type) lets integer literals infer from the call site,
+    /// matching real `rand` (`Duration::from_micros(rng.gen_range(1..400))`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self.next_u64())
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample `T` from.
+pub trait SampleRange<T> {
+    /// Maps 64 uniform bits onto the range.
+    fn sample(self, raw: u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, raw: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (raw as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, raw: u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (raw as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// SplitMix64 step: full-period, passes BigCrush as a mixer.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-thread random generator handle (mirror of `rand::rngs::ThreadRng`).
+#[derive(Debug, Clone)]
+pub struct ThreadRng;
+
+thread_local! {
+    static STATE: Cell<u64> = const { Cell::new(0) };
+}
+
+static SEED_COUNTER: AtomicU64 = AtomicU64::new(0x243F_6A88_85A3_08D3);
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        STATE.with(|s| {
+            let mut state = s.get();
+            if state == 0 {
+                let nanos = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0xDEAD_BEEF);
+                state = nanos
+                    ^ SEED_COUNTER
+                        .fetch_add(0x9E37_79B9, Ordering::Relaxed)
+                        .rotate_left(17);
+                if state == 0 {
+                    state = 0x5851_F42D_4C95_7F2D;
+                }
+            }
+            let out = splitmix64(&mut state);
+            s.set(state);
+            out
+        })
+    }
+}
+
+/// Returns the calling thread's random generator.
+pub fn thread_rng() -> ThreadRng {
+    ThreadRng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = thread_rng();
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let z = rng.gen_range(0u64..1);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn output_varies() {
+        let mut rng = thread_rng();
+        let first = rng.next_u64();
+        assert!((0..64).any(|_| rng.next_u64() != first));
+    }
+}
