@@ -9,6 +9,14 @@
 //! the coarse-grained lock serializes *all* operations, which is the
 //! scalability bottleneck the paper's lock-free structures remove.
 //!
+//! The per-waiter synchronizer is the shared
+//! [`synq_primitives::WaitSlot`]: a fulfiller holding the entry lock
+//! claims the node (`try_claim`), moves the item, and completes; the
+//! waiter blocks in [`WaitSlot::await_outcome`]. The Listing 4 semantics
+//! — park immediately, no spinning — are the default
+//! [`SpinPolicy::park_immediately`] strategy, but [`Java5SQ::with_spin`]
+//! exposes the same knob as the dual structures for uniform sweeps.
+//!
 //! In fair mode the entry lock itself is FIFO-fair
 //! ([`synq_primitives::TicketLock`]), matching the Java implementation's
 //! fair-mode `ReentrantLock`: "the fair-mode version uses a fair-mode entry
@@ -17,27 +25,14 @@
 //! isolates.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
 use synq::{impl_channels_via_transferer, Deadline, TransferOutcome, Transferer};
-use synq_primitives::{CancelToken, TicketLock};
+use synq_primitives::{CancelToken, SpinPolicy, TicketLock, WaitOutcome, WaitSlot};
 
 /// Per-waiter synchronizer (the Listing 4 `Node` with its AQS replaced by
-/// a mutex/condvar pair).
-#[derive(Debug)]
-struct Node<T> {
-    state: Mutex<NodeState<T>>,
-    cvar: Condvar,
-}
-
-#[derive(Debug)]
-struct NodeState<T> {
-    /// For producer nodes: the offered item (until taken). For consumer
-    /// nodes: the delivered item (once fulfilled).
-    item: Option<T>,
-    done: bool,
-    cancelled: bool,
-}
+/// the shared wait-slot protocol). Producer nodes are armed with their item
+/// before being enqueued; consumer nodes receive the item on fulfillment.
+type Node<T> = WaitSlot<T>;
 
 #[derive(Debug)]
 struct Lists<T> {
@@ -46,8 +41,8 @@ struct Lists<T> {
 }
 
 impl<T> Lists<T> {
-    /// Pops per the configured discipline, discarding cancelled nodes.
-    /// The popped node's lock is NOT yet taken; the caller revalidates.
+    /// Pops per the configured discipline. The popped node may already be
+    /// cancelled; the caller arbitrates with [`WaitSlot::try_claim`].
     fn pop(deque: &mut VecDeque<Arc<Node<T>>>, fair: bool) -> Option<Arc<Node<T>>> {
         if fair {
             deque.pop_front()
@@ -86,6 +81,8 @@ pub struct Java5SQ<T> {
     fair_entry: Option<TicketLock>,
     lists: Mutex<Lists<T>>,
     fair: bool,
+    /// How waiters burn time before parking. Listing 4 parks immediately.
+    spin: SpinPolicy,
 }
 
 impl<T: Send> Java5SQ<T> {
@@ -102,6 +99,13 @@ impl<T: Send> Java5SQ<T> {
     /// Explicit-mode constructor (used by ablation A2, which also pairs
     /// fair lists with an unfair lock via [`Java5SQ::fair_lists_unfair_lock`]).
     pub fn with_mode(fair: bool) -> Self {
+        Self::with_spin(fair, SpinPolicy::park_immediately())
+    }
+
+    /// Explicit mode *and* spin policy — `with_spin` parity with the dual
+    /// structures, for uniform wait-strategy sweeps. Listing 4 itself never
+    /// spins ([`SpinPolicy::park_immediately`], the `with_mode` default).
+    pub fn with_spin(fair: bool, spin: SpinPolicy) -> Self {
         Java5SQ {
             fair_entry: fair.then(TicketLock::new),
             lists: Mutex::new(Lists {
@@ -109,6 +113,7 @@ impl<T: Send> Java5SQ<T> {
                 waiting_consumers: VecDeque::new(),
             }),
             fair,
+            spin,
         }
     }
 
@@ -123,6 +128,7 @@ impl<T: Send> Java5SQ<T> {
                 waiting_consumers: VecDeque::new(),
             }),
             fair: true,
+            spin: SpinPolicy::park_immediately(),
         }
     }
 
@@ -137,7 +143,9 @@ impl<T: Send> Java5SQ<T> {
         f(&mut lists)
     }
 
-    /// Blocks on `node` until fulfilled, timed out, or cancelled.
+    /// Blocks on `node` until fulfilled, timed out, or cancelled, through
+    /// the shared wait loop. A cancelled node stays in its list; fulfillers
+    /// discard it when their claim fails.
     fn await_node(
         &self,
         node: &Node<T>,
@@ -145,50 +153,31 @@ impl<T: Send> Java5SQ<T> {
         deadline: Deadline,
         token: Option<&CancelToken>,
     ) -> TransferOutcome<T> {
-        let mut st = node.state.lock().unwrap();
-        loop {
-            if st.done {
-                return if is_producer {
+        match node.await_outcome(deadline, token, &self.spin) {
+            WaitOutcome::Matched(_) => {
+                if is_producer {
                     TransferOutcome::Transferred(None)
                 } else {
-                    debug_assert!(st.item.is_some());
-                    TransferOutcome::Transferred(st.item.take())
-                };
+                    // SAFETY: the terminal state publishes the deposit.
+                    TransferOutcome::Transferred(Some(unsafe { node.take_item() }))
+                }
             }
-            let cancelled = token.is_some_and(|tk| tk.is_cancelled());
-            if cancelled || deadline.expired() {
-                st.cancelled = true;
-                let item = st.item.take(); // producer reclaims its item
-                return if cancelled {
+            verdict => {
+                // We won the cancel CAS: the item cell is ours again, and
+                // no fulfiller will ever claim this node.
+                let item = if is_producer {
+                    // SAFETY: producer nodes were armed before enqueue and
+                    // the won cancel race returns the cell to us.
+                    Some(unsafe { node.take_item() })
+                } else {
+                    None
+                };
+                if matches!(verdict, WaitOutcome::Cancelled) {
                     TransferOutcome::Cancelled(item)
                 } else {
                     TransferOutcome::Timeout(item)
-                };
+                }
             }
-            // Condvar waits cannot be interrupted by a CancelToken, so wait
-            // in slices when a token is present.
-            let slice = match (deadline, token) {
-                (Deadline::At(d), None) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        continue;
-                    }
-                    Some(d - now)
-                }
-                (Deadline::At(d), Some(_)) => {
-                    let now = Instant::now();
-                    if now >= d {
-                        continue;
-                    }
-                    Some((d - now).min(Duration::from_millis(2)))
-                }
-                (_, Some(_)) => Some(Duration::from_millis(2)),
-                (_, None) => None,
-            };
-            st = match slice {
-                Some(s) => node.cvar.wait_timeout(st, s).unwrap().0,
-                None => node.cvar.wait(st).unwrap(),
-            };
         }
     }
 }
@@ -227,31 +216,27 @@ impl<T: Send> Transferer<T> for Java5SQ<T> {
                 &mut lists.waiting_producers
             };
             while let Some(node) = Lists::pop(counterpart, self.fair) {
-                let mut st = node.state.lock().unwrap();
-                if st.cancelled {
-                    continue; // discard and try the next waiter
+                if !node.try_claim() {
+                    continue; // cancelled node: discard, try the next waiter
                 }
-                if is_producer {
-                    st.item = give.take();
+                let received = if is_producer {
+                    // SAFETY: the claim grants the item cell to us.
+                    unsafe { node.put_item(give.take().expect("producer holds an item")) };
+                    None
                 } else {
-                    give = st.item.take();
-                    debug_assert!(give.is_some(), "producer node without item");
-                }
-                st.done = true;
-                drop(st);
-                node.cvar.notify_one();
-                return Step::Done(if is_producer { None } else { give.take() });
+                    // SAFETY: producer nodes are armed before enqueue and
+                    // the claim grants the cell to us.
+                    Some(unsafe { node.take_item() })
+                };
+                node.complete();
+                return Step::Done(received);
             }
             if deadline.is_now() || cancelled_on_entry {
                 return Step::FailFast(give.take());
             }
-            let node = Arc::new(Node {
-                state: Mutex::new(NodeState {
-                    item: give.take(),
-                    done: false,
-                    cancelled: false,
-                }),
-                cvar: Condvar::new(),
+            let node = Arc::new(match give.take() {
+                Some(v) => WaitSlot::with_item(v),
+                None => WaitSlot::new(),
             });
             let own = if is_producer {
                 &mut lists.waiting_producers
@@ -281,6 +266,7 @@ impl_channels_via_transferer!(Java5SQ);
 mod tests {
     use super::*;
     use std::thread;
+    use std::time::{Duration, Instant};
     use synq::{SyncChannel, TimedSyncChannel};
 
     fn both_modes() -> Vec<Java5SQ<u32>> {
@@ -337,6 +323,18 @@ mod tests {
     fn timed_offer_returns_item() {
         let q: Java5SQ<u32> = Java5SQ::fair();
         assert_eq!(q.offer_timeout(5, Duration::from_millis(10)), Err(5));
+    }
+
+    #[test]
+    fn spinning_variant_pairs_correctly() {
+        // with_spin parity: the baseline accepts any strategy the dual
+        // structures accept, and the protocol is unchanged by spinning.
+        let q = Arc::new(Java5SQ::with_spin(false, SpinPolicy::fixed(64)));
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        q.put(5u32);
+        assert_eq!(t.join().unwrap(), 5);
+        assert_eq!(q.poll(), None);
     }
 
     #[test]
@@ -417,6 +415,19 @@ mod tests {
             }
         }
         assert_eq!(t.join().unwrap(), 21);
+    }
+
+    #[test]
+    fn abandoned_producer_item_is_dropped_with_queue() {
+        // A producer that times out reclaims its item; a producer whose
+        // node is still armed when the queue drops must not leak it.
+        let payload = Arc::new(());
+        let q: Java5SQ<Arc<()>> = Java5SQ::unfair();
+        assert!(q
+            .offer_timeout(Arc::clone(&payload), Duration::from_millis(5))
+            .is_err());
+        drop(q);
+        assert_eq!(Arc::strong_count(&payload), 1);
     }
 
     #[test]

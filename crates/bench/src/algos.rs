@@ -5,6 +5,7 @@ use synq::{SpinPolicy, SyncChannel, SyncDualQueue, SyncDualStack, TimedSyncChann
 use synq_baselines::{HansonFastSQ, HansonSQ, Java5SQ, NaiveSQ};
 use synq_exchanger::EliminationSyncStack;
 use synq_executor::Job;
+use synq_transfer::TransferQueue;
 
 /// The six curves of Figures 3–5 (the paper plots five; we add the naive
 /// monitor queue as an extra reference point).
@@ -105,6 +106,74 @@ pub fn make_timed_job(algo: Algo) -> Option<Arc<dyn TimedSyncChannel<Job>>> {
     })
 }
 
+/// Every structure that routes its wait loop through the shared `WaitSlot`
+/// engine and therefore accepts a [`SpinPolicy`] — the sweep axis of the
+/// `wait_strategy` binary.
+pub const POLICY_STRUCTURES: &[Structure] = &[
+    Structure::Fair,
+    Structure::Unfair,
+    Structure::Transfer,
+    Structure::Elim,
+    Structure::Java5Unfair,
+];
+
+/// A row of [`WAIT_STRATEGIES`]: strategy name plus policy factory.
+pub type NamedStrategy = (&'static str, fn() -> SpinPolicy);
+
+/// The named wait strategies swept by the `wait_strategy` binary: the
+/// adaptive default, park-immediately (spin budget 0), and two fixed
+/// budgets bracketing the adaptive choice.
+pub const WAIT_STRATEGIES: &[NamedStrategy] = &[
+    ("adaptive", SpinPolicy::adaptive),
+    ("park-now", SpinPolicy::park_immediately),
+    ("spin32", || SpinPolicy::fixed(32)),
+    ("spin320", || SpinPolicy::fixed(320)),
+];
+
+/// A synchronous structure whose waiting behavior is parameterized by a
+/// [`SpinPolicy`] (all five now share the `WaitSlot` wait loop, so one
+/// policy value means the same thing to each of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structure {
+    /// Synchronous dual queue (fair).
+    Fair,
+    /// Synchronous dual stack (unfair).
+    Unfair,
+    /// The `LinkedTransferQueue`-style unbounded transfer queue.
+    Transfer,
+    /// Dual stack fronted by a 4-slot elimination arena.
+    Elim,
+    /// Java SE 5.0 baseline, unfair mode (its Listing 4 default is
+    /// park-immediately; other policies show what spinning buys a
+    /// lock-based design).
+    Java5Unfair,
+}
+
+impl Structure {
+    /// Row label used in tables and JSON (`<structure>/<strategy>` when
+    /// combined with a policy name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Structure::Fair => "new-fair",
+            Structure::Unfair => "new-unfair",
+            Structure::Transfer => "transfer",
+            Structure::Elim => "new-unfair-elim4",
+            Structure::Java5Unfair => "java5-unfair",
+        }
+    }
+}
+
+/// Builds a fresh `u64` channel for `structure` waiting per `policy`.
+pub fn make_policy_channel(structure: Structure, policy: SpinPolicy) -> Arc<dyn SyncChannel<u64>> {
+    match structure {
+        Structure::Fair => Arc::new(SyncDualQueue::with_spin(policy)),
+        Structure::Unfair => Arc::new(SyncDualStack::with_spin(policy)),
+        Structure::Transfer => Arc::new(TransferQueue::with_spin(policy)),
+        Structure::Elim => Arc::new(EliminationSyncStack::with_spin(4, policy)),
+        Structure::Java5Unfair => Arc::new(Java5SQ::with_spin(false, policy)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +195,24 @@ mod tests {
         assert!(make_timed_job(Algo::Naive).is_none());
         for &algo in TIMED_ALGOS {
             assert!(make_timed_job(algo).is_some(), "algo {}", algo.name());
+        }
+    }
+
+    #[test]
+    fn every_policy_structure_transfers_under_every_strategy() {
+        for &structure in POLICY_STRUCTURES {
+            for &(name, policy) in WAIT_STRATEGIES {
+                let ch = make_policy_channel(structure, policy());
+                let ch2 = Arc::clone(&ch);
+                let t = std::thread::spawn(move || ch2.take());
+                ch.put(9);
+                assert_eq!(
+                    t.join().unwrap(),
+                    9,
+                    "structure {} strategy {name}",
+                    structure.name()
+                );
+            }
         }
     }
 

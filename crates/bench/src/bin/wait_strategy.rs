@@ -1,0 +1,57 @@
+//! Wait-strategy sweep: every `WaitSlot`-backed structure × every named
+//! spin policy, under the F3 pairwise-handoff workload.
+//!
+//! Since PR 2 all five synchronous structures (dual queue, dual stack,
+//! transfer queue, elimination stack, and the Java 5 baseline) share one
+//! `WaitSlot::await_outcome` loop parameterized by `WaitStrategy`, so a
+//! policy value means the same thing to each of them and the sweep is
+//! apples-to-apples. Emits `BENCH_wait_strategy.json` at the repo root
+//! alongside `BENCH_headline.json`.
+
+use synq_bench::algos::{make_policy_channel, POLICY_STRUCTURES, WAIT_STRATEGIES};
+use synq_bench::report::{write_bench_wait_strategy, FigureReport};
+use synq_bench::workload::{handoff_ns_per_transfer, HandoffShape};
+use synq_bench::{quick_mode, sweep, transfers_for};
+
+/// A narrower ladder than the figures: enough to see the spin/park
+/// crossover (undersubscribed, saturated, oversubscribed) without a
+/// full-figure run per combination.
+const LEVELS: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+fn main() {
+    let quick = quick_mode();
+    let levels = sweep(LEVELS, quick);
+    let mut report = FigureReport::new(
+        "wait_strategy",
+        "Wait-strategy sweep over the shared WaitSlot loop",
+        "pairs",
+        "ns/transfer",
+        levels.clone(),
+    );
+    for &structure in POLICY_STRUCTURES {
+        for &(strategy, policy) in WAIT_STRATEGIES {
+            let label = format!("{}/{}", structure.name(), strategy);
+            let mut values = Vec::with_capacity(levels.len());
+            for &level in &levels {
+                let s = HandoffShape::pairs(level);
+                let transfers = transfers_for(s.producers + s.consumers, quick);
+                let ns =
+                    handoff_ns_per_transfer(make_policy_channel(structure, policy()), s, transfers);
+                eprintln!(
+                    "  wait_strategy {label:>24} pairs={level:<3} -> {ns:>12.0} ns/transfer ({transfers} transfers)"
+                );
+                values.push(ns);
+            }
+            report.push_series(label, values);
+        }
+    }
+    println!("{}", report.to_table());
+    match report.write_json() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write JSON: {e}"),
+    }
+    match write_bench_wait_strategy(&report) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_wait_strategy.json: {e}"),
+    }
+}

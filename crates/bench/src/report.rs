@@ -196,6 +196,29 @@ pub fn write_bench_headline(
     Ok(path)
 }
 
+/// Writes the repo-root `BENCH_wait_strategy.json` file (alongside
+/// `BENCH_headline.json`): ns/transfer for every `structure/strategy`
+/// combination, consumed to confirm the shared wait loop is perf-neutral
+/// and to compare strategies uniformly across structures. Returns the path
+/// written (overridable with `SYNQ_WAIT_STRATEGY_PATH`).
+pub fn write_bench_wait_strategy(sweep: &FigureReport) -> std::io::Result<PathBuf> {
+    let path = std::env::var("SYNQ_WAIT_STRATEGY_PATH")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wait_strategy.json")
+        });
+    let fields = vec![
+        (
+            "schema".into(),
+            Json::Str("synq-bench-wait-strategy/v1".into()),
+        ),
+        ("sweep".into(), sweep.to_json()),
+    ];
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(Json::Obj(fields).pretty().as_bytes())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +268,24 @@ mod tests {
         let handoff = FigureReport::from_json(doc.get("handoff").unwrap()).unwrap();
         assert_eq!(handoff.series.len(), 2);
         assert!(doc.get("executor").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wait_strategy_file_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("synq-waitstrat-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_wait_strategy.json");
+        std::env::set_var("SYNQ_WAIT_STRATEGY_PATH", &path);
+        let written = write_bench_wait_strategy(&sample()).unwrap();
+        std::env::remove_var("SYNQ_WAIT_STRATEGY_PATH");
+        let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("synq-bench-wait-strategy/v1")
+        );
+        let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
+        assert_eq!(sweep.series.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -47,43 +47,26 @@
 //! and matchers only touch nodes while pinned.
 //!
 //! Dead nodes are not returned to the allocator: their skeletons go to a
-//! bounded per-queue free list ([`crate::node_cache`]) and are recycled by
+//! bounded per-queue free list (`node_cache`) and are recycled by
 //! later transfers. Skeletons reach the list only through epoch-deferred
 //! closures (or with exclusive access), and are popped only under a pin —
 //! the ABA argument lives in the node-cache module docs.
 
 use crate::node_cache::{NodeCache, Recyclable};
 use crate::transferer::{Deadline, TransferOutcome, Transferer};
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use synq_primitives::{CachePadded, CancelToken, Parker, SpinPolicy, WaiterCell};
+use synq_primitives::{CachePadded, CancelToken, SpinPolicy, WaitOutcome, WaitSlot};
 use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Pointer, Shared};
 
-/// Node states. A node leaves `WAITING` through exactly one CAS, which
-/// arbitrates matching against cancellation.
-const WAITING: usize = 0;
-/// A matcher won the CAS and is moving the item across.
-const CLAIMED: usize = 1;
-/// The handoff is complete; the waiter may return.
-const MATCHED: usize = 2;
-/// The waiter timed out or was cancelled before a counterpart arrived.
-const CANCELLED: usize = 3;
-
 struct QNode<T> {
-    state: AtomicUsize,
-    /// The transferred item. For a data node, written by the owner before
-    /// publication; for a request node, written by the matcher while
-    /// `CLAIMED`. Moved out exactly once by whoever `consumed` says.
-    item: UnsafeCell<MaybeUninit<T>>,
-    /// Set by the unique thread that moves the item out.
-    consumed: AtomicBool,
+    /// The wait-node protocol: state machine, item cell, waiter mailbox.
+    /// For a data node the item is written by the owner before publication;
+    /// for a request node, by the matcher while `CLAIMED`.
+    slot: WaitSlot<T>,
     next: Atomic<QNode<T>>,
     /// Producer (`true`) or consumer (`false`) node. Immutable.
     is_data: bool,
-    /// Mailbox through which the waiter publishes its unparker.
-    waiter: WaiterCell,
     /// 2 = structure + waiter (dummy: 1 = structure only).
     refs: AtomicUsize,
     /// Debug guard: the structure reference is released exactly once.
@@ -96,36 +79,12 @@ impl<T> QNode<T> {
     /// cannot be inferred from the slot.
     fn new(is_data: bool, refs: usize) -> Owned<QNode<T>> {
         Owned::new(QNode {
-            state: AtomicUsize::new(WAITING),
-            item: UnsafeCell::new(MaybeUninit::uninit()),
-            consumed: AtomicBool::new(false),
+            slot: WaitSlot::new(),
             next: Atomic::null(),
             is_data,
-            waiter: WaiterCell::new(),
             refs: AtomicUsize::new(refs),
             unlinked: AtomicBool::new(false),
         })
-    }
-
-    fn is_cancelled(&self) -> bool {
-        self.state.load(Ordering::Acquire) == CANCELLED
-    }
-
-    /// Moves the item out. Caller must hold exclusive logical access to the
-    /// slot (won the claiming CAS, or owns a MATCHED/CANCELLED node).
-    unsafe fn take_item(&self) -> T {
-        let was = self.consumed.swap(true, Ordering::AcqRel);
-        debug_assert!(!was, "item taken twice");
-        // SAFETY: slot holds a value per the state machine; `consumed`
-        // asserts single ownership transfer.
-        unsafe { (*self.item.get()).assume_init_read() }
-    }
-
-    /// Writes the item. Caller must have won the claiming CAS on a request
-    /// node (exclusive write access while `CLAIMED`).
-    unsafe fn put_item(&self, value: T) {
-        // SAFETY: per caller contract.
-        unsafe { (*self.item.get()).write(value) };
     }
 
     /// Drops one reference. When it was the last, drops any unconsumed item
@@ -137,19 +96,10 @@ impl<T> QNode<T> {
             std::sync::atomic::fence(Ordering::Acquire);
             // SAFETY: last reference; nobody can reach the node (the
             // structure's release is epoch-deferred, so any pinned reader
-            // has since unpinned).
+            // has since unpinned). The slot's filled/consumed flags decide
+            // whether an item is still pending.
             let node = unsafe { &mut *(ptr as *mut QNode<T>) };
-            let has_item = if node.is_data {
-                // Data item present from creation unless moved out.
-                !*node.consumed.get_mut()
-            } else {
-                // Request slot written only on a completed match.
-                *node.state.get_mut() == MATCHED && !*node.consumed.get_mut()
-            };
-            if has_item {
-                // SAFETY: slot initialized per the rules above.
-                unsafe { (*node.item.get()).assume_init_drop() };
-            }
+            node.slot.drop_pending_item();
             dispose(ptr as *mut QNode<T>);
         }
     }
@@ -261,11 +211,9 @@ impl<T: Send> SyncDualQueue<T> {
             // skeleton (item slot empty); re-arm every field in place.
             unsafe {
                 let node = &mut *p;
-                *node.state.get_mut() = WAITING;
-                *node.consumed.get_mut() = false;
+                node.slot.reset();
                 node.next = Atomic::null();
                 node.is_data = is_data;
-                let _ = node.waiter.take();
                 *node.refs.get_mut() = 2;
                 *node.unlinked.get_mut() = false;
                 Owned::from_usize(p as usize)
@@ -359,7 +307,7 @@ impl<T: Send> SyncDualQueue<T> {
             let Some(hn_ref) = (unsafe { hn.as_ref() }) else {
                 return advanced;
             };
-            if !hn_ref.is_cancelled() {
+            if !hn_ref.slot.is_cancelled() {
                 return advanced;
             }
             if self.advance_head(h, hn, guard) {
@@ -427,8 +375,12 @@ impl<T: Send> SyncDualQueue<T> {
                 // (Re-)arm the node for this attempt.
                 if is_data {
                     // SAFETY: we own the node; slot is empty (fresh node or
-                    // item read back after a failed CAS below).
-                    unsafe { owned.put_item(item.take().expect("data transfer has item")) };
+                    // item reclaimed after a failed CAS below).
+                    unsafe {
+                        owned
+                            .slot
+                            .put_item(item.take().expect("data transfer has item"))
+                    };
                 }
                 let node_raw = match t_ref.next.compare_exchange(
                     Shared::null(),
@@ -453,7 +405,7 @@ impl<T: Send> SyncDualQueue<T> {
                         if is_data {
                             // SAFETY: node unpublished; we wrote the slot
                             // above and nobody else can see it.
-                            item = Some(unsafe { (*owned.item.get()).assume_init_read() });
+                            item = Some(unsafe { owned.slot.reclaim_item() });
                         }
                         node = Some(owned);
                         continue;
@@ -476,22 +428,21 @@ impl<T: Send> SyncDualQueue<T> {
             let m_ref = unsafe { m_shared.deref() };
             debug_assert_ne!(m_ref.is_data, is_data, "dual invariant violated");
 
-            let matched = if m_ref
-                .state
-                .compare_exchange(WAITING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
+            let matched = if m_ref.slot.try_claim() {
                 if is_data {
                     // Give our item to the waiting consumer.
                     // SAFETY: winning the claim grants slot write access.
-                    unsafe { m_ref.put_item(item.take().expect("data transfer has item")) };
+                    unsafe {
+                        m_ref
+                            .slot
+                            .put_item(item.take().expect("data transfer has item"))
+                    };
                 } else {
                     // Take the waiting producer's item.
                     // SAFETY: winning the claim grants slot read access.
-                    item = Some(unsafe { m_ref.take_item() });
+                    item = Some(unsafe { m_ref.slot.take_item() });
                 }
-                m_ref.state.store(MATCHED, Ordering::Release);
-                m_ref.waiter.wake();
+                m_ref.slot.complete();
                 true
             } else {
                 false
@@ -507,7 +458,8 @@ impl<T: Send> SyncDualQueue<T> {
 
     /// Waits on our own freshly appended node. Touches only that node (we
     /// hold a reference on it), so no epoch pin is held while waiting —
-    /// parked threads never stall reclamation.
+    /// parked threads never stall reclamation. The spin-then-park loop and
+    /// the cancel arbitration are the shared [`WaitSlot`] engine's.
     fn await_fulfill(
         &self,
         node_raw: *const QNode<T>,
@@ -517,78 +469,32 @@ impl<T: Send> SyncDualQueue<T> {
     ) -> TransferOutcome<T> {
         // SAFETY: we hold one of the node's references until `release`.
         let node = unsafe { &*node_raw };
-        let mut spins = self.spin.spins_for(deadline.is_timed());
-        let mut parker: Option<Parker> = None;
-
-        let outcome = loop {
-            match node.state.load(Ordering::Acquire) {
-                MATCHED => {
-                    let item = if is_data {
-                        None
-                    } else {
-                        // SAFETY: matcher wrote the slot before MATCHED.
-                        Some(unsafe { node.take_item() })
-                    };
-                    break TransferOutcome::Transferred(item);
-                }
-                CLAIMED => {
-                    // Matcher is mid-transfer; completion is a bounded
-                    // number of its instructions away. Yield rather than
-                    // spin so a preempted matcher gets the processor on a
-                    // uniprocessor.
-                    std::thread::yield_now();
-                    continue;
-                }
-                CANCELLED => unreachable!("only the waiter cancels its own node"),
-                _ => {}
+        let outcome = match node.slot.await_outcome(deadline, token, &self.spin) {
+            WaitOutcome::Matched(_) => {
+                let item = if is_data {
+                    None
+                } else {
+                    // SAFETY: matcher wrote the slot before MATCHED.
+                    Some(unsafe { node.slot.take_item() })
+                };
+                TransferOutcome::Transferred(item)
             }
-
-            let cancelled = token.is_some_and(|tk| tk.is_cancelled());
-            if cancelled || deadline.expired() {
-                if node
-                    .state
-                    .compare_exchange(WAITING, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    // Give the cancelled prefix a chance to be reclaimed.
-                    node.waiter.take();
-                    let guard = epoch::pin();
-                    self.absorb_cancelled(&guard);
-                    drop(guard);
-                    let item = if is_data {
-                        // SAFETY: cancellation wins back item ownership.
-                        Some(unsafe { node.take_item() })
-                    } else {
-                        None
-                    };
-                    break if cancelled {
-                        TransferOutcome::Cancelled(item)
-                    } else {
-                        TransferOutcome::Timeout(item)
-                    };
-                }
-                continue; // a match raced in; loop sees MATCHED/CLAIMED
-            }
-
-            if spins > 0 {
-                spins -= 1;
-                std::hint::spin_loop();
-                continue;
-            }
-
-            // Park. Register the unparker first, then re-check the state so
-            // a match that slipped in between cannot be missed.
-            let parker = parker.get_or_insert_with(Parker::new);
-            node.waiter.register(parker.unparker());
-            let _reg = token.map(|tk| tk.register(parker.unparker()));
-            if node.state.load(Ordering::Acquire) != WAITING {
-                continue;
-            }
-            match deadline {
-                Deadline::Never => parker.park(),
-                Deadline::Now => unreachable!("Now fails before enqueueing"),
-                Deadline::At(d) => {
-                    let _ = parker.park_deadline(d);
+            verdict => {
+                // We won the cancel CAS. Give the cancelled prefix (which
+                // now includes our node) a chance to be reclaimed.
+                let guard = epoch::pin();
+                self.absorb_cancelled(&guard);
+                drop(guard);
+                let item = if is_data {
+                    // SAFETY: cancellation wins back item ownership.
+                    Some(unsafe { node.slot.take_item() })
+                } else {
+                    None
+                };
+                if verdict == WaitOutcome::Cancelled {
+                    TransferOutcome::Cancelled(item)
+                } else {
+                    TransferOutcome::Timeout(item)
                 }
             }
         };

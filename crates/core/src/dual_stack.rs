@@ -24,9 +24,12 @@
 //!
 //! # Cancellation and cleaning
 //!
-//! A waiter cancels by CASing its own `match` pointer to itself — the same
-//! word a fulfiller would CAS, so match-vs-cancel is arbitrated by a single
-//! CAS exactly as in the Java code. Cancelled nodes are reclaimed when
+//! A waiter cancels by CASing its node's state word `WAITING → CANCELLED`
+//! — the same word a fulfiller CASes its own address into, so
+//! match-vs-cancel is arbitrated by a single CAS exactly as in the Java
+//! code (which CASes the `match` pointer to self; here the shared
+//! [`WaitSlot`] engine reserves the low state values and uses the
+//! fulfiller's address as the match *token*). Cancelled nodes are reclaimed when
 //! they surface at the top of the stack: every arriving operation (and the
 //! canceller itself) first pops cancelled top nodes, and fulfillers skip
 //! over cancelled nodes beneath them (`cas_next`), releasing them. As in
@@ -47,12 +50,9 @@
 
 use crate::node_cache::{NodeCache, Recyclable};
 use crate::transferer::{Deadline, TransferOutcome, Transferer};
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use synq_primitives::{CachePadded, CancelToken, Parker, SpinPolicy, WaiterCell};
+use synq_primitives::{CachePadded, CancelToken, SpinPolicy, WaitOutcome, WaitSlot};
 use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Pointer, Shared};
 
 /// Node is a waiting consumer.
@@ -65,29 +65,22 @@ const FULFILLING: usize = 2;
 struct SNode<T> {
     /// `REQUEST`, `DATA`, possibly `| FULFILLING`. Set before publication.
     mode: usize,
-    /// Match arbitration word: null = waiting; self = cancelled;
-    /// otherwise = the fulfilling node we were matched with.
-    match_: AtomicPtr<SNode<T>>,
-    item: UnsafeCell<MaybeUninit<T>>,
-    consumed: AtomicBool,
+    /// The wait-node protocol. The stack's fulfillers match a reservation
+    /// by storing their own node's address as the match *token* (the
+    /// Java `TransferStack` CASes a `match` pointer; the reserved control
+    /// states play the null/self roles).
+    slot: WaitSlot<T>,
     next: Atomic<SNode<T>>,
-    waiter: WaiterCell,
     refs: AtomicUsize,
     unlinked: AtomicBool,
 }
 
 impl<T> SNode<T> {
-    fn new(item: Option<T>, mode: usize) -> Owned<SNode<T>> {
+    fn new(mode: usize) -> Owned<SNode<T>> {
         Owned::new(SNode {
             mode,
-            match_: AtomicPtr::new(ptr::null_mut()),
-            item: UnsafeCell::new(match item {
-                Some(v) => MaybeUninit::new(v),
-                None => MaybeUninit::uninit(),
-            }),
-            consumed: AtomicBool::new(false),
+            slot: WaitSlot::new(),
             next: Atomic::null(),
-            waiter: WaiterCell::new(),
             refs: AtomicUsize::new(2),
             unlinked: AtomicBool::new(false),
         })
@@ -95,25 +88,6 @@ impl<T> SNode<T> {
 
     fn is_fulfilling(&self) -> bool {
         self.mode & FULFILLING != 0
-    }
-
-    fn is_data(&self) -> bool {
-        self.mode & DATA != 0
-    }
-
-    fn is_cancelled(&self) -> bool {
-        std::ptr::eq(
-            self.match_.load(Ordering::Acquire),
-            self as *const _ as *mut _,
-        )
-    }
-
-    /// Moves the item out (see `QNode::take_item`).
-    unsafe fn take_item(&self) -> T {
-        let was = self.consumed.swap(true, Ordering::AcqRel);
-        debug_assert!(!was, "item taken twice");
-        // SAFETY: per caller contract (unique consumer).
-        unsafe { (*self.item.get()).assume_init_read() }
     }
 
     /// Drops one reference. When it was the last, drops any unconsumed item
@@ -125,11 +99,7 @@ impl<T> SNode<T> {
             std::sync::atomic::fence(Ordering::Acquire);
             // SAFETY: last reference (see QNode::release for the argument).
             let node = unsafe { &mut *(ptr as *mut SNode<T>) };
-            if node.is_data() && !*node.consumed.get_mut() {
-                // SAFETY: data nodes hold an item from creation until
-                // consumed.
-                unsafe { (*node.item.get()).assume_init_drop() };
-            }
+            node.slot.drop_pending_item();
             dispose(ptr as *mut SNode<T>);
         }
     }
@@ -233,17 +203,15 @@ impl<T: Send> SyncDualStack<T> {
             unsafe {
                 let node = &mut *p;
                 node.mode = mode;
-                *node.match_.get_mut() = ptr::null_mut();
-                *node.consumed.get_mut() = false;
+                node.slot.reset();
                 node.next = Atomic::null();
-                let _ = node.waiter.take();
                 *node.refs.get_mut() = 2;
                 *node.unlinked.get_mut() = false;
                 Owned::from_usize(p as usize)
             }
         } else {
             self.cache.note_alloc();
-            SNode::new(None, mode)
+            SNode::new(mode)
         }
     }
 
@@ -333,20 +301,12 @@ impl<T: Send> SyncDualStack<T> {
         let f_ref = unsafe { f.deref() };
         // Speculative reference for m's waiter; revoked if the CAS fails.
         f_ref.refs.fetch_add(1, Ordering::AcqRel);
-        match m_ref.match_.compare_exchange(
-            ptr::null_mut(),
-            f.as_raw() as *mut SNode<T>,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        ) {
-            Ok(_) => {
-                m_ref.waiter.wake();
-                true
-            }
+        match m_ref.slot.try_fulfill_token(f.as_raw() as usize) {
+            Ok(()) => true,
             Err(actual) => {
                 // Revoke the reference we just added.
                 self.release_direct(f.as_raw());
-                std::ptr::eq(actual, f.as_raw())
+                actual == f.as_raw() as usize
             }
         }
     }
@@ -358,7 +318,7 @@ impl<T: Send> SyncDualStack<T> {
             let Some(h_ref) = (unsafe { h.as_ref() }) else {
                 return;
             };
-            if !h_ref.is_cancelled() {
+            if !h_ref.slot.is_cancelled() {
                 return;
             }
             let next = h_ref.next.load(Ordering::Acquire, guard);
@@ -400,9 +360,7 @@ impl<T: Send> SyncDualStack<T> {
                 };
                 if is_data {
                     // SAFETY: we own the unpublished node.
-                    unsafe {
-                        (*owned.item.get()).write(item.take().expect("data item"));
-                    }
+                    unsafe { owned.slot.put_item(item.take().expect("data item")) };
                 }
                 owned.next.store(h, Ordering::Relaxed);
                 match self.head.compare_exchange(
@@ -421,7 +379,7 @@ impl<T: Send> SyncDualStack<T> {
                         let owned = e.new;
                         if is_data {
                             // SAFETY: unpublished node; reclaim the item.
-                            item = Some(unsafe { (*owned.item.get()).assume_init_read() });
+                            item = Some(unsafe { owned.slot.reclaim_item() });
                         }
                         node = Some(owned);
                         continue;
@@ -442,9 +400,7 @@ impl<T: Send> SyncDualStack<T> {
                 };
                 if is_data {
                     // SAFETY: we own the unpublished node.
-                    unsafe {
-                        (*owned.item.get()).write(item.take().expect("data item"));
-                    }
+                    unsafe { owned.slot.put_item(item.take().expect("data item")) };
                 }
                 owned.next.store(h, Ordering::Relaxed);
                 let f = match self.head.compare_exchange(
@@ -459,7 +415,7 @@ impl<T: Send> SyncDualStack<T> {
                         let owned = e.new;
                         if is_data {
                             // SAFETY: unpublished node.
-                            item = Some(unsafe { (*owned.item.get()).assume_init_read() });
+                            item = Some(unsafe { owned.slot.reclaim_item() });
                         }
                         node = Some(owned);
                         continue;
@@ -480,7 +436,7 @@ impl<T: Send> SyncDualStack<T> {
                             // still exclusively ours.
                             // (`consumed` stays true so the node's drop
                             // does not double-free the moved-out item.)
-                            item = Some(unsafe { f_ref.take_item() });
+                            item = Some(unsafe { f_ref.slot.take_item() });
                         }
                         // Our owner reference.
                         self.release_direct(f.as_raw());
@@ -492,9 +448,9 @@ impl<T: Send> SyncDualStack<T> {
                         let out = if is_data {
                             TransferOutcome::Transferred(None)
                         } else {
-                            // SAFETY: m.match == f grants us (f's owner)
+                            // SAFETY: m matched to f grants us (f's owner)
                             // unique read access to m's item.
-                            TransferOutcome::Transferred(Some(unsafe { m_ref.take_item() }))
+                            TransferOutcome::Transferred(Some(unsafe { m_ref.slot.take_item() }))
                         };
                         // Our owner reference on f.
                         self.release_direct(f.as_raw());
@@ -535,7 +491,9 @@ impl<T: Send> SyncDualStack<T> {
     }
 
     /// Waits on our freshly pushed node; touches only refcount-held nodes,
-    /// so no pin is held while waiting.
+    /// so no pin is held while waiting. The spin-then-park loop and the
+    /// cancel arbitration are the shared [`WaitSlot`] engine's; the match
+    /// token it reports back is the fulfilling node's address.
     fn await_fulfill(
         &self,
         node_raw: *const SNode<T>,
@@ -545,13 +503,9 @@ impl<T: Send> SyncDualStack<T> {
     ) -> TransferOutcome<T> {
         // SAFETY: we hold the owner reference.
         let node = unsafe { &*node_raw };
-        let mut spins = self.spin.spins_for(deadline.is_timed());
-        let mut parker: Option<Parker> = None;
-
-        loop {
-            let m = node.match_.load(Ordering::Acquire);
-            if !m.is_null() {
-                debug_assert!(!std::ptr::eq(m, node_raw), "waiter saw its own cancel");
+        match node.slot.await_outcome(deadline, token, &self.spin) {
+            WaitOutcome::Matched(m_token) => {
+                let m = m_token as *const SNode<T>;
                 // Matched. Help pop the fulfilling pair if still on top.
                 {
                     let guard = epoch::pin();
@@ -571,65 +525,31 @@ impl<T: Send> SyncDualStack<T> {
                 } else {
                     // SAFETY: match grants us unique read access to the
                     // fulfiller's item.
-                    TransferOutcome::Transferred(Some(unsafe { m_ref.take_item() }))
+                    TransferOutcome::Transferred(Some(unsafe { m_ref.slot.take_item() }))
                 };
                 // The reference taken on our behalf in try_match.
                 self.release_direct(m);
                 // Our owner reference.
                 self.release_direct(node_raw);
-                return out;
+                out
             }
-
-            let cancelled = token.is_some_and(|tk| tk.is_cancelled());
-            if cancelled || deadline.expired() {
-                if node
-                    .match_
-                    .compare_exchange(
-                        ptr::null_mut(),
-                        node_raw as *mut SNode<T>,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    )
-                    .is_ok()
-                {
-                    node.waiter.take();
-                    let guard = epoch::pin();
-                    self.absorb_cancelled(&guard);
-                    drop(guard);
-                    let item = if is_data {
-                        // SAFETY: cancellation wins the item back.
-                        Some(unsafe { node.take_item() })
-                    } else {
-                        None
-                    };
-                    // Our owner reference.
-                    self.release_direct(node_raw);
-                    return if cancelled {
-                        TransferOutcome::Cancelled(item)
-                    } else {
-                        TransferOutcome::Timeout(item)
-                    };
-                }
-                continue;
-            }
-
-            if spins > 0 {
-                spins -= 1;
-                std::hint::spin_loop();
-                continue;
-            }
-
-            let parker = parker.get_or_insert_with(Parker::new);
-            node.waiter.register(parker.unparker());
-            let _reg = token.map(|tk| tk.register(parker.unparker()));
-            if !node.match_.load(Ordering::Acquire).is_null() {
-                continue;
-            }
-            match deadline {
-                Deadline::Never => parker.park(),
-                Deadline::Now => unreachable!("Now fails before pushing"),
-                Deadline::At(d) => {
-                    let _ = parker.park_deadline(d);
+            verdict => {
+                // We won the cancel CAS.
+                let guard = epoch::pin();
+                self.absorb_cancelled(&guard);
+                drop(guard);
+                let item = if is_data {
+                    // SAFETY: cancellation wins the item back.
+                    Some(unsafe { node.slot.take_item() })
+                } else {
+                    None
+                };
+                // Our owner reference.
+                self.release_direct(node_raw);
+                if verdict == WaitOutcome::Cancelled {
+                    TransferOutcome::Cancelled(item)
+                } else {
+                    TransferOutcome::Timeout(item)
                 }
             }
         }

@@ -8,30 +8,25 @@
 //! same-type collision (falling back to the main structure).
 //!
 //! Arena visits never park — the arena is a backoff device, not a waiting
-//! room. An installed node spins for a caller-supplied budget and then
-//! retracts itself.
+//! room. An installed node waits through the shared [`WaitSlot`] loop with
+//! the [`SpinOnly`] strategy: the budget doubles as the deadline, and on
+//! exhaustion the node retracts itself. Cancellation is arbitrated by the
+//! arena-slot pointer CAS (as in the symmetric exchanger), never by the
+//! state word, so installers use [`WaitSlot::await_match`].
 
 use rand::Rng;
-use std::cell::UnsafeCell;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::Arc;
-use synq_primitives::CachePadded;
-
-const WAITING: usize = 0;
-const DONE: usize = 1;
+use synq::Deadline;
+use synq_primitives::{CachePadded, SpinOnly, WaitSlot};
 
 struct ArenaNode<T> {
     is_data: bool,
-    /// Data node: holds the offered item until claimed.
-    /// Request node: filled by the claiming producer.
-    slot: UnsafeCell<Option<T>>,
-    state: AtomicUsize,
+    /// Data node: the installer pre-fills the item cell; the claiming
+    /// consumer takes it. Request node: the claiming producer deposits.
+    slot: WaitSlot<T>,
 }
-
-// SAFETY: cell access is serialized by the claim CAS / DONE flag.
-unsafe impl<T: Send> Send for ArenaNode<T> {}
-unsafe impl<T: Send> Sync for ArenaNode<T> {}
 
 /// The asymmetric elimination arena.
 pub struct EliminationArena<T> {
@@ -108,19 +103,22 @@ impl<T: Send> EliminationArena<T> {
             {
                 // SAFETY: the CAS transferred the slot's strong count.
                 let partner = unsafe { Arc::from_raw(cur) };
+                // The pointer CAS granted exclusivity, so the claim cannot
+                // lose (installers retract the pointer, never the state).
+                let claimed = partner.slot.try_claim();
+                debug_assert!(claimed, "arena node claimed twice");
                 let result = if is_data {
                     // Give our item to the waiting consumer.
-                    // SAFETY: claim grants exclusive cell access.
-                    unsafe { *partner.slot.get() = item.take() };
+                    // SAFETY: the claim grants the item cell to us.
+                    unsafe { partner.slot.fulfill(item.take().expect("item still ours")) };
                     None
                 } else {
-                    // Take the waiting producer's item.
-                    // SAFETY: claim grants exclusive cell access.
-                    let v = unsafe { (*partner.slot.get()).take() };
-                    debug_assert!(v.is_some());
-                    v
+                    // Take the waiting producer's pre-filled item.
+                    // SAFETY: as above; data nodes are armed before publish.
+                    let v = unsafe { partner.slot.take_item() };
+                    partner.slot.complete();
+                    Some(v)
                 };
-                partner.state.store(DONE, Ordering::Release);
                 self.eliminated.fetch_add(1, Ordering::Relaxed);
                 return Ok(result);
             }
@@ -130,9 +128,12 @@ impl<T: Send> EliminationArena<T> {
         // Empty slot: install ourselves for a brief spin.
         let node = Arc::new(ArenaNode {
             is_data,
-            slot: UnsafeCell::new(item.take()),
-            state: AtomicUsize::new(WAITING),
+            slot: WaitSlot::new(),
         });
+        if let Some(v) = item.take() {
+            // SAFETY: the node is unpublished; the cell is exclusively ours.
+            unsafe { node.slot.put_item(v) };
+        }
         let raw = Arc::into_raw(Arc::clone(&node)) as *mut ArenaNode<T>;
         if slot
             .compare_exchange(ptr::null_mut(), raw, Ordering::AcqRel, Ordering::Acquire)
@@ -140,22 +141,27 @@ impl<T: Send> EliminationArena<T> {
         {
             // SAFETY: failed CAS — nobody saw `raw`.
             unsafe { drop(Arc::from_raw(raw)) };
-            // SAFETY: node unpublished; the cell is exclusively ours.
-            return Err(unsafe { (*node.slot.get()).take() });
+            // SAFETY: node unpublished; re-take the armed item (if any).
+            return Err(if is_data {
+                Some(unsafe { node.slot.reclaim_item() })
+            } else {
+                None
+            });
         }
-        for _ in 0..spins.max(1) {
-            if node.state.load(Ordering::Acquire) == DONE {
-                self.eliminated.fetch_add(1, Ordering::Relaxed);
-                return Ok(if is_data {
-                    None
-                } else {
-                    // SAFETY: DONE publishes the producer's write.
-                    let v = unsafe { (*node.slot.get()).take() };
-                    debug_assert!(v.is_some());
-                    v
-                });
-            }
-            std::hint::spin_loop();
+        // The spin budget *is* the patience here: `SpinOnly` never parks,
+        // so budget exhaustion reads as expiry even with `Deadline::Never`.
+        if node
+            .slot
+            .await_match(Deadline::Never, &SpinOnly(spins))
+            .is_some()
+        {
+            self.eliminated.fetch_add(1, Ordering::Relaxed);
+            return Ok(if is_data {
+                None
+            } else {
+                // SAFETY: the match publishes the producer's deposit.
+                Some(unsafe { node.slot.take_item() })
+            });
         }
         // Give up: retract.
         if slot
@@ -164,19 +170,21 @@ impl<T: Send> EliminationArena<T> {
         {
             // SAFETY: we took back the slot's strong count.
             unsafe { drop(Arc::from_raw(raw)) };
-            // SAFETY: retracted before anyone claimed; cell is ours.
-            return Err(unsafe { (*node.slot.get()).take() });
+            // SAFETY: retracted before anyone claimed; the cell is ours.
+            return Err(if is_data {
+                Some(unsafe { node.slot.reclaim_item() })
+            } else {
+                None
+            });
         }
         // Claimed at the buzzer: finish the exchange.
-        while node.state.load(Ordering::Acquire) != DONE {
-            std::thread::yield_now();
-        }
+        node.slot.await_completion();
         self.eliminated.fetch_add(1, Ordering::Relaxed);
         Ok(if is_data {
             None
         } else {
-            // SAFETY: DONE publishes the producer's write.
-            unsafe { (*node.slot.get()).take() }
+            // SAFETY: the terminal state publishes the producer's deposit.
+            Some(unsafe { node.slot.take_item() })
         })
     }
 }
@@ -297,5 +305,38 @@ mod tests {
             received.load(Ordering::Relaxed),
             "every delivered item must be received exactly once"
         );
+    }
+
+    #[test]
+    fn payloads_dropped_exactly_once_under_churn() {
+        // Drop-counting payloads through install/retract/claim churn: every
+        // item handed to the arena must be dropped exactly once whether it
+        // eliminated, bounced back, or sat armed in a retracted node.
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        const PER: usize = 300;
+        let a: Arc<EliminationArena<Counted>> = Arc::new(EliminationArena::new(1));
+        let a2 = Arc::clone(&a);
+        let d2 = Arc::clone(&drops);
+        let producer = thread::spawn(move || {
+            for _ in 0..PER {
+                let _ = a2.try_put(Counted(Arc::clone(&d2)), 500);
+            }
+        });
+        let a3 = Arc::clone(&a);
+        let consumer = thread::spawn(move || {
+            for _ in 0..PER {
+                drop(a3.try_take(500));
+            }
+        });
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        drop(a);
+        assert_eq!(drops.load(Ordering::Relaxed), PER);
     }
 }

@@ -8,28 +8,24 @@
 
 use rand::Rng;
 use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use synq::Deadline;
-use synq_primitives::{Backoff, Parker, WaiterCell};
-
-const WAITING: usize = 0;
-const DONE: usize = 1;
+use synq_primitives::{Backoff, SpinPolicy, WaitSlot};
 
 struct ExNode<T> {
     /// What the installer offers; taken by the claimer.
     give: UnsafeCell<Option<T>>,
-    /// What the claimer leaves for the installer; valid once `state == DONE`.
-    got: UnsafeCell<MaybeUninit<T>>,
-    state: AtomicUsize,
-    waiter: WaiterCell,
+    /// The wait protocol; the claimer deposits its value here. Cancellation
+    /// is arbitrated by the arena-slot pointer CAS, not the state word, so
+    /// the installer waits with [`WaitSlot::await_match`].
+    slot: WaitSlot<T>,
 }
 
-// SAFETY: access to the cells is serialized by the slot-claim CAS (claimer
-// side) and the DONE flag (installer side).
+// SAFETY: access to `give` is serialized by the slot-claim CAS (claimer
+// side) and the uninstall CAS (installer side); `slot` synchronizes itself.
 unsafe impl<T: Send> Send for ExNode<T> {}
 unsafe impl<T: Send> Sync for ExNode<T> {}
 
@@ -51,6 +47,7 @@ unsafe impl<T: Send> Sync for ExNode<T> {}
 /// ```
 pub struct Exchanger<T> {
     slots: Box<[AtomicPtr<ExNode<T>>]>,
+    spin: SpinPolicy,
 }
 
 impl<T: Send> Default for Exchanger<T> {
@@ -60,16 +57,23 @@ impl<T: Send> Default for Exchanger<T> {
 }
 
 impl<T: Send> Exchanger<T> {
-    /// Arena sized to the processor count (min 1, max 32).
+    /// Arena sized to the processor count (min 1, max 32), adaptive spin.
     pub fn new() -> Self {
         Self::with_slots(synq_primitives::backoff::ncpus().clamp(1, 32))
     }
 
-    /// Arena with an explicit number of slots.
+    /// Arena with an explicit number of slots and the adaptive spin policy.
     pub fn with_slots(n: usize) -> Self {
+        Self::with_spin(n, SpinPolicy::adaptive())
+    }
+
+    /// Arena with explicit slot count and spin policy — `with_spin` parity
+    /// with the dual structures, for uniform spin-policy sweeps.
+    pub fn with_spin(n: usize, spin: SpinPolicy) -> Self {
         assert!(n >= 1, "exchanger needs at least one slot");
         Exchanger {
             slots: (0..n).map(|_| AtomicPtr::new(ptr::null_mut())).collect(),
+            spin,
         }
     }
 
@@ -107,9 +111,7 @@ impl<T: Send> Exchanger<T> {
                 // Install ourselves and wait for a partner.
                 let node = Arc::new(ExNode {
                     give: UnsafeCell::new(mine.take()),
-                    got: UnsafeCell::new(MaybeUninit::uninit()),
-                    state: AtomicUsize::new(WAITING),
-                    waiter: WaiterCell::new(),
+                    slot: WaitSlot::new(),
                 });
                 let raw = Arc::into_raw(Arc::clone(&node)) as *mut ExNode<T>;
                 if slot
@@ -138,13 +140,12 @@ impl<T: Send> Exchanger<T> {
                 // SAFETY: the CAS transferred the slot's strong count.
                 let partner = unsafe { Arc::from_raw(cur) };
                 let theirs = node_take_give(&partner);
-                // SAFETY: claimers have exclusive write access to `got`
-                // until they publish DONE.
-                unsafe {
-                    (*partner.got.get()).write(mine.take().expect("item still ours"));
-                }
-                partner.state.store(DONE, Ordering::Release);
-                partner.waiter.wake();
+                // The pointer CAS granted exclusivity, so the claim cannot
+                // lose (installers retract the pointer, never the state).
+                let claimed = partner.slot.try_claim();
+                debug_assert!(claimed, "exchanger slot claimed twice");
+                // SAFETY: the claim grants the item cell to us.
+                unsafe { partner.slot.fulfill(mine.take().expect("item still ours")) };
                 return Ok(theirs);
             }
 
@@ -157,8 +158,10 @@ impl<T: Send> Exchanger<T> {
         }
     }
 
-    /// Waits on an installed node. On timeout, tries to uninstall; if a
-    /// partner claimed us concurrently we must complete the exchange.
+    /// Waits on an installed node (through the shared [`WaitSlot`] loop,
+    /// honoring this exchanger's [`SpinPolicy`]). On timeout, tries to
+    /// uninstall; if a partner claimed us concurrently we must complete
+    /// the exchange.
     fn await_partner(
         &self,
         node: &Arc<ExNode<T>>,
@@ -166,49 +169,26 @@ impl<T: Send> Exchanger<T> {
         raw: *mut ExNode<T>,
         deadline: Deadline,
     ) -> Result<T, T> {
-        let mut spins = 64u32;
-        let mut parker: Option<Parker> = None;
-        loop {
-            if node.state.load(Ordering::Acquire) == DONE {
-                // SAFETY: DONE publishes the partner's write.
-                return Ok(unsafe { (*node.got.get()).assume_init_read() });
-            }
-            if deadline.expired() {
-                if slot
-                    .compare_exchange(raw, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    // Uninstalled before anyone met us.
-                    // SAFETY: we took back the slot's strong count.
-                    unsafe { drop(Arc::from_raw(raw)) };
-                    return Err(node_take_give(node));
-                }
-                // A partner claimed us at the deadline: the exchange is
-                // happening; wait for DONE (bounded by the claimer's next
-                // few instructions).
-                while node.state.load(Ordering::Acquire) != DONE {
-                    std::thread::yield_now();
-                }
-                continue;
-            }
-            if spins > 0 {
-                spins -= 1;
-                std::hint::spin_loop();
-                continue;
-            }
-            let parker = parker.get_or_insert_with(Parker::new);
-            node.waiter.register(parker.unparker());
-            if node.state.load(Ordering::Acquire) == DONE {
-                continue;
-            }
-            match deadline {
-                Deadline::Never => parker.park(),
-                Deadline::Now => { /* expiry handled above */ }
-                Deadline::At(d) => {
-                    let _ = parker.park_deadline(d);
-                }
-            }
+        if node.slot.await_match(deadline, &self.spin).is_some() {
+            // SAFETY: a terminal match publishes the partner's deposit.
+            return Ok(unsafe { node.slot.take_item() });
         }
+        // Deadline expired with the state still WAITING (await_match never
+        // cancels — the arena-slot pointer is the cancellation token here).
+        if slot
+            .compare_exchange(raw, ptr::null_mut(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // Uninstalled before anyone met us.
+            // SAFETY: we took back the slot's strong count.
+            unsafe { drop(Arc::from_raw(raw)) };
+            return Err(node_take_give(node));
+        }
+        // A partner claimed us at the deadline: the exchange is happening;
+        // wait for completion (bounded by the claimer's next instructions).
+        node.slot.await_completion();
+        // SAFETY: as above.
+        Ok(unsafe { node.slot.take_item() })
     }
 }
 

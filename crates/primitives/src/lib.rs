@@ -24,6 +24,13 @@
 //! * [`CachePadded`] — 128-byte alignment wrapper keeping independently
 //!   contended hot words on separate cache lines (the layout discipline
 //!   behind the paper's contention-freedom property).
+//! * [`WaitSlot`] — the shared wait-node protocol engine: the
+//!   `WAITING/CLAIMED/MATCHED/CANCELLED` state machine, the item cell, and
+//!   the paper's `awaitFulfill` spin-then-park loop, parameterized by a
+//!   [`WaitStrategy`]. Every synchronous structure in the suite resolves
+//!   its handoffs through this one state machine.
+//! * [`Deadline`] — patience bound consumed by the wait loop (re-exported
+//!   as `synq::Deadline`).
 //!
 //! Everything here is built from `std` only (mutexes, condition variables,
 //! atomics); no external crates.
@@ -34,21 +41,27 @@
 pub mod backoff;
 pub mod cache_padded;
 pub mod cancel;
+pub mod deadline;
 pub mod fast_semaphore;
 pub mod mcs_lock;
 pub mod parker;
 pub mod semaphore;
 pub mod spin;
 pub mod ticket_lock;
+pub mod wait;
+pub mod wait_slot;
 pub mod waiter;
 
 pub use backoff::Backoff;
 pub use cache_padded::CachePadded;
 pub use cancel::{CancelToken, Canceller};
+pub use deadline::Deadline;
 pub use fast_semaphore::FastSemaphore;
 pub use mcs_lock::{McsLock, McsLockGuard};
 pub use parker::{Parker, Unparker};
 pub use semaphore::Semaphore;
 pub use spin::SpinPolicy;
 pub use ticket_lock::{TicketLock, TicketLockGuard};
+pub use wait::{SpinOnly, WaitStrategy};
+pub use wait_slot::{WaitOutcome, WaitSlot, MIN_TOKEN};
 pub use waiter::WaiterCell;

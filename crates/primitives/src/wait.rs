@@ -1,0 +1,86 @@
+//! Pluggable waiting strategies for the shared [`crate::WaitSlot`] engine.
+//!
+//! The paper's "Pragmatics" section describes one policy — spin briefly,
+//! then park — but the structures in this suite need four variants of it:
+//! the adaptive default, a fixed budget (for ablations), park-immediately
+//! (spinning disabled), and *spin-only* for the elimination arena, whose
+//! visits must never deschedule the visiting thread. `WaitStrategy`
+//! abstracts exactly the knobs the wait loop consumes so that every
+//! structure — and the benchmark harness — can sweep them uniformly.
+
+use crate::spin::SpinPolicy;
+
+/// How a waiter burns time between publishing its node and being matched.
+///
+/// Implementors only decide *budget* questions; the protocol itself (the
+/// state machine, the cancel CAS, parking/unparking) is fixed by
+/// [`crate::WaitSlot::await_outcome`].
+pub trait WaitStrategy {
+    /// Spin iterations before the first park attempt. `timed` is true when
+    /// the wait carries a [`crate::Deadline`] that must be polled, which
+    /// makes each spin more expensive — the classic policy spins 16x less.
+    fn spin_budget(&self, timed: bool) -> u32;
+
+    /// Whether the waiter may park once its spin budget is exhausted.
+    /// Strategies returning `false` (the arena) treat budget exhaustion as
+    /// a timeout instead of descheduling.
+    fn parks(&self) -> bool {
+        true
+    }
+
+    /// Poll the deadline and cancellation token only once per this many
+    /// spin iterations. `Instant::now()` is a vDSO call but still tens of
+    /// nanoseconds — hammering it every pass would dominate short spins.
+    fn deadline_poll_interval(&self) -> u32 {
+        16
+    }
+}
+
+impl WaitStrategy for SpinPolicy {
+    #[inline]
+    fn spin_budget(&self, timed: bool) -> u32 {
+        self.spins_for(timed)
+    }
+}
+
+/// Spin for a fixed budget and never park; exhaustion counts as a timeout.
+///
+/// This is the elimination arena's contract: a visit is a *bounded* attempt
+/// to eliminate against a partner, and descheduling inside the arena would
+/// turn a backoff mechanism into a blocking one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpinOnly(pub u32);
+
+impl WaitStrategy for SpinOnly {
+    #[inline]
+    fn spin_budget(&self, _timed: bool) -> u32 {
+        self.0.max(1)
+    }
+
+    #[inline]
+    fn parks(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_policy_is_a_strategy() {
+        let p = SpinPolicy::fixed(8);
+        assert_eq!(p.spin_budget(true), 8);
+        assert_eq!(p.spin_budget(false), 128);
+        assert!(p.parks());
+        assert!(p.deadline_poll_interval() > 0);
+    }
+
+    #[test]
+    fn spin_only_never_parks_and_never_spins_zero() {
+        let s = SpinOnly(0);
+        assert_eq!(s.spin_budget(true), 1);
+        assert_eq!(s.spin_budget(false), 1);
+        assert!(!s.parks());
+    }
+}

@@ -1,0 +1,731 @@
+//! The shared wait-node protocol engine.
+//!
+//! Every synchronous structure in this suite — the dual queue, the dual
+//! stack, the §5 TransferQueue, the parking exchanger, and the elimination
+//! arena — resolves a handoff the same way: a thread reserves a node, a
+//! counterpart races a *fulfill* CAS against the reserver's *cancel* CAS,
+//! and exactly one of them wins. `WaitSlot` is that state machine plus the
+//! item cell and the spin-then-park wait loop, extracted so there is one
+//! place to audit the unsafe code and the memory orderings (DESIGN.md §4.7).
+//!
+//! # State machine
+//!
+//! ```text
+//!               try_claim                complete
+//!   WAITING ───────────────▶ CLAIMED ──────────────▶ MATCHED
+//!      │                                                ▲
+//!      │  try_fulfill_token(t)  (t ≥ MIN_TOKEN)         │ (terminal)
+//!      ├────────────────────────────────────────────────┘
+//!      │  try_cancel
+//!      └───────────────▶ CANCELLED                       (terminal)
+//! ```
+//!
+//! Fulfillers that must move data in *both* directions (queue/transfer:
+//! read the waiter's item, or deposit one) go through the two-phase
+//! `try_claim` → `put_item`/`take_item` → `complete` path; `CLAIMED` is the
+//! short window in which the fulfiller owns the item cell. Fulfillers that
+//! only need to *announce themselves* (the dual stack publishes the
+//! fulfilling node's address so the waiter can find its partner) use the
+//! one-shot `try_fulfill_token`, which stores any `usize ≥ MIN_TOKEN` —
+//! in practice a pointer, whose alignment guarantees it clears the four
+//! reserved control values.
+//!
+//! # Item ownership
+//!
+//! The slot tracks the item cell with two flags: `filled` (an initialized
+//! `T` was written) and `consumed` (it was read back out). Exactly one of
+//! `take_item`/`reclaim_item`/drop consumes a filled cell, so an item is
+//! never dropped twice and never leaked — `Drop` for `WaitSlot` releases a
+//! filled-but-unconsumed item, which is what makes cancelled producer
+//! nodes safe to reclaim without per-call-site cleanup code.
+
+use crate::cancel::CancelToken;
+use crate::deadline::Deadline;
+use crate::parker::Parker;
+use crate::wait::WaitStrategy;
+use crate::waiter::WaiterCell;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// No outcome yet; fulfillers and cancellers may race.
+pub const WAITING: usize = 0;
+/// A fulfiller won the race and is moving the item; match is imminent.
+pub const CLAIMED: usize = 1;
+/// The handoff completed (terminal).
+pub const MATCHED: usize = 2;
+/// The waiter withdrew before a fulfiller arrived (terminal).
+pub const CANCELLED: usize = 3;
+/// Smallest value usable with [`WaitSlot::try_fulfill_token`]. Pointer
+/// tokens satisfy this automatically: heap nodes are at least
+/// word-aligned, so their addresses are ≥ `MIN_TOKEN` and distinct from
+/// the four control states.
+pub const MIN_TOKEN: usize = 4;
+
+/// Why [`WaitSlot::await_outcome`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// A fulfiller completed the handoff. The payload is the terminal
+    /// state word: [`MATCHED`], or the token a [`WaitSlot::try_fulfill_token`]
+    /// fulfiller stored (the dual stack reads its partner's address back
+    /// out of this).
+    Matched(usize),
+    /// The deadline (or a non-parking strategy's spin budget) expired and
+    /// the waiter won the cancel race.
+    TimedOut,
+    /// The cancellation token fired and the waiter won the cancel race.
+    Cancelled,
+}
+
+/// One wait-node: the four-state word, the item cell, and the waiter
+/// mailbox, with the spin-then-park loop that animates them.
+///
+/// Structures embed a `WaitSlot<T>` per node and keep only their linking
+/// (queue/stack pointers, reference counts, free lists) local.
+#[derive(Debug)]
+pub struct WaitSlot<T> {
+    state: AtomicUsize,
+    item: UnsafeCell<MaybeUninit<T>>,
+    /// An initialized `T` has been written to `item`.
+    filled: AtomicBool,
+    /// The initialized `T` has been moved back out of `item`.
+    consumed: AtomicBool,
+    waiter: WaiterCell,
+}
+
+// SAFETY: the item cell is transferred between threads only through the
+// state-word CAS protocol (Release writes happen-before the Acquire load
+// that licenses the read), and the consumed/filled guards ensure a single
+// reader. T: Send suffices because only ownership moves across threads.
+unsafe impl<T: Send> Send for WaitSlot<T> {}
+unsafe impl<T: Send> Sync for WaitSlot<T> {}
+
+impl<T> Default for WaitSlot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> WaitSlot<T> {
+    /// An empty slot in the `WAITING` state (a *request* node).
+    pub fn new() -> Self {
+        WaitSlot {
+            state: AtomicUsize::new(WAITING),
+            item: UnsafeCell::new(MaybeUninit::uninit()),
+            filled: AtomicBool::new(false),
+            consumed: AtomicBool::new(false),
+            waiter: WaiterCell::new(),
+        }
+    }
+
+    /// A slot in the `WAITING` state already holding `value` (a *data*
+    /// node).
+    pub fn with_item(value: T) -> Self {
+        let slot = Self::new();
+        // SAFETY: we exclusively own the fresh slot; nothing was written yet.
+        unsafe { slot.put_item(value) };
+        slot
+    }
+
+    /// Re-arms a recycled slot: state back to `WAITING`, item flags
+    /// cleared, waiter mailbox emptied. Any pending item is dropped first.
+    ///
+    /// Node caches call this when handing a free-listed node back out.
+    pub fn reset(&mut self) {
+        self.drop_pending_item();
+        *self.state.get_mut() = WAITING;
+        *self.filled.get_mut() = false;
+        *self.consumed.get_mut() = false;
+        self.waiter.take();
+    }
+
+    /// Drops the pending item, if the cell is filled and not yet consumed.
+    /// Idempotent; also run by `Drop`.
+    pub fn drop_pending_item(&mut self) {
+        if *self.filled.get_mut() && !std::mem::replace(self.consumed.get_mut(), true) {
+            // SAFETY: filled && !consumed means the cell holds an
+            // initialized T nobody has moved out; &mut self gives
+            // exclusive access and the flag flip makes this the only read.
+            unsafe { (*self.item.get()).assume_init_drop() };
+        }
+    }
+
+    /// Current state word (Acquire). Terminal values license reading the
+    /// item cell the fulfiller published.
+    #[inline]
+    pub fn state(&self) -> usize {
+        self.state.load(Ordering::Acquire)
+    }
+
+    /// True while fulfillers and cancellers may still race for the slot.
+    #[inline]
+    pub fn is_waiting(&self) -> bool {
+        self.state() == WAITING
+    }
+
+    /// True once a canceller has won the slot.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.state() == CANCELLED
+    }
+
+    /// If the slot was fulfilled via [`Self::try_fulfill_token`], the token.
+    #[inline]
+    pub fn matched_token(&self) -> Option<usize> {
+        let s = self.state();
+        (s >= MIN_TOKEN).then_some(s)
+    }
+
+    /// Fulfiller side, phase one: claim exclusive ownership of the item
+    /// cell (`WAITING → CLAIMED`). Returns false if a canceller (or
+    /// another fulfiller) got there first.
+    ///
+    /// A successful claim *must* be followed by [`Self::complete`] — the
+    /// waiter yields, rather than cancels, while `CLAIMED`, trusting the
+    /// match to be imminent.
+    #[inline]
+    pub fn try_claim(&self) -> bool {
+        self.state
+            .compare_exchange(WAITING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Fulfiller side, phase two: publish the terminal `MATCHED` state and
+    /// wake the waiter. All item-cell writes made while `CLAIMED` are
+    /// released by this store.
+    #[inline]
+    pub fn complete(&self) {
+        self.state.store(MATCHED, Ordering::Release);
+        self.waiter.wake();
+    }
+
+    /// Claims the slot, deposits `value`, and completes — the fulfiller
+    /// path for request nodes (a producer satisfying a waiting consumer).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have won [`Self::try_claim`] and not yet called
+    /// [`Self::complete`]; the claim is what grants item-cell ownership.
+    #[inline]
+    pub unsafe fn fulfill(&self, value: T) {
+        // SAFETY: per contract the caller holds the CLAIMED ownership
+        // window, so the cell is ours to write.
+        unsafe { self.put_item(value) };
+        self.complete();
+    }
+
+    /// One-shot fulfiller CAS: `WAITING → token`, waking the waiter on
+    /// success. `token` must be ≥ [`MIN_TOKEN`] (asserted) — the dual
+    /// stack passes its fulfilling node's address so the waiter learns who
+    /// matched it. On failure returns the actual state observed, which the
+    /// stack compares against its own pointer to detect "a helper already
+    /// matched this pair for us".
+    #[inline]
+    pub fn try_fulfill_token(&self, token: usize) -> Result<(), usize> {
+        debug_assert!(
+            token >= MIN_TOKEN,
+            "token {token} collides with control states"
+        );
+        match self
+            .state
+            .compare_exchange(WAITING, token, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {
+                self.waiter.wake();
+                Ok(())
+            }
+            Err(actual) => Err(actual),
+        }
+    }
+
+    /// Canceller side: `WAITING → CANCELLED`. On success the slot's
+    /// registered unparker (if any) is discarded — the canceller *is* the
+    /// waiter, so there is nobody to wake.
+    #[inline]
+    pub fn try_cancel(&self) -> bool {
+        if self
+            .state
+            .compare_exchange(WAITING, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.waiter.take();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Writes `value` into the item cell (does not change the state word).
+    /// Used to arm data nodes before publication and by fulfillers inside
+    /// their `CLAIMED` window.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have exclusive ownership of the item cell (node not
+    /// yet published, or a won claim) and the cell must be empty.
+    #[inline]
+    pub unsafe fn put_item(&self, value: T) {
+        debug_assert!(!self.filled.load(Ordering::Relaxed), "item written twice");
+        // SAFETY: exclusive cell ownership per contract.
+        unsafe { (*self.item.get()).write(value) };
+        self.filled.store(true, Ordering::Relaxed);
+    }
+
+    /// Moves the item out of the cell. The `consumed` swap makes this
+    /// one-shot even if racing call sites misbehave (debug-asserted).
+    ///
+    /// # Safety
+    ///
+    /// The caller must be entitled to the item: a fulfiller inside its
+    /// `CLAIMED` window, a waiter whose slot reached a terminal state, or
+    /// a canceller taking its own item back. The cell must be filled.
+    #[inline]
+    pub unsafe fn take_item(&self) -> T {
+        debug_assert!(
+            self.filled.load(Ordering::Relaxed),
+            "taking from empty cell"
+        );
+        let already = self.consumed.swap(true, Ordering::AcqRel);
+        debug_assert!(!already, "item taken twice");
+        // SAFETY: the cell is filled per contract and the consumed swap
+        // made us the unique reader.
+        unsafe { (*self.item.get()).assume_init_read() }
+    }
+
+    /// Takes the item back out of a slot that was armed with
+    /// [`Self::put_item`] but never published (a failed linking CAS),
+    /// re-arming the cell so the retry loop can `put_item` again.
+    ///
+    /// # Safety
+    ///
+    /// The caller must still exclusively own the node (it was never made
+    /// visible to other threads) and the cell must be filled.
+    #[inline]
+    pub unsafe fn reclaim_item(&self) -> T {
+        debug_assert!(self.filled.load(Ordering::Relaxed), "reclaiming empty cell");
+        debug_assert!(!self.consumed.load(Ordering::Relaxed));
+        self.filled.store(false, Ordering::Relaxed);
+        // SAFETY: exclusive ownership per contract; filled flag cleared so
+        // a later put_item/drop sees an empty cell.
+        unsafe { (*self.item.get()).assume_init_read() }
+    }
+
+    /// True if the cell currently holds an initialized item. Only
+    /// meaningful once the slot has reached a terminal state (or under
+    /// exclusive ownership).
+    #[inline]
+    pub fn has_item(&self) -> bool {
+        self.filled.load(Ordering::Relaxed) && !self.consumed.load(Ordering::Relaxed)
+    }
+
+    /// Spins (never parks, never cancels) until the slot leaves the
+    /// `WAITING`/`CLAIMED` states, returning the terminal word. For call
+    /// sites that already *know* fulfillment is imminent — e.g. an
+    /// exchanger that lost its slot-retraction CAS to a claimer mid-swap.
+    pub fn await_completion(&self) -> usize {
+        loop {
+            let s = self.state();
+            if s != WAITING && s != CLAIMED {
+                debug_assert_ne!(s, CANCELLED, "await_completion on a cancelled slot");
+                return s;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// The paper's `awaitFulfill`: spin for the strategy's budget, then
+    /// park until matched, the deadline passes, or `token` fires. Timeout
+    /// and cancellation are reported only after *winning* the cancel CAS,
+    /// so every return value is an exclusive verdict: `Matched` means the
+    /// fulfiller owns the handoff, `TimedOut`/`Cancelled` mean the slot is
+    /// terminally `CANCELLED` and no fulfiller touched it.
+    ///
+    /// The deadline and token are polled once per
+    /// [`WaitStrategy::deadline_poll_interval`] spin iterations (and
+    /// immediately after every unpark) rather than every pass.
+    pub fn await_outcome<S: WaitStrategy + ?Sized>(
+        &self,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+        strategy: &S,
+    ) -> WaitOutcome {
+        self.wait_loop(deadline, token, strategy, true)
+            .unwrap_or_else(|o| o)
+    }
+
+    /// `await_outcome` without the cancel CAS: on expiry the slot is left
+    /// `WAITING` and `None` is returned. For structures that arbitrate
+    /// cancellation *outside* the slot — the exchanger and arena retract
+    /// their published pointer instead, and a retraction loser must then
+    /// [`Self::await_completion`].
+    pub fn await_match<S: WaitStrategy + ?Sized>(
+        &self,
+        deadline: Deadline,
+        strategy: &S,
+    ) -> Option<usize> {
+        match self.wait_loop(deadline, None, strategy, false) {
+            Ok(WaitOutcome::Matched(s)) => Some(s),
+            Ok(_) => unreachable!("cancel-free wait loop produced a cancel verdict"),
+            Err(_) => None,
+        }
+    }
+
+    /// Shared loop. `Ok(outcome)` is a terminal verdict; `Err(outcome)` is
+    /// an expiry observed with `arbitrate = false` (slot still `WAITING`).
+    fn wait_loop<S: WaitStrategy + ?Sized>(
+        &self,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+        strategy: &S,
+        arbitrate: bool,
+    ) -> Result<WaitOutcome, WaitOutcome> {
+        let mut spins = strategy.spin_budget(deadline.is_timed());
+        let poll_interval = strategy.deadline_poll_interval().max(1);
+        // Poll on the very first pass (Deadline::Now must not spin through
+        // a whole interval), then once per interval.
+        let mut until_poll = 0u32;
+        let mut parker: Option<Parker> = None;
+
+        loop {
+            match self.state() {
+                WAITING => {}
+                CLAIMED => {
+                    // A fulfiller owns the cell; the match is imminent and
+                    // cancellation has already lost. Stay out of its way.
+                    std::thread::yield_now();
+                    continue;
+                }
+                CANCELLED => unreachable!("waiting on a slot cancelled by someone else"),
+                s => return Ok(WaitOutcome::Matched(s)),
+            }
+
+            if until_poll == 0 {
+                until_poll = poll_interval;
+                if token.is_some_and(|t| t.is_cancelled()) {
+                    if arbitrate {
+                        if self.try_cancel() {
+                            return Ok(WaitOutcome::Cancelled);
+                        }
+                        continue; // lost the race: a fulfiller is finishing
+                    }
+                    return Err(WaitOutcome::Cancelled);
+                }
+                if deadline.expired() {
+                    if arbitrate {
+                        if self.try_cancel() {
+                            return Ok(WaitOutcome::TimedOut);
+                        }
+                        continue;
+                    }
+                    return Err(WaitOutcome::TimedOut);
+                }
+            }
+
+            if spins > 0 {
+                spins -= 1;
+                until_poll -= 1;
+                std::hint::spin_loop();
+                continue;
+            }
+
+            if !strategy.parks() {
+                // Spin-only strategies treat budget exhaustion as expiry.
+                if arbitrate {
+                    if self.try_cancel() {
+                        return Ok(WaitOutcome::TimedOut);
+                    }
+                    continue;
+                }
+                return Err(WaitOutcome::TimedOut);
+            }
+
+            let parker = parker.get_or_insert_with(Parker::new);
+            self.waiter.register(parker.unparker());
+            let _registration = token.map(|t| t.register(parker.unparker()));
+            // Re-check after registering: a fulfiller may have taken the
+            // slot between our state load and the register, in which case
+            // it may already have consumed (or missed) our unparker.
+            if self.state() != WAITING {
+                continue;
+            }
+            match deadline {
+                Deadline::Never => parker.park(),
+                Deadline::Now => {}
+                Deadline::At(t) => {
+                    parker.park_deadline(t);
+                }
+            }
+            // Whatever woke us (unpark, deadline, spurious), re-poll the
+            // deadline/token immediately on the next pass.
+            until_poll = 0;
+        }
+    }
+}
+
+impl<T> Drop for WaitSlot<T> {
+    fn drop(&mut self) {
+        self.drop_pending_item();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spin::SpinPolicy;
+    use crate::wait::SpinOnly;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn claim_fulfill_complete_roundtrip() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        assert!(slot.is_waiting());
+        assert!(slot.try_claim());
+        assert!(!slot.try_claim());
+        assert!(!slot.try_cancel());
+        unsafe { slot.fulfill(7) };
+        assert_eq!(slot.state(), MATCHED);
+        assert_eq!(unsafe { slot.take_item() }, 7);
+        assert!(!slot.has_item());
+    }
+
+    #[test]
+    fn cancel_wins_then_fulfillers_fail() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        assert!(slot.try_cancel());
+        assert!(slot.is_cancelled());
+        assert!(!slot.try_claim());
+        assert_eq!(slot.try_fulfill_token(MIN_TOKEN * 2), Err(CANCELLED));
+    }
+
+    #[test]
+    fn token_fulfill_reports_and_returns_token() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        let token = 0xdead0usize;
+        assert_eq!(slot.try_fulfill_token(token), Ok(()));
+        assert_eq!(slot.matched_token(), Some(token));
+        assert_eq!(slot.try_fulfill_token(token), Err(token));
+        assert_eq!(
+            slot.await_outcome(Deadline::Never, None, &SpinPolicy::fixed(1)),
+            WaitOutcome::Matched(token)
+        );
+    }
+
+    #[test]
+    fn data_slot_drop_releases_item() {
+        let payload = Arc::new(());
+        let slot = WaitSlot::with_item(Arc::clone(&payload));
+        assert!(slot.has_item());
+        drop(slot);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+
+    #[test]
+    fn taken_item_is_not_double_dropped() {
+        let payload = Arc::new(());
+        let slot = WaitSlot::with_item(Arc::clone(&payload));
+        let got = unsafe { slot.take_item() };
+        drop(slot);
+        assert_eq!(Arc::strong_count(&payload), 2);
+        drop(got);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+
+    #[test]
+    fn reclaim_rearms_the_cell() {
+        let slot: WaitSlot<String> = WaitSlot::with_item("a".into());
+        let back = unsafe { slot.reclaim_item() };
+        assert_eq!(back, "a");
+        assert!(!slot.has_item());
+        unsafe { slot.put_item("b".into()) };
+        assert_eq!(unsafe { slot.take_item() }, "b");
+    }
+
+    #[test]
+    fn reset_recycles_state_and_drops_item() {
+        let payload = Arc::new(());
+        let mut slot = WaitSlot::with_item(Arc::clone(&payload));
+        assert!(slot.try_cancel());
+        slot.reset();
+        assert_eq!(Arc::strong_count(&payload), 1);
+        assert!(slot.is_waiting());
+        assert!(!slot.has_item());
+        assert!(slot.try_claim());
+    }
+
+    #[test]
+    fn await_outcome_now_times_out_and_cancels_slot() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        let out = slot.await_outcome(Deadline::Now, None, &SpinPolicy::adaptive());
+        assert_eq!(out, WaitOutcome::TimedOut);
+        assert!(slot.is_cancelled());
+    }
+
+    #[test]
+    fn await_match_expiry_leaves_slot_waiting() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        assert_eq!(
+            slot.await_match(Deadline::Now, &SpinPolicy::adaptive()),
+            None
+        );
+        assert!(slot.is_waiting());
+        assert_eq!(slot.await_match(Deadline::Never, &SpinOnly(64)), None);
+        assert!(slot.is_waiting());
+        // A late fulfiller can still land.
+        assert!(slot.try_claim());
+    }
+
+    #[test]
+    fn await_outcome_parks_until_fulfilled() {
+        let slot: Arc<WaitSlot<u32>> = Arc::new(WaitSlot::new());
+        let other = Arc::clone(&slot);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            assert!(other.try_claim());
+            unsafe { other.fulfill(99) };
+        });
+        let out = slot.await_outcome(Deadline::Never, None, &SpinPolicy::park_immediately());
+        assert_eq!(out, WaitOutcome::Matched(MATCHED));
+        assert_eq!(unsafe { slot.take_item() }, 99);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn await_outcome_deadline_expires_while_parked() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        let start = std::time::Instant::now();
+        let out = slot.await_outcome(
+            Deadline::after(Duration::from_millis(40)),
+            None,
+            &SpinPolicy::park_immediately(),
+        );
+        assert_eq!(out, WaitOutcome::TimedOut);
+        assert!(start.elapsed() >= Duration::from_millis(40));
+        assert!(slot.is_cancelled());
+    }
+
+    #[test]
+    fn await_outcome_cancelled_by_token_while_parked() {
+        let slot: Arc<WaitSlot<u32>> = Arc::new(WaitSlot::new());
+        let token = Arc::new(CancelToken::new());
+        let canceller = token.canceller();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            canceller.cancel();
+        });
+        let out = slot.await_outcome(Deadline::Never, Some(&token), &SpinPolicy::adaptive());
+        assert_eq!(out, WaitOutcome::Cancelled);
+        assert!(slot.is_cancelled());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn spin_only_expires_without_parking() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        assert_eq!(slot.await_match(Deadline::Never, &SpinOnly(128)), None);
+    }
+
+    #[test]
+    fn await_completion_returns_terminal_state() {
+        let slot: Arc<WaitSlot<u32>> = Arc::new(WaitSlot::new());
+        let other = Arc::clone(&slot);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            assert!(other.try_claim());
+            std::thread::sleep(Duration::from_millis(10));
+            unsafe { other.fulfill(5) };
+        });
+        assert_eq!(slot.await_completion(), MATCHED);
+        assert_eq!(unsafe { slot.take_item() }, 5);
+        h.join().unwrap();
+    }
+
+    /// The core arbitration guarantee: a racing fulfiller and canceller
+    /// agree on a single winner, and the item is dropped exactly once.
+    #[test]
+    fn fulfill_vs_cancel_race_is_exclusive() {
+        for _ in 0..300 {
+            let slot: Arc<WaitSlot<Arc<()>>> = Arc::new(WaitSlot::new());
+            let payload = Arc::new(());
+            let fulfiller = {
+                let slot = Arc::clone(&slot);
+                let payload = Arc::clone(&payload);
+                std::thread::spawn(move || {
+                    if slot.try_claim() {
+                        unsafe { slot.fulfill(payload) };
+                        true
+                    } else {
+                        false
+                    }
+                })
+            };
+            let canceller = {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || slot.try_cancel())
+            };
+            let fulfilled = fulfiller.join().unwrap();
+            let cancelled = canceller.join().unwrap();
+            assert_ne!(fulfilled, cancelled, "exactly one side must win");
+            drop(slot);
+            assert_eq!(
+                Arc::strong_count(&payload),
+                1,
+                "item leaked or double-freed"
+            );
+        }
+    }
+
+    /// Same guarantee against the wait loop's own timeout arbitration: a
+    /// fulfiller racing a waiter whose deadline expires either lands the
+    /// match (waiter gets the item) or loses the cancel CAS cleanly
+    /// (fulfiller still owns its item) — never both, never neither.
+    #[test]
+    fn fulfill_vs_timeout_race_is_exclusive() {
+        for round in 0..300 {
+            let slot: Arc<WaitSlot<Arc<()>>> = Arc::new(WaitSlot::new());
+            let payload = Arc::new(());
+            let fulfiller = {
+                let slot = Arc::clone(&slot);
+                let payload = Arc::clone(&payload);
+                std::thread::spawn(move || {
+                    // Jitter the approach so the CAS lands on every side of
+                    // the deadline across rounds.
+                    for _ in 0..(round % 64) {
+                        std::hint::spin_loop();
+                    }
+                    if slot.try_claim() {
+                        unsafe { slot.fulfill(payload) };
+                        None
+                    } else {
+                        Some(payload) // lost: the item is still ours
+                    }
+                })
+            };
+            let out = slot.await_outcome(
+                Deadline::after(Duration::from_micros(50)),
+                None,
+                &SpinPolicy::fixed(32),
+            );
+            let kept = fulfiller.join().unwrap();
+            match out {
+                WaitOutcome::Matched(_) => {
+                    assert!(kept.is_none(), "matched but fulfiller kept the item");
+                    let got = unsafe { slot.take_item() };
+                    drop(got);
+                }
+                WaitOutcome::TimedOut => {
+                    assert!(slot.is_cancelled());
+                    assert!(kept.is_some(), "timed out but the item was deposited");
+                }
+                WaitOutcome::Cancelled => unreachable!("no token in play"),
+            }
+            drop(kept);
+            drop(slot);
+            assert_eq!(
+                Arc::strong_count(&payload),
+                1,
+                "item leaked or double-freed"
+            );
+        }
+    }
+}

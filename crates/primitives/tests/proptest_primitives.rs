@@ -1,9 +1,10 @@
 //! Property tests for the scheduling primitives.
 
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use synq_primitives::{FastSemaphore, Parker, Semaphore};
+use synq_primitives::{FastSemaphore, Parker, Semaphore, WaitSlot, MIN_TOKEN};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -53,6 +54,117 @@ proptest! {
             }
         }
         prop_assert_eq!(sem.permits(), model);
+    }
+
+    /// `WaitSlot` state machine vs. a reference model, under arbitrary
+    /// interleavings of fulfiller visits, token fulfillments, cancels,
+    /// re-arms, and recycles, with drop-counting payloads: every CAS
+    /// outcome must match the model, the observable state word must track
+    /// it, and every payload ever created must drop exactly once.
+    #[test]
+    fn wait_slot_matches_state_model(
+        starts_armed in any::<bool>(),
+        ops in proptest::collection::vec(0u8..5, 0..60),
+    ) {
+        use synq_primitives::wait_slot::{CANCELLED, CLAIMED, MATCHED, WAITING};
+
+        /// Payload that counts its own drops.
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut created = 0usize;
+        let mut new_payload = || {
+            created += 1;
+            Counted(Arc::clone(&drops))
+        };
+
+        // Reference model of the protocol.
+        let mut state = WAITING;      // expected state word
+        let mut filled = false;       // an initialized T was written
+        let mut consumed = false;     // ...and moved back out
+        let has_item = |filled: bool, consumed: bool| filled && !consumed;
+
+        let mut slot: WaitSlot<Counted> = if starts_armed {
+            filled = true;
+            WaitSlot::with_item(new_payload())
+        } else {
+            WaitSlot::new()
+        };
+
+        for op in ops {
+            match op {
+                // A fulfiller visit: claim, move the item (taking a data
+                // node's payload or depositing into a request node), and
+                // complete. Must succeed exactly when the slot is WAITING.
+                0 => {
+                    let won = slot.try_claim();
+                    prop_assert_eq!(won, state == WAITING);
+                    if won {
+                        if has_item(filled, consumed) {
+                            drop(unsafe { slot.take_item() });
+                            consumed = true;
+                        } else if !filled {
+                            unsafe { slot.put_item(new_payload()) };
+                            filled = true;
+                        }
+                        slot.complete();
+                        state = MATCHED;
+                    }
+                }
+                // A stack-style one-shot token fulfillment.
+                1 => {
+                    let res = slot.try_fulfill_token(MIN_TOKEN);
+                    if state == WAITING {
+                        prop_assert_eq!(res, Ok(()));
+                        state = MIN_TOKEN;
+                    } else {
+                        prop_assert_eq!(res, Err(state));
+                    }
+                }
+                // The waiter's cancel CAS; a winner reclaims its item.
+                2 => {
+                    let won = slot.try_cancel();
+                    prop_assert_eq!(won, state == WAITING);
+                    if won {
+                        state = CANCELLED;
+                        if has_item(filled, consumed) {
+                            drop(unsafe { slot.take_item() });
+                            consumed = true;
+                        }
+                    }
+                }
+                // The waiter (or a matched party) collects the payload.
+                3 => {
+                    if (state == MATCHED || state >= MIN_TOKEN) && has_item(filled, consumed) {
+                        drop(unsafe { slot.take_item() });
+                        consumed = true;
+                    }
+                }
+                // Node-cache recycle: anything pending is dropped, the
+                // protocol re-arms from scratch.
+                _ => {
+                    slot.reset();
+                    state = WAITING;
+                    filled = false;
+                    consumed = false;
+                }
+            }
+            prop_assert_eq!(slot.state(), state);
+            prop_assert_eq!(slot.has_item(), has_item(filled, consumed));
+            prop_assert!(state != CLAIMED, "ops above never end mid-claim");
+        }
+
+        drop(slot);
+        prop_assert_eq!(
+            drops.load(Ordering::Relaxed),
+            created,
+            "every payload must drop exactly once"
+        );
     }
 
     /// Parker permit protocol: after any sequence of unparks (N ≥ 1

@@ -17,29 +17,20 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
 use synq::{
     impl_channels_via_transferer, CancelToken, Deadline, SpinPolicy, TransferOutcome, Transferer,
 };
-use synq_primitives::{Parker, WaiterCell};
+use synq_primitives::{WaitOutcome, WaitSlot};
 use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
 
-const WAITING: usize = 0;
-const CLAIMED: usize = 1;
-const MATCHED: usize = 2;
-const CANCELLED: usize = 3;
-
 struct TNode<T> {
-    state: AtomicUsize,
-    item: UnsafeCell<MaybeUninit<T>>,
-    consumed: AtomicBool,
+    /// The wait-node protocol. Async data nodes never wait on it: the
+    /// producer has already returned and only the state machine is used.
+    slot: WaitSlot<T>,
     next: Atomic<TNode<T>>,
     is_data: bool,
-    /// Async data nodes have no waiter: the producer has already returned.
-    waiter: WaiterCell,
     refs: AtomicUsize,
     unlinked: AtomicBool,
 }
@@ -47,31 +38,12 @@ struct TNode<T> {
 impl<T> TNode<T> {
     fn new(is_data: bool, refs: usize) -> Owned<TNode<T>> {
         Owned::new(TNode {
-            state: AtomicUsize::new(WAITING),
-            item: UnsafeCell::new(MaybeUninit::uninit()),
-            consumed: AtomicBool::new(false),
+            slot: WaitSlot::new(),
             next: Atomic::null(),
             is_data,
-            waiter: WaiterCell::new(),
             refs: AtomicUsize::new(refs),
             unlinked: AtomicBool::new(false),
         })
-    }
-
-    fn is_cancelled(&self) -> bool {
-        self.state.load(Ordering::Acquire) == CANCELLED
-    }
-
-    unsafe fn take_item(&self) -> T {
-        let was = self.consumed.swap(true, Ordering::AcqRel);
-        debug_assert!(!was, "item taken twice");
-        // SAFETY: caller holds exclusive slot access per the state machine.
-        unsafe { (*self.item.get()).assume_init_read() }
-    }
-
-    unsafe fn put_item(&self, value: T) {
-        // SAFETY: caller won the claiming CAS or owns the unpublished node.
-        unsafe { (*self.item.get()).write(value) };
     }
 
     unsafe fn release(ptr: *const TNode<T>) {
@@ -80,18 +52,9 @@ impl<T> TNode<T> {
         if node.refs.fetch_sub(1, Ordering::Release) == 1 {
             std::sync::atomic::fence(Ordering::Acquire);
             // SAFETY: last reference (see synq::dual_queue for the
-            // reclamation argument).
-            let mut owned = unsafe { Box::from_raw(ptr as *mut TNode<T>) };
-            let has_item = if owned.is_data {
-                !*owned.consumed.get_mut()
-            } else {
-                *owned.state.get_mut() == MATCHED && !*owned.consumed.get_mut()
-            };
-            if has_item {
-                // SAFETY: slot initialized per the rules above.
-                unsafe { (*owned.item.get()).assume_init_drop() };
-            }
-            drop(owned);
+            // reclamation argument). The slot's Drop releases any item
+            // still pending in the cell.
+            drop(unsafe { Box::from_raw(ptr as *mut TNode<T>) });
         }
     }
 }
@@ -242,7 +205,7 @@ impl<T: Send> TransferQueue<T> {
             let Some(next_ref) = (unsafe { next.as_ref() }) else {
                 return n;
             };
-            if next_ref.is_data && next_ref.state.load(Ordering::Acquire) == WAITING {
+            if next_ref.is_data && next_ref.slot.is_waiting() {
                 n += 1;
             }
             p = next;
@@ -275,7 +238,7 @@ impl<T: Send> TransferQueue<T> {
             let Some(next_ref) = (unsafe { next.as_ref() }) else {
                 return n;
             };
-            if !next_ref.is_data && next_ref.state.load(Ordering::Acquire) == WAITING {
+            if !next_ref.is_data && next_ref.slot.is_waiting() {
                 n += 1;
             }
             p = next;
@@ -318,7 +281,7 @@ impl<T: Send> TransferQueue<T> {
             let Some(hn_ref) = (unsafe { hn.as_ref() }) else {
                 return;
             };
-            if !hn_ref.is_cancelled() {
+            if !hn_ref.slot.is_cancelled() {
                 return;
             }
             let _ = self.advance_head(h, hn, guard);
@@ -373,7 +336,7 @@ impl<T: Send> TransferQueue<T> {
                     None => TNode::new(true, refs),
                 };
                 // SAFETY: unpublished node, exclusively ours.
-                unsafe { owned.put_item(item.take().expect("producer has item")) };
+                unsafe { owned.slot.put_item(item.take().expect("producer has item")) };
                 match t_ref.next.compare_exchange(
                     Shared::null(),
                     owned,
@@ -399,7 +362,7 @@ impl<T: Send> TransferQueue<T> {
                     Err(e) => {
                         let owned = e.new;
                         // SAFETY: unpublished; reclaim the item.
-                        item = Some(unsafe { (*owned.item.get()).assume_init_read() });
+                        item = Some(unsafe { owned.slot.reclaim_item() });
                         node = Some(owned);
                         continue;
                     }
@@ -417,15 +380,10 @@ impl<T: Send> TransferQueue<T> {
             }
             // SAFETY: m reachable under our pin.
             let m_ref = unsafe { m.deref() };
-            let matched = if m_ref
-                .state
-                .compare_exchange(WAITING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
+            let matched = if m_ref.slot.try_claim() {
                 // SAFETY: claim grants slot write access.
-                unsafe { m_ref.put_item(item.take().expect("producer has item")) };
-                m_ref.state.store(MATCHED, Ordering::Release);
-                m_ref.waiter.wake();
+                unsafe { m_ref.slot.put_item(item.take().expect("producer has item")) };
+                m_ref.slot.complete();
                 true
             } else {
                 false
@@ -512,15 +470,10 @@ impl<T: Send> TransferQueue<T> {
             // SAFETY: m reachable under our pin.
             let m_ref = unsafe { m.deref() };
             let mut taken = None;
-            if m_ref
-                .state
-                .compare_exchange(WAITING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
-            {
+            if m_ref.slot.try_claim() {
                 // SAFETY: claim grants slot read access.
-                taken = Some(unsafe { m_ref.take_item() });
-                m_ref.state.store(MATCHED, Ordering::Release);
-                m_ref.waiter.wake();
+                taken = Some(unsafe { m_ref.slot.take_item() });
+                m_ref.slot.complete();
             }
             let _ = self.advance_head(h, m, &guard);
             if taken.is_some() {
@@ -538,67 +491,31 @@ impl<T: Send> TransferQueue<T> {
     ) -> TransferOutcome<T> {
         // SAFETY: we hold the waiter reference.
         let node = unsafe { &*node_raw };
-        let mut spins = self.spin.spins_for(deadline.is_timed());
-        let mut parker: Option<Parker> = None;
-        let outcome = loop {
-            match node.state.load(Ordering::Acquire) {
-                MATCHED => {
-                    let item = if is_data {
-                        None
-                    } else {
-                        // SAFETY: producer wrote before MATCHED.
-                        Some(unsafe { node.take_item() })
-                    };
-                    break TransferOutcome::Transferred(item);
-                }
-                CLAIMED => {
-                    std::thread::yield_now();
-                    continue;
-                }
-                CANCELLED => unreachable!("only the waiter cancels"),
-                _ => {}
+        let outcome = match node.slot.await_outcome(deadline, token, &self.spin) {
+            WaitOutcome::Matched(_) => {
+                let item = if is_data {
+                    None
+                } else {
+                    // SAFETY: producer wrote before MATCHED.
+                    Some(unsafe { node.slot.take_item() })
+                };
+                TransferOutcome::Transferred(item)
             }
-            let cancelled = token.is_some_and(|tk| tk.is_cancelled());
-            if cancelled || deadline.expired() {
-                if node
-                    .state
-                    .compare_exchange(WAITING, CANCELLED, Ordering::AcqRel, Ordering::Acquire)
-                    .is_ok()
-                {
-                    node.waiter.take();
-                    let guard = epoch::pin();
-                    self.absorb_cancelled(&guard);
-                    drop(guard);
-                    let item = if is_data {
-                        // SAFETY: cancellation wins the item back.
-                        Some(unsafe { node.take_item() })
-                    } else {
-                        None
-                    };
-                    break if cancelled {
-                        TransferOutcome::Cancelled(item)
-                    } else {
-                        TransferOutcome::Timeout(item)
-                    };
-                }
-                continue;
-            }
-            if spins > 0 {
-                spins -= 1;
-                std::hint::spin_loop();
-                continue;
-            }
-            let parker = parker.get_or_insert_with(Parker::new);
-            node.waiter.register(parker.unparker());
-            let _reg = token.map(|tk| tk.register(parker.unparker()));
-            if node.state.load(Ordering::Acquire) != WAITING {
-                continue;
-            }
-            match deadline {
-                Deadline::Never => parker.park(),
-                Deadline::Now => unreachable!("Now fails before enqueueing"),
-                Deadline::At(d) => {
-                    let _ = parker.park_deadline(d);
+            verdict => {
+                // We won the cancel CAS.
+                let guard = epoch::pin();
+                self.absorb_cancelled(&guard);
+                drop(guard);
+                let item = if is_data {
+                    // SAFETY: cancellation wins the item back.
+                    Some(unsafe { node.slot.take_item() })
+                } else {
+                    None
+                };
+                if verdict == WaitOutcome::Cancelled {
+                    TransferOutcome::Cancelled(item)
+                } else {
+                    TransferOutcome::Timeout(item)
                 }
             }
         };
