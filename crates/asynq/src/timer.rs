@@ -1,0 +1,168 @@
+//! A minimal global timer: deadline wakes for pending timed transfers.
+//!
+//! The poll-mode wait engine underneath ([`synq::pollable`]) is
+//! deliberately timer-free: a pending poll with an unexpired deadline
+//! reports `Pending` and relies on *someone* re-polling once the deadline
+//! passes. On a full-featured runtime that someone is the runtime's own
+//! timer wheel; the `*_timed` futures in this crate work on *any* runtime,
+//! so they fall back to this module — one lazily spawned thread holding a
+//! deadline-ordered heap of [`Waker`]s.
+//!
+//! Registrations are fire-and-forget: a waker fires *at or after* its
+//! instant, is never cancelled, and may fire after the future it belongs
+//! to has already resolved — a spurious wake, which the poll contract
+//! makes harmless. Re-registering on every poll (what the futures do) is
+//! likewise fine; the poll contract only obliges the *most recent* waker.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::Waker;
+use std::time::Instant;
+
+struct Entry {
+    at: Instant,
+    waker: Waker,
+}
+
+// The heap orders entries by deadline only.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at)
+    }
+}
+
+struct Timer {
+    queue: Mutex<BinaryHeap<Reverse<Entry>>>,
+    cvar: Condvar,
+}
+
+static TIMER: OnceLock<&'static Timer> = OnceLock::new();
+
+fn timer() -> &'static Timer {
+    TIMER.get_or_init(|| {
+        // Leaked on purpose: the timer thread lives for the process and a
+        // `static` reference lets it share the state with no refcounting.
+        let t: &'static Timer = Box::leak(Box::new(Timer {
+            queue: Mutex::new(BinaryHeap::new()),
+            cvar: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("synq-async-timer".into())
+            .spawn(move || run(t))
+            .expect("spawn timer thread");
+        t
+    })
+}
+
+fn run(t: &'static Timer) {
+    let mut q = t.queue.lock().expect("timer poisoned");
+    loop {
+        let now = Instant::now();
+        // Fire everything due, collecting wakers so `wake` (which can run
+        // arbitrary executor code) happens outside the lock.
+        let mut due = Vec::new();
+        while q.peek().is_some_and(|Reverse(e)| e.at <= now) {
+            due.push(q.pop().expect("peeked").0.waker);
+        }
+        if !due.is_empty() {
+            drop(q);
+            for w in due {
+                w.wake();
+            }
+            q = t.queue.lock().expect("timer poisoned");
+            continue;
+        }
+        q = match q.peek() {
+            None => t.cvar.wait(q).expect("timer poisoned"),
+            Some(Reverse(e)) => {
+                let timeout = e.at.saturating_duration_since(now);
+                t.cvar.wait_timeout(q, timeout).expect("timer poisoned").0
+            }
+        };
+    }
+}
+
+/// Schedules `waker` to be woken at (or shortly after) `at`.
+pub fn wake_at(at: Instant, waker: Waker) {
+    let t = timer();
+    let mut q = t.queue.lock().expect("timer poisoned");
+    let earliest_changed = q.peek().is_none_or(|Reverse(e)| at < e.at);
+    q.push(Reverse(Entry { at, waker }));
+    drop(q);
+    if earliest_changed {
+        t.cvar.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn counting_waker(hits: Arc<AtomicUsize>) -> Waker {
+        struct W(Arc<AtomicUsize>);
+        impl std::task::Wake for W {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        Waker::from(Arc::new(W(hits)))
+    }
+
+    #[test]
+    fn due_waker_fires() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        wake_at(
+            Instant::now() + Duration::from_millis(20),
+            counting_waker(Arc::clone(&hits)),
+        );
+        let start = Instant::now();
+        while hits.load(Ordering::SeqCst) == 0 {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "timer never fired"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn earlier_registration_preempts_later_sleep() {
+        // Register a far deadline first, then a near one: the near one must
+        // not wait behind the far one's sleep.
+        let far = Arc::new(AtomicUsize::new(0));
+        let near = Arc::new(AtomicUsize::new(0));
+        wake_at(
+            Instant::now() + Duration::from_secs(30),
+            counting_waker(Arc::clone(&far)),
+        );
+        wake_at(
+            Instant::now() + Duration::from_millis(20),
+            counting_waker(Arc::clone(&near)),
+        );
+        let start = Instant::now();
+        while near.load(Ordering::SeqCst) == 0 {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "near deadline stuck behind far sleep"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(far.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Rendezvous stress under the bundled `block_on`/`block_on_all` driver:
+//! ping-pong latency chains and many-producer/many-consumer conservation,
+//! both single-thread (tasks interleaving at await points) and
+//! cross-thread (async tasks pairing with other threads' tasks).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::thread;
+use synq_async::{block_on, block_on_all, AsyncSyncQueue, AsyncSyncStack};
+
+type BoxFut<T> = Pin<Box<dyn Future<Output = T>>>;
+
+const PINGPONG_ROUNDS: usize = 2_000;
+const MPMC_SIDES: usize = 4;
+const MPMC_PER: usize = 500;
+
+#[test]
+fn queue_pingpong_single_thread() {
+    let ping = AsyncSyncQueue::new();
+    let pong = AsyncSyncQueue::new();
+    let (ping_a, pong_a) = (ping.clone(), pong.clone());
+    let outs: Vec<BoxFut<usize>> = vec![
+        Box::pin(async move {
+            let mut acc = 0usize;
+            for i in 0..PINGPONG_ROUNDS {
+                ping_a.send(i).await;
+                acc += pong_a.recv().await;
+            }
+            acc
+        }),
+        Box::pin(async move {
+            let mut acc = 0usize;
+            for _ in 0..PINGPONG_ROUNDS {
+                let v = ping.recv().await;
+                acc += v;
+                pong.send(v + 1).await;
+            }
+            acc
+        }),
+    ];
+    let outs = block_on_all(outs);
+    let base: usize = (0..PINGPONG_ROUNDS).sum();
+    assert_eq!(outs, vec![base + PINGPONG_ROUNDS, base]);
+}
+
+#[test]
+fn stack_pingpong_across_threads() {
+    let ping = AsyncSyncStack::new();
+    let pong = AsyncSyncStack::new();
+    let (ping_b, pong_b) = (ping.clone(), pong.clone());
+    let echo = thread::spawn(move || {
+        block_on(async move {
+            for _ in 0..PINGPONG_ROUNDS {
+                let v = ping_b.recv().await;
+                pong_b.send(v).await;
+            }
+        })
+    });
+    let acc = block_on(async move {
+        let mut acc = 0usize;
+        for i in 0..PINGPONG_ROUNDS {
+            ping.send(i).await;
+            acc += pong.recv().await;
+        }
+        acc
+    });
+    echo.join().unwrap();
+    assert_eq!(acc, (0..PINGPONG_ROUNDS).sum::<usize>());
+}
+
+#[test]
+fn queue_mpmc_single_thread_conserves_values() {
+    let q = AsyncSyncQueue::new();
+    let mut tasks: Vec<BoxFut<usize>> = Vec::new();
+    for p in 0..MPMC_SIDES {
+        let q = q.clone();
+        tasks.push(Box::pin(async move {
+            for i in 0..MPMC_PER {
+                q.send(p * MPMC_PER + i).await;
+            }
+            0
+        }));
+    }
+    for _ in 0..MPMC_SIDES {
+        let q = q.clone();
+        tasks.push(Box::pin(async move {
+            let mut sum = 0usize;
+            for _ in 0..MPMC_PER {
+                sum += q.recv().await;
+            }
+            sum
+        }));
+    }
+    let outs = block_on_all(tasks);
+    let total: usize = outs.iter().sum();
+    assert_eq!(total, (0..MPMC_SIDES * MPMC_PER).sum::<usize>());
+}
+
+#[test]
+fn stack_mpmc_across_threads_conserves_values() {
+    // Producers drive async sends on one thread; consumers on another.
+    let s = AsyncSyncStack::new();
+    let s2 = s.clone();
+    let producers = thread::spawn(move || {
+        let tasks: Vec<BoxFut<usize>> = (0..MPMC_SIDES)
+            .map(|p| {
+                let s = s2.clone();
+                Box::pin(async move {
+                    for i in 0..MPMC_PER {
+                        s.send(p * MPMC_PER + i).await;
+                    }
+                    0usize
+                }) as BoxFut<usize>
+            })
+            .collect();
+        block_on_all(tasks);
+    });
+    let consumers: Vec<BoxFut<usize>> = (0..MPMC_SIDES)
+        .map(|_| {
+            let s = s.clone();
+            Box::pin(async move {
+                let mut sum = 0usize;
+                for _ in 0..MPMC_PER {
+                    sum += s.recv().await;
+                }
+                sum
+            }) as BoxFut<usize>
+        })
+        .collect();
+    let sums = block_on_all(consumers);
+    producers.join().unwrap();
+    assert_eq!(
+        sums.iter().sum::<usize>(),
+        (0..MPMC_SIDES * MPMC_PER).sum::<usize>()
+    );
+}
+
+#[test]
+fn mixed_async_and_blocking_sides() {
+    // Blocking producers, async consumers, one structure: the two wait
+    // modes must interoperate node-for-node.
+    use synq::SyncChannel;
+    let q = AsyncSyncQueue::new();
+    let mut producers = Vec::new();
+    for p in 0..MPMC_SIDES {
+        let q = q.clone();
+        producers.push(thread::spawn(move || {
+            for i in 0..MPMC_PER {
+                q.inner().put(p * MPMC_PER + i);
+            }
+        }));
+    }
+    let consumers: Vec<BoxFut<usize>> = (0..MPMC_SIDES)
+        .map(|_| {
+            let q = q.clone();
+            Box::pin(async move {
+                let mut sum = 0usize;
+                for _ in 0..MPMC_PER {
+                    sum += q.recv().await;
+                }
+                sum
+            }) as BoxFut<usize>
+        })
+        .collect();
+    let sums = block_on_all(consumers);
+    for t in producers {
+        t.join().unwrap();
+    }
+    assert_eq!(
+        sums.iter().sum::<usize>(),
+        (0..MPMC_SIDES * MPMC_PER).sum::<usize>()
+    );
+}

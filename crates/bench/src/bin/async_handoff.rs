@@ -1,0 +1,222 @@
+//! Async front-end overhead sweep: the `synq-async` waker-based wait mode
+//! against the blocking (`Unparker`-based) API on the same two structures,
+//! under the F3 pairwise-handoff workload.
+//!
+//! Three wait modes per structure:
+//!
+//! * `blocking` — N producer + N consumer threads calling `put`/`take`
+//!   (the existing [`handoff_ns_per_transfer`] loop; the baseline).
+//! * `async` — the same 2N threads, but each drives its loop through
+//!   `send(..).await`/`recv().await` under the bundled `block_on`. Same
+//!   parallelism; measures the per-transfer cost of the future protocol
+//!   (publish on first poll, waker registration, wake-then-repoll).
+//! * `async-1t` — all 2N tasks multiplexed on a *single* thread via
+//!   `block_on_all`: the cooperative limit, where every rendezvous is a
+//!   task switch instead of a thread switch.
+//!
+//! Emits `BENCH_async.json` at the repo root alongside
+//! `BENCH_headline.json`.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+use synq_async::{block_on, block_on_all, AsyncSyncQueue, AsyncSyncStack};
+use synq_bench::algos::{make_blocking, Algo};
+use synq_bench::report::{write_bench_async, FigureReport};
+use synq_bench::workload::{handoff_ns_per_transfer, HandoffShape};
+use synq_bench::{quick_mode, sweep, transfers_for};
+
+/// A narrower ladder than the figures: the async driver adds a constant
+/// per-transfer cost, so the interesting region is the low/saturated end.
+const LEVELS: &[usize] = &[1, 2, 4, 8, 16];
+
+/// The two async wrappers are distinct macro-generated types; this local
+/// trait gives the measurement loops one name for "send"/"recv".
+trait AsyncHandoff: Clone + Send + Sync + 'static {
+    fn send(&self, v: u64) -> impl Future<Output = ()> + '_;
+    fn recv(&self) -> impl Future<Output = u64> + '_;
+}
+
+impl AsyncHandoff for AsyncSyncQueue<u64> {
+    fn send(&self, v: u64) -> impl Future<Output = ()> + '_ {
+        AsyncSyncQueue::send(self, v)
+    }
+    fn recv(&self) -> impl Future<Output = u64> + '_ {
+        AsyncSyncQueue::recv(self)
+    }
+}
+
+impl AsyncHandoff for AsyncSyncStack<u64> {
+    fn send(&self, v: u64) -> impl Future<Output = ()> + '_ {
+        AsyncSyncStack::send(self, v)
+    }
+    fn recv(&self) -> impl Future<Output = u64> + '_ {
+        AsyncSyncStack::recv(self)
+    }
+}
+
+/// Mirror of [`handoff_ns_per_transfer`]: each worker thread runs its
+/// ticket loop as a future under `block_on`.
+fn async_ns_per_transfer<C: AsyncHandoff>(chan: C, shape: HandoffShape, transfers: usize) -> f64 {
+    let put_tickets = Arc::new(AtomicUsize::new(0));
+    let take_tickets = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(shape.producers + shape.consumers + 1));
+
+    let mut handles = Vec::with_capacity(shape.producers + shape.consumers);
+    for _ in 0..shape.producers {
+        let chan = chan.clone();
+        let tickets = Arc::clone(&put_tickets);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            block_on(async move {
+                loop {
+                    let i = tickets.fetch_add(1, Ordering::Relaxed);
+                    if i >= transfers {
+                        break;
+                    }
+                    chan.send(i as u64).await;
+                }
+            });
+        }));
+    }
+    for _ in 0..shape.consumers {
+        let chan = chan.clone();
+        let tickets = Arc::clone(&take_tickets);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            block_on(async move {
+                let mut check: u64 = 0;
+                loop {
+                    let i = tickets.fetch_add(1, Ordering::Relaxed);
+                    if i >= transfers {
+                        break;
+                    }
+                    check = check.wrapping_add(chan.recv().await);
+                }
+                std::hint::black_box(check);
+            });
+        }));
+    }
+
+    let start = Instant::now();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("benchmark thread panicked");
+    }
+    start.elapsed().as_nanos() as f64 / transfers as f64
+}
+
+/// Cooperative limit: all `pairs`×2 ticket loops run as tasks on one
+/// thread under `block_on_all`, so every rendezvous is a task switch.
+fn async_single_thread_ns<C: AsyncHandoff>(chan: C, pairs: usize, transfers: usize) -> f64 {
+    type BoxFut = Pin<Box<dyn Future<Output = ()>>>;
+    let put_tickets = Arc::new(AtomicUsize::new(0));
+    let take_tickets = Arc::new(AtomicUsize::new(0));
+    let mut tasks: Vec<BoxFut> = Vec::with_capacity(pairs * 2);
+    for _ in 0..pairs {
+        let producer = chan.clone();
+        let tickets = Arc::clone(&put_tickets);
+        tasks.push(Box::pin(async move {
+            loop {
+                let i = tickets.fetch_add(1, Ordering::Relaxed);
+                if i >= transfers {
+                    break;
+                }
+                producer.send(i as u64).await;
+            }
+        }));
+        let chan = chan.clone();
+        let tickets = Arc::clone(&take_tickets);
+        tasks.push(Box::pin(async move {
+            let mut check: u64 = 0;
+            loop {
+                let i = tickets.fetch_add(1, Ordering::Relaxed);
+                if i >= transfers {
+                    break;
+                }
+                check = check.wrapping_add(chan.recv().await);
+            }
+            std::hint::black_box(check);
+        }));
+    }
+    let start = Instant::now();
+    block_on_all(tasks);
+    start.elapsed().as_nanos() as f64 / transfers as f64
+}
+
+fn main() {
+    let quick = quick_mode();
+    let levels = sweep(LEVELS, quick);
+    let mut report = FigureReport::new(
+        "async_handoff",
+        "Async front-end vs. blocking API, pairwise handoff",
+        "pairs",
+        "ns/transfer",
+        levels.clone(),
+    );
+
+    type Mode = (&'static str, fn(usize, usize) -> f64);
+    let modes: &[Mode] = &[
+        ("queue/blocking", |level, transfers| {
+            handoff_ns_per_transfer(
+                make_blocking(Algo::NewFair),
+                HandoffShape::pairs(level),
+                transfers,
+            )
+        }),
+        ("queue/async", |level, transfers| {
+            async_ns_per_transfer(
+                AsyncSyncQueue::<u64>::new(),
+                HandoffShape::pairs(level),
+                transfers,
+            )
+        }),
+        ("queue/async-1t", |level, transfers| {
+            async_single_thread_ns(AsyncSyncQueue::<u64>::new(), level, transfers)
+        }),
+        ("stack/blocking", |level, transfers| {
+            handoff_ns_per_transfer(
+                make_blocking(Algo::NewUnfair),
+                HandoffShape::pairs(level),
+                transfers,
+            )
+        }),
+        ("stack/async", |level, transfers| {
+            async_ns_per_transfer(
+                AsyncSyncStack::<u64>::new(),
+                HandoffShape::pairs(level),
+                transfers,
+            )
+        }),
+        ("stack/async-1t", |level, transfers| {
+            async_single_thread_ns(AsyncSyncStack::<u64>::new(), level, transfers)
+        }),
+    ];
+
+    for &(label, run) in modes {
+        let mut values = Vec::with_capacity(levels.len());
+        for &level in &levels {
+            let transfers = transfers_for(level * 2, quick);
+            let ns = run(level, transfers);
+            eprintln!(
+                "  async_handoff {label:>16} pairs={level:<3} -> {ns:>12.0} ns/transfer ({transfers} transfers)"
+            );
+            values.push(ns);
+        }
+        report.push_series(label.to_string(), values);
+    }
+
+    println!("{}", report.to_table());
+    match report.write_json() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write JSON: {e}"),
+    }
+    match write_bench_async(&report) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_async.json: {e}"),
+    }
+}

@@ -4,7 +4,9 @@
 //! repo-root `BENCH_headline.json` from the freshest handoff figure.
 
 use synq_bench::json::Json;
-use synq_bench::report::{write_bench_headline, FigureReport};
+use synq_bench::report::{
+    write_bench_async, write_bench_headline, write_bench_wait_strategy, FigureReport,
+};
 
 fn main() -> std::io::Result<()> {
     let dir = std::env::var("SYNQ_FIGURE_DIR").unwrap_or_else(|_| "target/figures".into());
@@ -61,6 +63,19 @@ fn main() -> std::io::Result<()> {
         match write_bench_headline(handoff, pool) {
             Ok(path) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("failed to write BENCH_headline.json: {e}"),
+        }
+    }
+    // The sweep files follow the same refresh-if-present rule.
+    if let Some(sweep) = reports.iter().find(|r| r.id == "wait_strategy") {
+        match write_bench_wait_strategy(sweep) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write BENCH_wait_strategy.json: {e}"),
+        }
+    }
+    if let Some(sweep) = reports.iter().find(|r| r.id == "async_handoff") {
+        match write_bench_async(sweep) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write BENCH_async.json: {e}"),
         }
     }
     Ok(())

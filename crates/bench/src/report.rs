@@ -219,6 +219,25 @@ pub fn write_bench_wait_strategy(sweep: &FigureReport) -> std::io::Result<PathBu
     Ok(path)
 }
 
+/// Writes the repo-root `BENCH_async.json` file: ns/transfer for the
+/// async front-end (`synq-async`) against the blocking API on the same
+/// structures, consumed to track the overhead of the waker-based wait
+/// mode. Returns the path written (overridable with `SYNQ_ASYNC_PATH`).
+pub fn write_bench_async(sweep: &FigureReport) -> std::io::Result<PathBuf> {
+    let path = std::env::var("SYNQ_ASYNC_PATH")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_async.json")
+        });
+    let fields = vec![
+        ("schema".into(), Json::Str("synq-bench-async/v1".into())),
+        ("sweep".into(), sweep.to_json()),
+    ];
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(Json::Obj(fields).pretty().as_bytes())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +302,24 @@ mod tests {
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
             Some("synq-bench-wait-strategy/v1")
+        );
+        let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
+        assert_eq!(sweep.series.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn async_file_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("synq-async-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_async.json");
+        std::env::set_var("SYNQ_ASYNC_PATH", &path);
+        let written = write_bench_async(&sample()).unwrap();
+        std::env::remove_var("SYNQ_ASYNC_PATH");
+        let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("synq-bench-async/v1")
         );
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);

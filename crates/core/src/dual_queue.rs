@@ -53,11 +53,20 @@
 //! the ABA argument lives in the node-cache module docs.
 
 use crate::node_cache::{NodeCache, Recyclable};
+use crate::pollable::{PendingTransfer, PollTransferer, StartTransfer};
 use crate::transferer::{Deadline, TransferOutcome, Transferer};
+use core::task::{Poll, Waker};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use synq_primitives::{CachePadded, CancelToken, SpinPolicy, WaitOutcome, WaitSlot};
 use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Pointer, Shared};
+
+/// Result of the lock-free phase: resolved outright, or a node published
+/// that some counterpart must now fulfill.
+enum RawStart<T> {
+    Done(TransferOutcome<T>),
+    Published(*const QNode<T>),
+}
 
 struct QNode<T> {
     /// The wait-node protocol: state machine, item cell, waiter mailbox.
@@ -325,10 +334,29 @@ impl<T: Send> SyncDualQueue<T> {
 
     fn transfer_impl(
         &self,
-        mut item: Option<T>,
+        item: Option<T>,
         deadline: Deadline,
         token: Option<&CancelToken>,
     ) -> TransferOutcome<T> {
+        let is_data = item.is_some();
+        match self.start_impl(item, deadline, token) {
+            RawStart::Done(outcome) => outcome,
+            // Wait without holding an epoch pin.
+            RawStart::Published(node_raw) => self.await_fulfill(node_raw, is_data, deadline, token),
+        }
+    }
+
+    /// The lock-free phase of one transfer: match a waiting counterpart or
+    /// publish a node at the tail. Never waits; `deadline`/`token` are
+    /// consulted only for the fail-fast checks before publication (pass
+    /// [`Deadline::Never`] and `None` to always publish, as poll-mode
+    /// callers do — they apply their own checks on each poll).
+    fn start_impl(
+        &self,
+        mut item: Option<T>,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> RawStart<T> {
         let is_data = item.is_some();
         // The node is allocated at most once per call and reused across
         // retries (the paper's pragmatics: avoid per-retry allocation).
@@ -363,10 +391,10 @@ impl<T: Send> SyncDualQueue<T> {
                 // We would have to wait. Fail fast for `offer`/`poll` and
                 // for already-tripped cancellation tokens.
                 if deadline.is_now() {
-                    return TransferOutcome::Timeout(item);
+                    return RawStart::Done(TransferOutcome::Timeout(item));
                 }
                 if token.is_some_and(|tk| tk.is_cancelled()) {
-                    return TransferOutcome::Cancelled(item);
+                    return RawStart::Done(TransferOutcome::Cancelled(item));
                 }
                 let owned = match node.take() {
                     Some(n) => n,
@@ -411,9 +439,8 @@ impl<T: Send> SyncDualQueue<T> {
                         continue;
                     }
                 };
-                // Wait without holding the pin.
                 drop(guard);
-                return self.await_fulfill(node_raw, is_data, deadline, token);
+                return RawStart::Published(node_raw);
             }
 
             // Complementary mode at the front: match `head.next`.
@@ -451,7 +478,7 @@ impl<T: Send> SyncDualQueue<T> {
             // (cancelled / claimed by someone else) — paper Figure 1 step D.
             let _ = self.advance_head(h, m_shared, &guard);
             if matched {
-                return TransferOutcome::Transferred(item);
+                return RawStart::Done(TransferOutcome::Transferred(item));
             }
         }
     }
@@ -469,7 +496,22 @@ impl<T: Send> SyncDualQueue<T> {
     ) -> TransferOutcome<T> {
         // SAFETY: we hold one of the node's references until `release`.
         let node = unsafe { &*node_raw };
-        let outcome = match node.slot.await_outcome(deadline, token, &self.spin) {
+        let verdict = node.slot.await_outcome(deadline, token, &self.spin);
+        self.finish_wait(node_raw, is_data, verdict)
+    }
+
+    /// Epilogue shared by the blocking and poll-mode wait loops: resolves a
+    /// terminal [`WaitOutcome`] on our own node into a transfer outcome,
+    /// helps dequeue the node, and drops the waiter's reference.
+    fn finish_wait(
+        &self,
+        node_raw: *const QNode<T>,
+        is_data: bool,
+        verdict: WaitOutcome,
+    ) -> TransferOutcome<T> {
+        // SAFETY: we hold one of the node's references until `release`.
+        let node = unsafe { &*node_raw };
+        let outcome = match verdict {
             WaitOutcome::Matched(_) => {
                 let item = if is_data {
                     None
@@ -553,6 +595,105 @@ impl<T: Send> Transferer<T> for SyncDualQueue<T> {
         token: Option<&CancelToken>,
     ) -> TransferOutcome<T> {
         self.transfer_impl(item, deadline, token)
+    }
+}
+
+/// A published-but-unresolved queue transfer (see
+/// [`PollTransferer::start_transfer`]).
+///
+/// Polling drives the node's [`WaitSlot`] poll-mode wait loop; dropping an
+/// unresolved permit cancels exactly like a timed-out blocking waiter
+/// (`WAITING → CANCELLED` CAS, head absorption, reference release), so the
+/// futures built on top are safe to drop at any point. A producer's
+/// unsent item — or an item a fulfiller deposited that the dropped
+/// consumer will never read — is dropped exactly once by the node's final
+/// reference release.
+pub struct QueuePermit<T: Send> {
+    queue: Arc<SyncDualQueue<T>>,
+    node: *const QNode<T>,
+    is_data: bool,
+    /// Set when `poll_transfer` returned `Ready`: the waiter reference has
+    /// been released and `node` must not be touched again.
+    done: bool,
+}
+
+// SAFETY: the permit is a waiter's handle on its own node — the same
+// references a blocking waiter thread holds — and the queue is `Sync`; the
+// raw pointer is kept alive by the reference count.
+unsafe impl<T: Send> Send for QueuePermit<T> {}
+
+impl<T: Send> PendingTransfer<T> for QueuePermit<T> {
+    fn poll_transfer(
+        &mut self,
+        waker: &Waker,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> Poll<TransferOutcome<T>> {
+        assert!(!self.done, "QueuePermit polled after completion");
+        // SAFETY: `done` is false, so the waiter reference is still held.
+        let node = unsafe { &*self.node };
+        match node.slot.poll_outcome(waker, deadline, token) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(verdict) => {
+                self.done = true;
+                Poll::Ready(self.queue.finish_wait(self.node, self.is_data, verdict))
+            }
+        }
+    }
+}
+
+impl<T: Send> Drop for QueuePermit<T> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // SAFETY: the waiter reference is still held.
+        let node = unsafe { &*self.node };
+        if node.slot.try_cancel() {
+            // Cancel won: retract like a timed-out waiter, settling the
+            // unsent item now (the blocking path hands it back to the
+            // caller; a dropped future has no caller, so drop it here).
+            if self.is_data {
+                // SAFETY: cancellation wins back item ownership.
+                drop(unsafe { node.slot.take_item() });
+            }
+            let guard = epoch::pin();
+            self.queue.absorb_cancelled(&guard);
+            drop(guard);
+        }
+        // Cancel lost: a fulfiller claimed (or already matched) the node.
+        // Nothing to retract — an item it deposited for us is likewise
+        // dropped by the final release, which the epoch deferral orders
+        // after the fulfiller's pin, so a mid-`put_item` fulfiller is safe.
+        self.queue.release_direct(self.node);
+    }
+}
+
+impl<T: Send> std::fmt::Debug for QueuePermit<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueuePermit")
+            .field("is_data", &self.is_data)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send> PollTransferer<T> for SyncDualQueue<T> {
+    type Permit = QueuePermit<T>;
+
+    fn start_transfer(this: &Arc<Self>, item: Option<T>) -> StartTransfer<T, QueuePermit<T>> {
+        let is_data = item.is_some();
+        // Never/None: poll-mode callers apply deadline and cancellation on
+        // each poll; the lock-free phase must always publish.
+        match this.start_impl(item, Deadline::Never, None) {
+            RawStart::Done(outcome) => StartTransfer::Complete(outcome),
+            RawStart::Published(node) => StartTransfer::Pending(QueuePermit {
+                queue: Arc::clone(this),
+                node,
+                is_data,
+                done: false,
+            }),
+        }
     }
 }
 

@@ -49,11 +49,20 @@
 //! waiter's behalf*; the waiter releases it after reading.
 
 use crate::node_cache::{NodeCache, Recyclable};
+use crate::pollable::{PendingTransfer, PollTransferer, StartTransfer};
 use crate::transferer::{Deadline, TransferOutcome, Transferer};
+use core::task::{Poll, Waker};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use synq_primitives::{CachePadded, CancelToken, SpinPolicy, WaitOutcome, WaitSlot};
 use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Pointer, Shared};
+
+/// Result of the lock-free phase: resolved outright, or a node pushed that
+/// some counterpart must now fulfill.
+enum RawStart<T> {
+    Done(TransferOutcome<T>),
+    Published(*const SNode<T>),
+}
 
 /// Node is a waiting consumer.
 const REQUEST: usize = 0;
@@ -328,10 +337,29 @@ impl<T: Send> SyncDualStack<T> {
 
     fn transfer_impl(
         &self,
-        mut item: Option<T>,
+        item: Option<T>,
         deadline: Deadline,
         token: Option<&CancelToken>,
     ) -> TransferOutcome<T> {
+        let is_data = item.is_some();
+        match self.start_impl(item, deadline, token) {
+            RawStart::Done(outcome) => outcome,
+            // Wait without holding an epoch pin.
+            RawStart::Published(node_raw) => self.await_fulfill(node_raw, is_data, deadline, token),
+        }
+    }
+
+    /// The lock-free phase of one transfer: annihilate with a complementary
+    /// waiter (helping any fulfiller in the way) or push a wait node. Never
+    /// waits; `deadline`/`token` feed only the fail-fast checks before
+    /// publication (pass [`Deadline::Never`] and `None` to always publish,
+    /// as poll-mode callers do).
+    fn start_impl(
+        &self,
+        mut item: Option<T>,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> RawStart<T> {
         let is_data = item.is_some();
         let mode = if is_data { DATA } else { REQUEST };
         let mut node: Option<Owned<SNode<T>>> = None;
@@ -346,10 +374,10 @@ impl<T: Send> SyncDualStack<T> {
             if h_ref.is_none_or_mode(mode) {
                 // Case 1: empty or same mode — push and wait.
                 if deadline.is_now() {
-                    return TransferOutcome::Timeout(item);
+                    return RawStart::Done(TransferOutcome::Timeout(item));
                 }
                 if token.is_some_and(|tk| tk.is_cancelled()) {
-                    return TransferOutcome::Cancelled(item);
+                    return RawStart::Done(TransferOutcome::Cancelled(item));
                 }
                 let owned = match node.take() {
                     Some(mut n) => {
@@ -373,7 +401,7 @@ impl<T: Send> SyncDualStack<T> {
                     Ok(published) => {
                         let raw = published.as_raw();
                         drop(guard);
-                        return self.await_fulfill(raw, is_data, deadline, token);
+                        return RawStart::Published(raw);
                     }
                     Err(e) => {
                         let owned = e.new;
@@ -454,7 +482,7 @@ impl<T: Send> SyncDualStack<T> {
                         };
                         // Our owner reference on f.
                         self.release_direct(f.as_raw());
-                        return out;
+                        return RawStart::Done(out);
                     }
                     // m was cancelled: skip and release it.
                     if f_ref
@@ -503,7 +531,22 @@ impl<T: Send> SyncDualStack<T> {
     ) -> TransferOutcome<T> {
         // SAFETY: we hold the owner reference.
         let node = unsafe { &*node_raw };
-        match node.slot.await_outcome(deadline, token, &self.spin) {
+        let verdict = node.slot.await_outcome(deadline, token, &self.spin);
+        self.finish_wait(node_raw, is_data, verdict)
+    }
+
+    /// Epilogue shared by the blocking and poll-mode wait loops: resolves a
+    /// terminal [`WaitOutcome`] on our own node into a transfer outcome,
+    /// helps pop the fulfilling pair, and drops the references we hold.
+    fn finish_wait(
+        &self,
+        node_raw: *const SNode<T>,
+        is_data: bool,
+        verdict: WaitOutcome,
+    ) -> TransferOutcome<T> {
+        // SAFETY: we hold the owner reference.
+        let node = unsafe { &*node_raw };
+        match verdict {
             WaitOutcome::Matched(m_token) => {
                 let m = m_token as *const SNode<T>;
                 // Matched. Help pop the fulfilling pair if still on top.
@@ -598,6 +641,107 @@ impl<T: Send> Transferer<T> for SyncDualStack<T> {
         token: Option<&CancelToken>,
     ) -> TransferOutcome<T> {
         self.transfer_impl(item, deadline, token)
+    }
+}
+
+/// A pushed-but-unresolved stack transfer (see
+/// [`PollTransferer::start_transfer`]).
+///
+/// Polling drives the node's [`WaitSlot`] poll-mode wait loop; dropping an
+/// unresolved permit cancels exactly like a timed-out blocking waiter. If
+/// the cancel CAS loses — a fulfiller already installed its match token —
+/// the drop also releases the reference the fulfiller took on its own node
+/// on our behalf, and any item it deposited there for us is dropped exactly
+/// once by that node's final reference release.
+pub struct StackPermit<T: Send> {
+    stack: Arc<SyncDualStack<T>>,
+    node: *const SNode<T>,
+    is_data: bool,
+    /// Set when `poll_transfer` returned `Ready`: the references have been
+    /// released and `node` must not be touched again.
+    done: bool,
+}
+
+// SAFETY: the permit is a waiter's handle on its own node — the same
+// references a blocking waiter thread holds — and the stack is `Sync`; the
+// raw pointer is kept alive by the reference count.
+unsafe impl<T: Send> Send for StackPermit<T> {}
+
+impl<T: Send> PendingTransfer<T> for StackPermit<T> {
+    fn poll_transfer(
+        &mut self,
+        waker: &Waker,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> Poll<TransferOutcome<T>> {
+        assert!(!self.done, "StackPermit polled after completion");
+        // SAFETY: `done` is false, so the owner reference is still held.
+        let node = unsafe { &*self.node };
+        match node.slot.poll_outcome(waker, deadline, token) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(verdict) => {
+                self.done = true;
+                Poll::Ready(self.stack.finish_wait(self.node, self.is_data, verdict))
+            }
+        }
+    }
+}
+
+impl<T: Send> Drop for StackPermit<T> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // SAFETY: the owner reference is still held.
+        let node = unsafe { &*self.node };
+        if node.slot.try_cancel() {
+            // Cancel won: retract like a timed-out waiter, settling the
+            // unsent item now (the blocking path hands it back to the
+            // caller; a dropped future has no caller, so drop it here).
+            if self.is_data {
+                // SAFETY: cancellation wins back item ownership.
+                drop(unsafe { node.slot.take_item() });
+            }
+            let guard = epoch::pin();
+            self.stack.absorb_cancelled(&guard);
+            drop(guard);
+        } else if let Some(m_token) = node.slot.matched_token() {
+            // Cancel lost: a fulfiller matched us and took a reference on
+            // its own node (the token) on our behalf. Release it without
+            // reading the item — if it deposited one for us, that node's
+            // final release drops it exactly once.
+            self.stack.release_direct(m_token as *const SNode<T>);
+        }
+        // Our owner reference, in every case.
+        self.stack.release_direct(self.node);
+    }
+}
+
+impl<T: Send> std::fmt::Debug for StackPermit<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StackPermit")
+            .field("is_data", &self.is_data)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send> PollTransferer<T> for SyncDualStack<T> {
+    type Permit = StackPermit<T>;
+
+    fn start_transfer(this: &Arc<Self>, item: Option<T>) -> StartTransfer<T, StackPermit<T>> {
+        let is_data = item.is_some();
+        // Never/None: poll-mode callers apply deadline and cancellation on
+        // each poll; the lock-free phase must always publish.
+        match this.start_impl(item, Deadline::Never, None) {
+            RawStart::Done(outcome) => StartTransfer::Complete(outcome),
+            RawStart::Published(node) => StartTransfer::Pending(StackPermit {
+                stack: Arc::clone(this),
+                node,
+                is_data,
+                done: false,
+            }),
+        }
     }
 }
 

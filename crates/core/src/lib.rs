@@ -51,12 +51,14 @@ pub mod channel;
 pub mod dual_queue;
 pub mod dual_stack;
 mod node_cache;
+pub mod pollable;
 pub mod queue;
 pub mod transferer;
 
 pub use channel::{SyncChannel, TimedSyncChannel};
-pub use dual_queue::SyncDualQueue;
-pub use dual_stack::SyncDualStack;
+pub use dual_queue::{QueuePermit, SyncDualQueue};
+pub use dual_stack::{StackPermit, SyncDualStack};
+pub use pollable::{PendingTransfer, PollTransferer, StartTransfer};
 pub use queue::SynchronousQueue;
 pub use synq_primitives::{CancelToken, SpinPolicy};
 pub use transferer::{Deadline, TransferOutcome, Transferer};

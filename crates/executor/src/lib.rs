@@ -28,7 +28,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 use synq::{CancelToken, Deadline, TimedSyncChannel, TransferOutcome};
-use synq_primitives::CachePadded;
+use synq_primitives::{CachePadded, WaiterCell};
 
 /// A unit of work.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -117,6 +117,11 @@ const _: () = assert!(std::mem::align_of::<PoolInner>() >= 128);
 /// [`TaskHandle::join`] blocks until the task has run and yields its return
 /// value, or `Err(TaskPanicked)` if the task panicked (the worker survives
 /// a panicking task, as in Java where the `Future` captures the exception).
+///
+/// The handle is also a [`std::future::Future`] resolving to the same
+/// `Result`, so an async task can `handle.await` a pool-executed job: the
+/// completing worker wakes the registered waker through the same
+/// [`WaiterCell`] mailbox the synchronous structures use.
 pub struct TaskHandle<R> {
     shared: Arc<TaskShared<R>>,
 }
@@ -124,6 +129,9 @@ pub struct TaskHandle<R> {
 struct TaskShared<R> {
     slot: Mutex<Option<std::thread::Result<R>>>,
     cvar: Condvar,
+    /// Waker mailbox for the `Future` impl; blocking joiners use the
+    /// condvar instead.
+    waker: WaiterCell,
 }
 
 /// The submitted task panicked; the payload is the panic value.
@@ -161,6 +169,26 @@ impl<R> TaskHandle<R> {
     pub fn is_finished(&self) -> bool {
         // A taken slot means join/try_join already returned: finished.
         self.shared.slot.lock().unwrap().is_some() || Arc::strong_count(&self.shared) == 1
+    }
+}
+
+impl<R> std::future::Future for TaskHandle<R> {
+    type Output = Result<R, TaskPanicked>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        let mut slot = self.shared.slot.lock().unwrap();
+        if let Some(result) = slot.take() {
+            return std::task::Poll::Ready(result.map_err(TaskPanicked));
+        }
+        // Register while holding the lock: the completing worker fills the
+        // slot under this same lock before it wakes, so either it already
+        // finished (seen above) or our waker is in place for its wake —
+        // a wakeup can never fall between the check and the registration.
+        self.shared.waker.register_waker(cx.waker());
+        std::task::Poll::Pending
     }
 }
 
@@ -277,12 +305,16 @@ impl ThreadPool {
         let shared = Arc::new(TaskShared {
             slot: Mutex::new(None),
             cvar: Condvar::new(),
+            waker: WaiterCell::new(),
         });
         let shared2 = Arc::clone(&shared);
         self.execute(move || {
             let result = catch_unwind(AssertUnwindSafe(f));
             *shared2.slot.lock().unwrap() = Some(result);
             shared2.cvar.notify_all();
+            // After the slot is visibly filled: wake an async joiner, if
+            // one registered (see the Future impl for the ordering).
+            shared2.waker.wake();
         })?;
         Ok(TaskHandle { shared })
     }
@@ -547,6 +579,54 @@ mod submit_tests {
         let sum: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(sum, (0..20u64).map(|i| i * i).sum::<u64>());
         pool.shutdown();
+        pool.join();
+    }
+
+    #[test]
+    fn task_handle_is_awaitable() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        let handle = pool.submit(|| 6 * 7).unwrap();
+        assert_eq!(synq_async::block_on(handle).unwrap(), 42);
+        // A panicking task surfaces through await just like through join.
+        let bad = pool.submit(|| -> u32 { panic!("boom") }).unwrap();
+        assert!(synq_async::block_on(bad).is_err());
+        pool.shutdown();
+        pool.join();
+    }
+
+    #[test]
+    fn task_handles_await_concurrently() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        let handles: Vec<_> = (0..16u64)
+            .map(|i| {
+                pool.submit(move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    i * i
+                })
+                .unwrap()
+            })
+            .collect();
+        let sum: u64 = synq_async::block_on(async {
+            let mut sum = 0;
+            for h in handles {
+                sum += h.await.unwrap();
+            }
+            sum
+        });
+        assert_eq!(sum, (0..16u64).map(|i| i * i).sum::<u64>());
+        pool.shutdown();
+        pool.join();
+    }
+
+    #[test]
+    fn execute_error_is_std_error() {
+        let pool = ThreadPool::cached(Arc::new(SynchronousQueue::<Job>::unfair()));
+        pool.shutdown();
+        let err = pool.execute(|| {}).unwrap_err();
+        // Must compose with the std error ecosystem.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert_eq!(boxed.to_string(), "executor is shut down");
+        assert!(boxed.source().is_none());
         pool.join();
     }
 

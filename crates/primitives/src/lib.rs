@@ -18,7 +18,9 @@
 //!   parking, used to reproduce the Java SE 5.0 fair-mode entry lock whose
 //!   pileups the paper identifies as the main fair-mode bottleneck.
 //! * [`WaiterCell`] — a lock-free, single-slot mailbox through which a
-//!   waiter publishes its [`Unparker`] to whichever thread fulfills it.
+//!   waiter publishes its [`WakeHandle`] — a thread [`Unparker`] or an
+//!   async task `Waker` — to whichever thread fulfills it. This is the
+//!   point where the blocking and poll-mode wait loops converge.
 //! * [`CancelToken`] — cooperative cancellation (the paper's "asynchronous
 //!   interrupt" of waiting threads).
 //! * [`CachePadded`] — 128-byte alignment wrapper keeping independently
@@ -27,8 +29,10 @@
 //! * [`WaitSlot`] — the shared wait-node protocol engine: the
 //!   `WAITING/CLAIMED/MATCHED/CANCELLED` state machine, the item cell, and
 //!   the paper's `awaitFulfill` spin-then-park loop, parameterized by a
-//!   [`WaitStrategy`]. Every synchronous structure in the suite resolves
-//!   its handoffs through this one state machine.
+//!   [`WaitStrategy`] — plus the poll-mode counterparts
+//!   (`poll_outcome`/`poll_match`) that drive the same state machine from
+//!   async tasks. Every synchronous structure in the suite resolves its
+//!   handoffs through this one state machine.
 //! * [`Deadline`] — patience bound consumed by the wait loop (re-exported
 //!   as `synq::Deadline`).
 //!
@@ -64,4 +68,4 @@ pub use spin::SpinPolicy;
 pub use ticket_lock::{TicketLock, TicketLockGuard};
 pub use wait::{SpinOnly, WaitStrategy};
 pub use wait_slot::{WaitOutcome, WaitSlot, MIN_TOKEN};
-pub use waiter::WaiterCell;
+pub use waiter::{WaiterCell, WakeHandle};

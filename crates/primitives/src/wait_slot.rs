@@ -44,6 +44,7 @@ use crate::deadline::Deadline;
 use crate::parker::Parker;
 use crate::wait::WaitStrategy;
 use crate::waiter::WaiterCell;
+use core::task::{Poll, Waker};
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -370,6 +371,78 @@ impl<T> WaitSlot<T> {
         }
     }
 
+    /// Poll-mode `awaitFulfill`: the counterpart of [`Self::await_outcome`]
+    /// for async waiters. One call makes one pass of the protocol — it
+    /// never spins, never parks — and suspension is expressed by returning
+    /// [`Poll::Pending`] *after* registering `waker` in the slot's mailbox,
+    /// so the fulfiller's `complete`/`try_fulfill_token` wake reaches the
+    /// task. Registration happens before the terminal re-check, which is
+    /// what makes the no-lost-wakeup argument go through: a fulfiller that
+    /// lands between our state load and our registration either finds the
+    /// waker (and wakes it) or has already published the terminal state our
+    /// re-check observes (the register and take swaps on the mailbox hit
+    /// one atomic cell, so whichever runs second synchronizes with the
+    /// first).
+    ///
+    /// As in the blocking loop, `TimedOut`/`Cancelled` are reported only
+    /// after *winning* the cancel CAS, so every verdict is exclusive.
+    /// Unlike the blocking loop there is no internal timer: a `Pending`
+    /// return with an unexpired [`Deadline::At`] relies on the *caller* to
+    /// arrange a wake at (or after) the deadline — `synq-async` routes
+    /// this through its timer thread. A spurious wake merely costs one
+    /// extra poll.
+    pub fn poll_outcome(
+        &self,
+        waker: &Waker,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> Poll<WaitOutcome> {
+        // Fast path: already terminal, skip the waker clone.
+        let s = self.state();
+        if s != WAITING && s != CLAIMED {
+            debug_assert_ne!(s, CANCELLED, "polling a slot cancelled by someone else");
+            return Poll::Ready(WaitOutcome::Matched(s));
+        }
+        self.waiter.register_waker(waker);
+        if token.is_some_and(|t| t.is_cancelled()) && self.try_cancel() {
+            return Poll::Ready(WaitOutcome::Cancelled);
+        }
+        if deadline.expired() && self.try_cancel() {
+            return Poll::Ready(WaitOutcome::TimedOut);
+        }
+        // Re-check after registering (and after any *lost* cancel race —
+        // losing means a fulfiller owns the slot, so the match is imminent
+        // or already terminal).
+        match self.state() {
+            WAITING | CLAIMED => Poll::Pending,
+            CANCELLED => unreachable!("cancel verdicts return above"),
+            s => Poll::Ready(WaitOutcome::Matched(s)),
+        }
+    }
+
+    /// Poll-mode counterpart of [`Self::await_match`]: no cancel CAS. On an
+    /// expired deadline the slot is left `WAITING` and `Ready(None)` is
+    /// returned — for structures that arbitrate cancellation outside the
+    /// slot. `Ready(Some(state))` is a terminal match; `Pending` registers
+    /// `waker` exactly as [`Self::poll_outcome`] does.
+    pub fn poll_match(&self, waker: &Waker, deadline: Deadline) -> Poll<Option<usize>> {
+        let s = self.state();
+        if s != WAITING && s != CLAIMED {
+            debug_assert_ne!(s, CANCELLED, "polling a slot cancelled by someone else");
+            return Poll::Ready(Some(s));
+        }
+        self.waiter.register_waker(waker);
+        match self.state() {
+            // Expiry is only reportable while the slot is still WAITING; a
+            // CLAIMED slot belongs to a fulfiller whose `complete` is
+            // imminent (and will wake the waker we just registered).
+            WAITING if deadline.expired() => Poll::Ready(None),
+            WAITING | CLAIMED => Poll::Pending,
+            CANCELLED => unreachable!("cancel-free poll observed a cancelled slot"),
+            s => Poll::Ready(Some(s)),
+        }
+    }
+
     /// Shared loop. `Ok(outcome)` is a terminal verdict; `Err(outcome)` is
     /// an expiry observed with `arbitrate = false` (slot still `WAITING`).
     fn wait_loop<S: WaitStrategy + ?Sized>(
@@ -638,6 +711,151 @@ mod tests {
         assert_eq!(slot.await_completion(), MATCHED);
         assert_eq!(unsafe { slot.take_item() }, 5);
         h.join().unwrap();
+    }
+
+    /// A waker that counts its wakes and can park-free "block" via a flag.
+    fn flag_waker() -> (std::task::Waker, Arc<std::sync::atomic::AtomicUsize>) {
+        struct W(Arc<std::sync::atomic::AtomicUsize>);
+        impl std::task::Wake for W {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        (std::task::Waker::from(Arc::new(W(Arc::clone(&hits)))), hits)
+    }
+
+    #[test]
+    fn poll_outcome_pending_then_fulfilled_wakes_and_completes() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        let (waker, hits) = flag_waker();
+        assert!(slot
+            .poll_outcome(&waker, Deadline::Never, None)
+            .is_pending());
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        assert!(slot.try_claim());
+        unsafe { slot.fulfill(42) };
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "complete() wakes the task");
+        assert_eq!(
+            slot.poll_outcome(&waker, Deadline::Never, None),
+            std::task::Poll::Ready(WaitOutcome::Matched(MATCHED))
+        );
+        assert_eq!(unsafe { slot.take_item() }, 42);
+    }
+
+    #[test]
+    fn poll_outcome_token_fulfill_reports_token_and_wakes() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        let (waker, hits) = flag_waker();
+        assert!(slot
+            .poll_outcome(&waker, Deadline::Never, None)
+            .is_pending());
+        let token = 0xbeef0usize;
+        assert_eq!(slot.try_fulfill_token(token), Ok(()));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            slot.poll_outcome(&waker, Deadline::Never, None),
+            std::task::Poll::Ready(WaitOutcome::Matched(token))
+        );
+    }
+
+    #[test]
+    fn poll_outcome_expired_deadline_cancels_exclusively() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        let (waker, _) = flag_waker();
+        assert_eq!(
+            slot.poll_outcome(&waker, Deadline::Now, None),
+            std::task::Poll::Ready(WaitOutcome::TimedOut)
+        );
+        assert!(slot.is_cancelled());
+        // Late fulfillers lose cleanly.
+        assert!(!slot.try_claim());
+    }
+
+    #[test]
+    fn poll_outcome_cancelled_token_wins_cancel_cas() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let (waker, _) = flag_waker();
+        assert_eq!(
+            slot.poll_outcome(&waker, Deadline::Never, Some(&token)),
+            std::task::Poll::Ready(WaitOutcome::Cancelled)
+        );
+        assert!(slot.is_cancelled());
+    }
+
+    #[test]
+    fn poll_outcome_lost_cancel_race_reports_match() {
+        // The fulfiller claims before the expired poll's cancel CAS: the
+        // poll must NOT report timeout, and once complete() lands the next
+        // poll reports the match.
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        let (waker, hits) = flag_waker();
+        assert!(slot
+            .poll_outcome(&waker, Deadline::Never, None)
+            .is_pending());
+        assert!(slot.try_claim());
+        // Deadline long expired, but the claim owns the slot: Pending.
+        assert!(slot.poll_outcome(&waker, Deadline::Now, None).is_pending());
+        unsafe { slot.fulfill(9) };
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            slot.poll_outcome(&waker, Deadline::Now, None),
+            std::task::Poll::Ready(WaitOutcome::Matched(MATCHED))
+        );
+    }
+
+    #[test]
+    fn poll_match_expiry_leaves_slot_waiting() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        let (waker, _) = flag_waker();
+        assert_eq!(
+            slot.poll_match(&waker, Deadline::Now),
+            std::task::Poll::Ready(None)
+        );
+        assert!(slot.is_waiting());
+        assert!(slot.poll_match(&waker, Deadline::Never).is_pending());
+        assert!(slot.is_waiting());
+        // A late fulfiller can still land.
+        let token = MIN_TOKEN * 3;
+        assert_eq!(slot.try_fulfill_token(token), Ok(()));
+        assert_eq!(
+            slot.poll_match(&waker, Deadline::Now),
+            std::task::Poll::Ready(Some(token))
+        );
+    }
+
+    #[test]
+    fn poll_vs_fulfill_race_never_loses_wakeup() {
+        // Hammer the register-then-recheck window: a fulfiller completing
+        // concurrently with a pending poll must either be observed by the
+        // re-check (Ready) or wake the registered waker.
+        for _ in 0..300 {
+            let slot: Arc<WaitSlot<u32>> = Arc::new(WaitSlot::new());
+            let (waker, hits) = flag_waker();
+            let fulfiller = {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    assert!(slot.try_claim());
+                    unsafe { slot.fulfill(1) };
+                })
+            };
+            let polled = slot.poll_outcome(&waker, Deadline::Never, None);
+            fulfiller.join().unwrap();
+            if polled.is_pending() {
+                assert_eq!(
+                    hits.load(Ordering::SeqCst),
+                    1,
+                    "pending poll missed the fulfiller's wake"
+                );
+            }
+            assert_eq!(
+                slot.poll_outcome(&waker, Deadline::Never, None),
+                std::task::Poll::Ready(WaitOutcome::Matched(MATCHED))
+            );
+            let _ = unsafe { slot.take_item() };
+        }
     }
 
     /// The core arbitration guarantee: a racing fulfiller and canceller

@@ -1,20 +1,61 @@
-//! A lock-free single-slot mailbox for handing an [`Unparker`] to a
+//! A lock-free single-slot mailbox for handing a wake handle to a
 //! fulfilling thread.
 //!
 //! Every node in the synchronous dual queue/stack owns one `WaiterCell`. The
-//! waiting thread *registers* its unparker just before parking; the thread
-//! that matches (or cancels) the node *takes* the unparker and wakes the
-//! waiter. Both sides race freely: registration and take are single
-//! `AtomicPtr` swaps, so the cell never blocks and never loses a wakeup —
-//! if `take` runs before `register`, the waiter's pre-park re-check of the
-//! node state observes the match and skips parking (and if it does park, the
-//! matcher's subsequent `take`+unpark wakes it).
+//! waiting side *registers* how it wants to be woken just before suspending;
+//! the thread that matches (or cancels) the node *takes* the handle and
+//! wakes the waiter. Since PR 3 the registered handle is a [`WakeHandle`]:
+//! either a thread [`Unparker`] (the blocking wait loop) or a
+//! [`core::task::Waker`] (the poll-mode wait loop used by `synq-async`) —
+//! the cell itself is the point where the two wait modes converge, so a
+//! fulfiller never needs to know *what* is waiting on the other side.
+//!
+//! Both sides race freely: registration and take are single `AtomicPtr`
+//! swaps, so the cell never blocks and never loses a wakeup — if `take`
+//! runs before `register`, the waiter's post-register re-check of the node
+//! state observes the match and skips suspending (and if it does suspend,
+//! the matcher's subsequent `take`+wake wakes it).
 
 use crate::parker::Unparker;
+use core::task::Waker;
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
-/// Single-slot, lock-free unparker mailbox.
+/// How to wake a waiter: unpark its thread or wake its task.
+///
+/// The two arms are the paper's `LockSupport.unpark` and the async world's
+/// `Waker::wake` — same role, different scheduler.
+#[derive(Debug, Clone)]
+pub enum WakeHandle {
+    /// A blocked thread; waking unparks it.
+    Thread(Unparker),
+    /// A suspended async task; waking schedules it for re-poll.
+    Task(Waker),
+}
+
+impl WakeHandle {
+    /// Wakes the waiter this handle stands for.
+    pub fn wake(self) {
+        match self {
+            WakeHandle::Thread(u) => u.unpark(),
+            WakeHandle::Task(w) => w.wake(),
+        }
+    }
+}
+
+impl From<Unparker> for WakeHandle {
+    fn from(u: Unparker) -> Self {
+        WakeHandle::Thread(u)
+    }
+}
+
+impl From<Waker> for WakeHandle {
+    fn from(w: Waker) -> Self {
+        WakeHandle::Task(w)
+    }
+}
+
+/// Single-slot, lock-free wake-handle mailbox.
 ///
 /// # Examples
 ///
@@ -24,14 +65,14 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 /// let cell = WaiterCell::new();
 /// let parker = Parker::new();
 /// cell.register(parker.unparker());
-/// if let Some(u) = cell.take() {
-///     u.unpark();
+/// if let Some(handle) = cell.take() {
+///     handle.wake();
 /// }
 /// parker.park();
 /// ```
 #[derive(Debug)]
 pub struct WaiterCell {
-    slot: AtomicPtr<Unparker>,
+    slot: AtomicPtr<WakeHandle>,
 }
 
 impl Default for WaiterCell {
@@ -48,10 +89,23 @@ impl WaiterCell {
         }
     }
 
-    /// Publishes `unparker` so a matching thread can wake us. If an
-    /// unparker was already registered it is replaced (and dropped).
+    /// Publishes `unparker` so a matching thread can wake us. If a handle
+    /// was already registered it is replaced (and dropped).
     pub fn register(&self, unparker: Unparker) {
-        let new = Box::into_raw(Box::new(unparker));
+        self.register_handle(WakeHandle::Thread(unparker));
+    }
+
+    /// Publishes a clone of `waker` so a matching thread can reschedule our
+    /// task. If a handle was already registered it is replaced (and
+    /// dropped) — the poll contract's "only the most recent waker need be
+    /// woken".
+    pub fn register_waker(&self, waker: &Waker) {
+        self.register_handle(WakeHandle::Task(waker.clone()));
+    }
+
+    /// Publishes an explicit [`WakeHandle`].
+    pub fn register_handle(&self, handle: WakeHandle) {
+        let new = Box::into_raw(Box::new(handle));
         let old = self.slot.swap(new, Ordering::AcqRel);
         if !old.is_null() {
             // SAFETY: non-null slot values are always Box::into_raw results
@@ -60,27 +114,28 @@ impl WaiterCell {
         }
     }
 
-    /// Removes and returns the registered unparker, if any. At most one
+    /// Removes and returns the registered handle, if any. At most one
     /// caller obtains it.
-    pub fn take(&self) -> Option<Unparker> {
+    pub fn take(&self) -> Option<WakeHandle> {
         let old = self.slot.swap(ptr::null_mut(), Ordering::AcqRel);
         if old.is_null() {
             None
         } else {
-            // SAFETY: as in `register`, ownership transferred by the swap.
+            // SAFETY: as in `register_handle`, ownership transferred by the
+            // swap.
             Some(*unsafe { Box::from_raw(old) })
         }
     }
 
-    /// Takes the unparker and wakes the waiter if one was registered.
+    /// Takes the handle and wakes the waiter if one was registered.
     /// Convenience for the matcher/canceller side.
     pub fn wake(&self) {
-        if let Some(u) = self.take() {
-            u.unpark();
+        if let Some(h) = self.take() {
+            h.wake();
         }
     }
 
-    /// True if no unparker is currently registered.
+    /// True if no handle is currently registered.
     pub fn is_empty(&self) -> bool {
         self.slot.load(Ordering::Acquire).is_null()
     }
@@ -96,8 +151,9 @@ impl Drop for WaiterCell {
     }
 }
 
-// SAFETY: the cell hands `Unparker`s (which are Send + Sync) across threads
-// through an atomic pointer with AcqRel transfer-of-ownership.
+// SAFETY: the cell hands `WakeHandle`s (Unparker and Waker are both
+// Send + Sync) across threads through an atomic pointer with AcqRel
+// transfer-of-ownership.
 unsafe impl Send for WaiterCell {}
 unsafe impl Sync for WaiterCell {}
 
@@ -122,9 +178,9 @@ mod tests {
         let p = Parker::new();
         c.register(p.unparker());
         assert!(!c.is_empty());
-        let u = c.take().expect("registered");
+        let h = c.take().expect("registered");
         assert!(c.is_empty());
-        u.unpark();
+        h.wake();
         p.park();
     }
 
@@ -151,7 +207,7 @@ mod tests {
     }
 
     #[test]
-    fn dropping_nonempty_cell_frees_unparker() {
+    fn dropping_nonempty_cell_frees_handle() {
         let c = WaiterCell::new();
         let p = Parker::new();
         c.register(p.unparker());
@@ -180,5 +236,47 @@ mod tests {
             }
             assert_eq!(hits.load(Ordering::Relaxed), 1);
         }
+    }
+
+    /// A countable waker for the task arm.
+    fn counting_waker(hits: Arc<std::sync::atomic::AtomicUsize>) -> Waker {
+        struct W(Arc<std::sync::atomic::AtomicUsize>);
+        impl std::task::Wake for W {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        Waker::from(Arc::new(W(hits)))
+    }
+
+    #[test]
+    fn waker_registration_wakes_task() {
+        let c = WaiterCell::new();
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        c.register_waker(&counting_waker(Arc::clone(&hits)));
+        assert!(!c.is_empty());
+        c.wake();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // One-shot: the handle is consumed.
+        c.wake();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn waker_replaces_unparker_and_vice_versa() {
+        let c = WaiterCell::new();
+        let p = Parker::new();
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        c.register(p.unparker());
+        c.register_waker(&counting_waker(Arc::clone(&hits)));
+        c.wake();
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "waker replaced unparker");
+        assert!(!p.park_timeout(Duration::from_millis(10)));
+        // And back: an unparker replaces a registered waker.
+        c.register_waker(&counting_waker(Arc::clone(&hits)));
+        c.register(p.unparker());
+        c.wake();
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "unparker replaced waker");
+        assert!(p.park_timeout(Duration::from_millis(100)));
     }
 }
