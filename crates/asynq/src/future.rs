@@ -47,6 +47,7 @@ struct RawTransfer<'a, T: Send, Q: PollTransferer<T>> {
 
 impl<T: Send, Q: PollTransferer<T>> RawTransfer<'_, T, Q> {
     fn poll_raw(&mut self, cx: &mut Context<'_>) -> Poll<TransferOutcome<T>> {
+        synq_obs::probe!(AsyncPolls);
         loop {
             match &mut self.state {
                 State::Init(item) => {
@@ -69,6 +70,7 @@ impl<T: Send, Q: PollTransferer<T>> RawTransfer<'_, T, Q> {
                             return Poll::Ready(out);
                         }
                         Poll::Pending => {
+                            synq_obs::probe!(AsyncPendings);
                             // The wait engine has no timer; arrange the
                             // deadline re-poll ourselves.
                             if let Deadline::At(at) = self.deadline {

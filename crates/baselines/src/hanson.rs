@@ -84,6 +84,7 @@ impl<T: Send> SyncChannel<T> for HansonSQ<T> {
         let value = unsafe { (*self.item.get()).take() }.expect("protocol: item present");
         self.sync.release(); // line 09
         self.send.release(); // line 10
+        synq_obs::probe!(HansonTransfers);
         value
     }
 }
@@ -213,6 +214,7 @@ impl<T: Send> SyncChannel<T> for HansonFastSQ<T> {
         let value = unsafe { (*self.item.get()).take() }.expect("protocol: item present");
         self.sync.release();
         self.send.release();
+        synq_obs::probe!(HansonTransfers);
         value
     }
 }

@@ -229,6 +229,7 @@ impl<T: Send> Transferer<T> for Java5SQ<T> {
                     Some(unsafe { node.take_item() })
                 };
                 node.complete();
+                synq_obs::probe!(Java5Transfers);
                 return Step::Done(received);
             }
             if deadline.is_now() || cancelled_on_entry {

@@ -81,6 +81,7 @@ impl<T: Send> SyncChannel<T> for NaiveSQ<T> {
         loop {
             if let Some(v) = st.item.take() {
                 self.cvar.notify_all(); // line 09
+                synq_obs::probe!(NaiveTransfers);
                 return v;
             }
             st = self.cvar.wait(st).unwrap();

@@ -24,7 +24,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 use synq_async::{block_on, block_on_all, AsyncSyncQueue, AsyncSyncStack};
 use synq_bench::algos::{make_blocking, Algo};
-use synq_bench::report::{write_bench_async, FigureReport};
+use synq_bench::report::{counter_deltas_since, write_bench_async, FigureReport};
 use synq_bench::workload::{handoff_ns_per_transfer, HandoffShape};
 use synq_bench::{quick_mode, sweep, transfers_for};
 
@@ -198,6 +198,7 @@ fn main() {
     ];
 
     for &(label, run) in modes {
+        let before = synq_obs::StatsSnapshot::take();
         let mut values = Vec::with_capacity(levels.len());
         for &level in &levels {
             let transfers = transfers_for(level * 2, quick);
@@ -207,7 +208,7 @@ fn main() {
             );
             values.push(ns);
         }
-        report.push_series(label.to_string(), values);
+        report.push_series_with_counters(label.to_string(), values, counter_deltas_since(&before));
     }
 
     println!("{}", report.to_table());

@@ -2,15 +2,108 @@
 //! `target/figures/` (or `SYNQ_FIGURE_DIR`) — the source material for
 //! EXPERIMENTS.md. Run the figure binaries first. Also refreshes the
 //! repo-root `BENCH_headline.json` from the freshest handoff figure.
+//!
+//! With `--check`, instead validates the repo-root `BENCH_*.json` files
+//! (presence + schema revision) and exits nonzero with a clear message on
+//! the first problem — the guard CI and the perf-regression driver run
+//! before trusting the recorded baselines.
+//!
+//! Every failure path prints a one-line diagnosis and exits with status 1;
+//! nothing in this binary panics on bad input.
 
+use std::process::ExitCode;
 use synq_bench::json::Json;
 use synq_bench::report::{
+    async_path, check_bench_schema, headline_path, read_bench_file, wait_strategy_path,
     write_bench_async, write_bench_headline, write_bench_wait_strategy, FigureReport,
 };
 
-fn main() -> std::io::Result<()> {
+/// The repo-root perf-trajectory files: (resolved path, schema family).
+fn bench_files() -> [(std::path::PathBuf, &'static str); 3] {
+    [
+        (headline_path(), "headline"),
+        (wait_strategy_path(), "wait-strategy"),
+        (async_path(), "async"),
+    ]
+}
+
+/// `--check`: every BENCH file must exist, parse, and carry a known schema.
+fn check_bench() -> ExitCode {
+    let mut ok = true;
+    for (path, family) in bench_files() {
+        match read_bench_file(&path, family) {
+            Ok(_) => eprintln!("ok: {}", path.display()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Refuses to clobber an existing BENCH file whose schema this binary does
+/// not understand (a newer revision, or not a synq-bench file at all).
+fn guard_overwrite(path: &std::path::Path, family: &str) -> Result<(), String> {
+    let Ok(data) = std::fs::read_to_string(path) else {
+        return Ok(()); // absent: we are creating it
+    };
+    let doc = Json::parse(&data).map_err(|e| {
+        format!(
+            "{}: invalid JSON: {e} — refusing to overwrite",
+            path.display()
+        )
+    })?;
+    check_bench_schema(&doc, family)
+        .map(|_| ())
+        .map_err(|e| format!("{}: {e} — refusing to overwrite", path.display()))
+}
+
+fn print_markdown(report: &FigureReport) {
+    println!("## {} — {} ({})\n", report.id, report.title, report.unit);
+    print!("| {} |", report.x_label);
+    for s in &report.series {
+        print!(" {} |", s.name);
+    }
+    println!();
+    print!("|---:|");
+    for _ in &report.series {
+        print!("---:|");
+    }
+    println!();
+    for (row, level) in report.levels.iter().enumerate() {
+        print!("| {level} |");
+        for s in &report.series {
+            print!(" {:.0} |", s.values[row]);
+        }
+        println!();
+    }
+    println!();
+    // Probe-counter deltas (stats builds only): one row per algorithm,
+    // whole-sweep totals.
+    if report.series.iter().any(|s| !s.counters.is_empty()) {
+        println!("### {} — probe counters (whole sweep)\n", report.id);
+        for s in &report.series {
+            if s.counters.is_empty() {
+                continue;
+            }
+            let cells: Vec<String> = s.counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!("- **{}**: {}", s.name, cells.join(", "));
+        }
+        println!();
+    }
+}
+
+fn run() -> Result<(), String> {
     let dir = std::env::var("SYNQ_FIGURE_DIR").unwrap_or_else(|_| "target/figures".into());
-    let mut paths: Vec<_> = std::fs::read_dir(&dir)?
+    let entries = std::fs::read_dir(&dir).map_err(|e| {
+        format!("cannot read figure directory {dir}: {e}; run the figure binaries first")
+    })?;
+    let mut paths: Vec<_> = entries
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
@@ -22,7 +115,8 @@ fn main() -> std::io::Result<()> {
     }
     let mut reports = Vec::new();
     for path in paths {
-        let data = std::fs::read_to_string(&path)?;
+        let data = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let report = match Json::parse(&data).and_then(|j| FigureReport::from_json(&j)) {
             Ok(r) => r,
             Err(e) => {
@@ -30,26 +124,7 @@ fn main() -> std::io::Result<()> {
                 continue;
             }
         };
-        println!("## {} — {} ({})\n", report.id, report.title, report.unit);
-        // Header.
-        print!("| {} |", report.x_label);
-        for s in &report.series {
-            print!(" {} |", s.name);
-        }
-        println!();
-        print!("|---:|");
-        for _ in &report.series {
-            print!("---:|");
-        }
-        println!();
-        for (row, level) in report.levels.iter().enumerate() {
-            print!("| {level} |");
-            for s in &report.series {
-                print!(" {:.0} |", s.values[row]);
-            }
-            println!();
-        }
-        println!();
+        print_markdown(&report);
         reports.push(report);
     }
     // Refresh the repo-root perf-trajectory file from the best available
@@ -60,23 +135,36 @@ fn main() -> std::io::Result<()> {
     };
     if let Some(handoff) = pick(["headline-handoff", "figure3"]) {
         let pool = pick(["headline-pool", "figure6"]);
-        match write_bench_headline(handoff, pool) {
-            Ok(path) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("failed to write BENCH_headline.json: {e}"),
-        }
+        guard_overwrite(&headline_path(), "headline")?;
+        let path = write_bench_headline(handoff, pool)
+            .map_err(|e| format!("failed to write BENCH_headline.json: {e}"))?;
+        eprintln!("wrote {}", path.display());
     }
     // The sweep files follow the same refresh-if-present rule.
     if let Some(sweep) = reports.iter().find(|r| r.id == "wait_strategy") {
-        match write_bench_wait_strategy(sweep) {
-            Ok(path) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("failed to write BENCH_wait_strategy.json: {e}"),
-        }
+        guard_overwrite(&wait_strategy_path(), "wait-strategy")?;
+        let path = write_bench_wait_strategy(sweep)
+            .map_err(|e| format!("failed to write BENCH_wait_strategy.json: {e}"))?;
+        eprintln!("wrote {}", path.display());
     }
     if let Some(sweep) = reports.iter().find(|r| r.id == "async_handoff") {
-        match write_bench_async(sweep) {
-            Ok(path) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("failed to write BENCH_async.json: {e}"),
-        }
+        guard_overwrite(&async_path(), "async")?;
+        let path = write_bench_async(sweep)
+            .map_err(|e| format!("failed to write BENCH_async.json: {e}"))?;
+        eprintln!("wrote {}", path.display());
     }
     Ok(())
+}
+
+fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--check") {
+        return check_bench();
+    }
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

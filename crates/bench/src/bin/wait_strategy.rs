@@ -9,7 +9,7 @@
 //! alongside `BENCH_headline.json`.
 
 use synq_bench::algos::{make_policy_channel, POLICY_STRUCTURES, WAIT_STRATEGIES};
-use synq_bench::report::{write_bench_wait_strategy, FigureReport};
+use synq_bench::report::{counter_deltas_since, write_bench_wait_strategy, FigureReport};
 use synq_bench::workload::{handoff_ns_per_transfer, HandoffShape};
 use synq_bench::{quick_mode, sweep, transfers_for};
 
@@ -31,6 +31,7 @@ fn main() {
     for &structure in POLICY_STRUCTURES {
         for &(strategy, policy) in WAIT_STRATEGIES {
             let label = format!("{}/{}", structure.name(), strategy);
+            let before = synq_obs::StatsSnapshot::take();
             let mut values = Vec::with_capacity(levels.len());
             for &level in &levels {
                 let s = HandoffShape::pairs(level);
@@ -42,7 +43,7 @@ fn main() {
                 );
                 values.push(ns);
             }
-            report.push_series(label, values);
+            report.push_series_with_counters(label, values, counter_deltas_since(&before));
         }
     }
     println!("{}", report.to_table());

@@ -57,6 +57,14 @@ impl Json {
         }
     }
 
+    /// Returns the field list (insertion order), if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Parses a JSON document; trailing non-whitespace is an error.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();

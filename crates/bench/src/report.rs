@@ -2,7 +2,7 @@
 
 use crate::json::Json;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// One curve of a figure: an algorithm's value at each x-axis level.
 #[derive(Debug, Clone)]
@@ -11,6 +11,11 @@ pub struct Series {
     pub name: String,
     /// One value per x-axis level, in the figure's unit.
     pub values: Vec<f64>,
+    /// Probe-counter deltas accumulated over this series' whole sweep
+    /// (`synq-obs` probe name → count). Populated only when the harness is
+    /// built with `--features stats`; empty otherwise, and omitted from the
+    /// JSON when empty. Schema rev 2 added this section.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// A regenerated figure: x-axis levels plus one series per algorithm.
@@ -52,8 +57,24 @@ impl FigureReport {
 
     /// Adds a completed series.
     pub fn push_series(&mut self, name: String, values: Vec<f64>) {
+        self.push_series_with_counters(name, values, Vec::new());
+    }
+
+    /// Adds a completed series with its probe-counter deltas (the
+    /// `synq-obs` events recorded while the series ran). Pass an empty
+    /// vector when stats are off — the section is omitted from the JSON.
+    pub fn push_series_with_counters(
+        &mut self,
+        name: String,
+        values: Vec<f64>,
+        counters: Vec<(String, u64)>,
+    ) {
         assert_eq!(values.len(), self.levels.len());
-        self.series.push(Series { name, values });
+        self.series.push(Series {
+            name,
+            values,
+            counters,
+        });
     }
 
     /// Renders the figure as an aligned text table.
@@ -94,13 +115,25 @@ impl FigureReport {
                     self.series
                         .iter()
                         .map(|s| {
-                            Json::Obj(vec![
+                            let mut fields = vec![
                                 ("name".into(), Json::Str(s.name.clone())),
                                 (
                                     "values".into(),
                                     Json::Arr(s.values.iter().map(|&v| Json::Num(v)).collect()),
                                 ),
-                            ])
+                            ];
+                            if !s.counters.is_empty() {
+                                fields.push((
+                                    "counters".into(),
+                                    Json::Obj(
+                                        s.counters
+                                            .iter()
+                                            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                                            .collect(),
+                                    ),
+                                ));
+                            }
+                            Json::Obj(fields)
                         })
                         .collect(),
                 ),
@@ -130,9 +163,23 @@ impl FigureReport {
                     .iter()
                     .map(|v| v.as_f64().ok_or("non-numeric value"))
                     .collect::<Result<Vec<_>, _>>()?;
+                let counters = match s.get("counters") {
+                    None => Vec::new(),
+                    Some(c) => c
+                        .as_object()
+                        .ok_or("series `counters` is not an object")?
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_f64()
+                                .map(|n| (k.clone(), n as u64))
+                                .ok_or("non-numeric counter")
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
                 Ok::<Series, String>(Series {
                     name: str_field(s, "name")?,
                     values,
+                    counters,
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -169,6 +216,98 @@ impl FigureReport {
     }
 }
 
+/// Schema revision the writers emit. Rev 2 (PR 4) added the optional
+/// per-series `counters` section (probe-counter deltas from `synq-obs`);
+/// rev 1 files are identical minus that section, so readers accept both.
+pub const BENCH_SCHEMA_REV: u32 = 2;
+
+/// Oldest schema revision the readers still understand.
+pub const BENCH_SCHEMA_OLDEST: u32 = 1;
+
+fn schema_string(family: &str) -> String {
+    format!("synq-bench-{family}/v{BENCH_SCHEMA_REV}")
+}
+
+/// Validates the `schema` field of a `BENCH_*.json` document against a
+/// schema family (`"headline"`, `"wait-strategy"`, `"async"`). Returns the
+/// revision on success; a descriptive error for a missing field, a
+/// different family, or a revision outside
+/// [`BENCH_SCHEMA_OLDEST`]..=[`BENCH_SCHEMA_REV`].
+pub fn check_bench_schema(doc: &Json, family: &str) -> Result<u32, String> {
+    let prefix = format!("synq-bench-{family}/v");
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing `schema` field (expected `{prefix}N`)"))?;
+    let rev = schema
+        .strip_prefix(&prefix)
+        .and_then(|r| r.parse::<u32>().ok())
+        .ok_or_else(|| format!("unrecognized schema `{schema}` (expected `{prefix}N`)"))?;
+    if (BENCH_SCHEMA_OLDEST..=BENCH_SCHEMA_REV).contains(&rev) {
+        Ok(rev)
+    } else {
+        Err(format!(
+            "unknown schema revision `{schema}`: this binary understands \
+             `{prefix}{BENCH_SCHEMA_OLDEST}` through `{prefix}{BENCH_SCHEMA_REV}` — \
+             rebuild the tools or regenerate the file"
+        ))
+    }
+}
+
+/// Reads and schema-checks a `BENCH_*.json` file. Errors (as a printable
+/// message, never a panic) when the file is missing, is not valid JSON, or
+/// carries an unknown schema revision.
+pub fn read_bench_file(path: &Path, family: &str) -> Result<Json, String> {
+    let data = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read {}: {e} (run the matching figure binary first)",
+            path.display()
+        )
+    })?;
+    let doc = Json::parse(&data).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    check_bench_schema(&doc, family).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(doc)
+}
+
+fn bench_path(env: &str, file: &str) -> PathBuf {
+    // Anchor at the workspace root regardless of the invocation directory:
+    // this crate lives at `<root>/crates/bench`.
+    std::env::var(env).map(PathBuf::from).unwrap_or_else(|_| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(file)
+    })
+}
+
+/// Resolved path of `BENCH_headline.json` (`SYNQ_HEADLINE_PATH` override).
+pub fn headline_path() -> PathBuf {
+    bench_path("SYNQ_HEADLINE_PATH", "BENCH_headline.json")
+}
+
+/// Resolved path of `BENCH_wait_strategy.json` (`SYNQ_WAIT_STRATEGY_PATH`
+/// override).
+pub fn wait_strategy_path() -> PathBuf {
+    bench_path("SYNQ_WAIT_STRATEGY_PATH", "BENCH_wait_strategy.json")
+}
+
+/// Resolved path of `BENCH_async.json` (`SYNQ_ASYNC_PATH` override).
+pub fn async_path() -> PathBuf {
+    bench_path("SYNQ_ASYNC_PATH", "BENCH_async.json")
+}
+
+/// Probe-counter deltas since `before`, in the owned form
+/// [`Series::counters`] stores. Empty when stats are off (every delta is
+/// zero), so callers can pass the result straight to
+/// [`FigureReport::push_series_with_counters`] unconditionally.
+pub fn counter_deltas_since(before: &synq_obs::StatsSnapshot) -> Vec<(String, u64)> {
+    synq_obs::StatsSnapshot::take()
+        .delta(before)
+        .nonzero()
+        .into_iter()
+        .map(|(name, v)| (name.to_owned(), v))
+        .collect()
+}
+
 /// Writes the repo-root `BENCH_headline.json` perf-trajectory file:
 /// machine-readable ns/transfer (and optionally ns/task) per algorithm per
 /// concurrency level, consumed by future PRs for regression comparison.
@@ -177,15 +316,9 @@ pub fn write_bench_headline(
     handoff: &FigureReport,
     pool: Option<&FigureReport>,
 ) -> std::io::Result<PathBuf> {
-    // Anchor at the workspace root regardless of the invocation directory:
-    // this crate lives at `<root>/crates/bench`.
-    let path = std::env::var("SYNQ_HEADLINE_PATH")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_headline.json")
-        });
+    let path = headline_path();
     let mut fields = vec![
-        ("schema".into(), Json::Str("synq-bench-headline/v1".into())),
+        ("schema".into(), Json::Str(schema_string("headline"))),
         ("handoff".into(), handoff.to_json()),
     ];
     if let Some(pool) = pool {
@@ -202,16 +335,9 @@ pub fn write_bench_headline(
 /// and to compare strategies uniformly across structures. Returns the path
 /// written (overridable with `SYNQ_WAIT_STRATEGY_PATH`).
 pub fn write_bench_wait_strategy(sweep: &FigureReport) -> std::io::Result<PathBuf> {
-    let path = std::env::var("SYNQ_WAIT_STRATEGY_PATH")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_wait_strategy.json")
-        });
+    let path = wait_strategy_path();
     let fields = vec![
-        (
-            "schema".into(),
-            Json::Str("synq-bench-wait-strategy/v1".into()),
-        ),
+        ("schema".into(), Json::Str(schema_string("wait-strategy"))),
         ("sweep".into(), sweep.to_json()),
     ];
     let mut f = std::fs::File::create(&path)?;
@@ -224,13 +350,9 @@ pub fn write_bench_wait_strategy(sweep: &FigureReport) -> std::io::Result<PathBu
 /// structures, consumed to track the overhead of the waker-based wait
 /// mode. Returns the path written (overridable with `SYNQ_ASYNC_PATH`).
 pub fn write_bench_async(sweep: &FigureReport) -> std::io::Result<PathBuf> {
-    let path = std::env::var("SYNQ_ASYNC_PATH")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| {
-            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_async.json")
-        });
+    let path = async_path();
     let fields = vec![
-        ("schema".into(), Json::Str("synq-bench-async/v1".into())),
+        ("schema".into(), Json::Str(schema_string("async"))),
         ("sweep".into(), sweep.to_json()),
     ];
     let mut f = std::fs::File::create(&path)?;
@@ -300,8 +422,8 @@ mod tests {
         std::env::remove_var("SYNQ_WAIT_STRATEGY_PATH");
         let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
         assert_eq!(
-            doc.get("schema").and_then(Json::as_str),
-            Some("synq-bench-wait-strategy/v1")
+            doc.get("schema").and_then(Json::as_str).map(str::to_owned),
+            Some(format!("synq-bench-wait-strategy/v{BENCH_SCHEMA_REV}"))
         );
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);
@@ -318,8 +440,8 @@ mod tests {
         std::env::remove_var("SYNQ_ASYNC_PATH");
         let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
         assert_eq!(
-            doc.get("schema").and_then(Json::as_str),
-            Some("synq-bench-async/v1")
+            doc.get("schema").and_then(Json::as_str).map(str::to_owned),
+            Some(format!("synq-bench-async/v{BENCH_SCHEMA_REV}"))
         );
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);
@@ -331,5 +453,89 @@ mod tests {
     fn mismatched_series_length_panics() {
         let mut r = FigureReport::new("f", "t", "x", "u", vec![1, 2, 3]);
         r.push_series("a".into(), vec![1.0]);
+    }
+
+    #[test]
+    fn counters_roundtrip_and_are_omitted_when_empty() {
+        let mut r = FigureReport::new("f", "t", "x", "u", vec![1]);
+        r.push_series("plain".into(), vec![1.0]);
+        r.push_series_with_counters(
+            "counted".into(),
+            vec![2.0],
+            vec![("wait.parks".into(), 41u64), ("queue.cas.fail".into(), 7)],
+        );
+        let text = r.to_json().pretty();
+        let back = FigureReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert!(back.series[0].counters.is_empty());
+        assert_eq!(
+            back.series[1].counters,
+            vec![
+                ("wait.parks".to_string(), 41),
+                ("queue.cas.fail".to_string(), 7)
+            ]
+        );
+        // The empty section is omitted entirely, keeping v2 files readable
+        // by v1-era tooling that ignores unknown fields.
+        assert_eq!(text.matches("counters").count(), 1);
+    }
+
+    #[test]
+    fn schema_check_accepts_known_revisions() {
+        for rev in BENCH_SCHEMA_OLDEST..=BENCH_SCHEMA_REV {
+            let doc = Json::Obj(vec![(
+                "schema".into(),
+                Json::Str(format!("synq-bench-headline/v{rev}")),
+            )]);
+            assert_eq!(check_bench_schema(&doc, "headline"), Ok(rev));
+        }
+    }
+
+    #[test]
+    fn schema_check_rejects_unknown_and_missing() {
+        let future = Json::Obj(vec![(
+            "schema".into(),
+            Json::Str("synq-bench-headline/v99".into()),
+        )]);
+        let err = check_bench_schema(&future, "headline").unwrap_err();
+        assert!(err.contains("unknown schema revision"), "got: {err}");
+        let wrong_family = check_bench_schema(&future, "async").unwrap_err();
+        assert!(
+            wrong_family.contains("unrecognized schema"),
+            "got: {wrong_family}"
+        );
+        let empty = Json::Obj(vec![]);
+        let missing = check_bench_schema(&empty, "headline").unwrap_err();
+        assert!(missing.contains("missing `schema`"), "got: {missing}");
+    }
+
+    #[test]
+    fn read_bench_file_reports_missing_and_bad_schema() {
+        let dir = std::env::temp_dir().join(format!("synq-readbench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let absent = dir.join("BENCH_headline.json");
+        let err = read_bench_file(&absent, "headline").unwrap_err();
+        assert!(err.contains("cannot read"), "got: {err}");
+        let stale = dir.join("BENCH_stale.json");
+        std::fs::write(&stale, "{\"schema\": \"synq-bench-headline/v99\"}").unwrap();
+        let err = read_bench_file(&stale, "headline").unwrap_err();
+        assert!(err.contains("unknown schema revision"), "got: {err}");
+        let garbage = dir.join("BENCH_garbage.json");
+        std::fs::write(&garbage, "not json").unwrap();
+        let err = read_bench_file(&garbage, "headline").unwrap_err();
+        assert!(err.contains("invalid JSON"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn written_files_pass_their_own_schema_check() {
+        let dir = std::env::temp_dir().join(format!("synq-selfcheck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_headline.json");
+        std::env::set_var("SYNQ_HEADLINE_PATH", &path);
+        write_bench_headline(&sample(), None).unwrap();
+        let checked = read_bench_file(&path, "headline");
+        std::env::remove_var("SYNQ_HEADLINE_PATH");
+        assert!(checked.is_ok(), "got: {checked:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,9 +1,10 @@
 //! Shared drivers for the figure binaries.
 
 use crate::algos::{make_blocking, make_timed_job, Algo};
-use crate::report::FigureReport;
+use crate::report::{counter_deltas_since, FigureReport};
 use crate::workload::{executor_ns_per_task, handoff_ns_per_transfer, HandoffShape};
 use crate::{quick_mode, sweep, transfers_for};
+use synq_obs::StatsSnapshot;
 
 /// Runs a handoff figure (Figures 3–5) over `algos` and prints progress to
 /// stderr.
@@ -19,6 +20,7 @@ pub fn run_handoff_figure(
     let levels = sweep(levels, quick);
     let mut report = FigureReport::new(id, title, x_label, "ns/transfer", levels.clone());
     for &algo in algos {
+        let before = StatsSnapshot::take();
         let mut values = Vec::with_capacity(levels.len());
         for &level in &levels {
             let s = shape(level);
@@ -30,7 +32,7 @@ pub fn run_handoff_figure(
             );
             values.push(ns);
         }
-        report.push_series(algo.name(), values);
+        report.push_series_with_counters(algo.name(), values, counter_deltas_since(&before));
     }
     report
 }
@@ -49,6 +51,7 @@ pub fn run_executor_figure(
         let Some(_) = make_timed_job(algo) else {
             continue;
         };
+        let before = StatsSnapshot::take();
         let mut values = Vec::with_capacity(levels.len());
         for &level in &levels {
             let tasks = transfers_for(level, quick);
@@ -60,7 +63,7 @@ pub fn run_executor_figure(
             );
             values.push(ns);
         }
-        report.push_series(algo.name(), values);
+        report.push_series_with_counters(algo.name(), values, counter_deltas_since(&before));
     }
     report
 }

@@ -256,6 +256,7 @@ impl<T: Send> SyncDualQueue<T> {
             .compare_exchange(h, nh, Ordering::AcqRel, Ordering::Acquire, guard)
             .is_ok()
         {
+            synq_obs::probe!(QueueHeadAdvances);
             self.release_structure_ref(h, guard);
             true
         } else {
@@ -418,6 +419,7 @@ impl<T: Send> SyncDualQueue<T> {
                     &guard,
                 ) {
                     Ok(published) => {
+                        synq_obs::probe!(QueueAppendCas);
                         let _ = self.tail.compare_exchange(
                             t,
                             published,
@@ -429,6 +431,7 @@ impl<T: Send> SyncDualQueue<T> {
                     }
                     Err(e) => {
                         // Reclaim the item and retry with the same node.
+                        synq_obs::probe!(QueueAppendCasFail);
                         let owned = e.new;
                         if is_data {
                             // SAFETY: node unpublished; we wrote the slot
@@ -456,6 +459,7 @@ impl<T: Send> SyncDualQueue<T> {
             debug_assert_ne!(m_ref.is_data, is_data, "dual invariant violated");
 
             let matched = if m_ref.slot.try_claim() {
+                synq_obs::probe!(QueueClaimCas);
                 if is_data {
                     // Give our item to the waiting consumer.
                     // SAFETY: winning the claim grants slot write access.
@@ -472,6 +476,7 @@ impl<T: Send> SyncDualQueue<T> {
                 m_ref.slot.complete();
                 true
             } else {
+                synq_obs::probe!(QueueClaimCasFail);
                 false
             };
             // Advance past m whether we matched it or lost the race

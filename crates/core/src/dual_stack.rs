@@ -311,9 +311,13 @@ impl<T: Send> SyncDualStack<T> {
         // Speculative reference for m's waiter; revoked if the CAS fails.
         f_ref.refs.fetch_add(1, Ordering::AcqRel);
         match m_ref.slot.try_fulfill_token(f.as_raw() as usize) {
-            Ok(()) => true,
+            Ok(()) => {
+                synq_obs::probe!(StackMatchCas);
+                true
+            }
             Err(actual) => {
                 // Revoke the reference we just added.
+                synq_obs::probe!(StackMatchCasFail);
                 self.release_direct(f.as_raw());
                 actual == f.as_raw() as usize
             }
@@ -399,11 +403,13 @@ impl<T: Send> SyncDualStack<T> {
                     &guard,
                 ) {
                     Ok(published) => {
+                        synq_obs::probe!(StackPushCas);
                         let raw = published.as_raw();
                         drop(guard);
                         return RawStart::Published(raw);
                     }
                     Err(e) => {
+                        synq_obs::probe!(StackPushCasFail);
                         let owned = e.new;
                         if is_data {
                             // SAFETY: unpublished node; reclaim the item.
@@ -438,8 +444,12 @@ impl<T: Send> SyncDualStack<T> {
                     Ordering::Acquire,
                     &guard,
                 ) {
-                    Ok(published) => published,
+                    Ok(published) => {
+                        synq_obs::probe!(StackPushCas);
+                        published
+                    }
                     Err(e) => {
+                        synq_obs::probe!(StackPushCasFail);
                         let owned = e.new;
                         if is_data {
                             // SAFETY: unpublished node.
@@ -505,6 +515,7 @@ impl<T: Send> SyncDualStack<T> {
                 Some(m_ref) => {
                     let mn = m_ref.next.load(Ordering::Acquire, &guard);
                     if self.try_match(m, h, &guard) {
+                        synq_obs::probe!(StackHelped);
                         let _ = self.pop_head(h, mn, Some(m), &guard);
                     } else if h_ref
                         .next

@@ -121,6 +121,7 @@ impl<N: Recyclable> NodeCache<N> {
                 Ok(_) => {
                     self.len.fetch_sub(1, Ordering::Relaxed);
                     self.reuses.fetch_add(1, Ordering::Relaxed);
+                    synq_obs::probe!(NodeCacheHits);
                     return Some(head);
                 }
                 Err(h) => head = h,
@@ -162,6 +163,7 @@ impl<N: Recyclable> NodeCache<N> {
     /// Records a fresh heap allocation by the owning structure.
     pub(crate) fn note_alloc(&self) {
         self.allocs.fetch_add(1, Ordering::Relaxed);
+        synq_obs::probe!(NodeCacheMisses);
     }
 
     /// Total fresh allocations over the structure's lifetime.

@@ -95,6 +95,7 @@ impl<T: Send> EliminationArena<T> {
             // alive at least until someone claims it (and we only deref).
             let cur_ref = unsafe { &*cur };
             if cur_ref.is_data == is_data {
+                synq_obs::probe!(ElimMisses);
                 return Err(item); // same type: walk away
             }
             if slot
@@ -120,8 +121,10 @@ impl<T: Send> EliminationArena<T> {
                     Some(v)
                 };
                 self.eliminated.fetch_add(1, Ordering::Relaxed);
+                synq_obs::probe!(ElimHits);
                 return Ok(result);
             }
+            synq_obs::probe!(ElimMisses);
             return Err(item); // lost the claim race: fall back
         }
 
@@ -141,6 +144,7 @@ impl<T: Send> EliminationArena<T> {
         {
             // SAFETY: failed CAS — nobody saw `raw`.
             unsafe { drop(Arc::from_raw(raw)) };
+            synq_obs::probe!(ElimMisses);
             // SAFETY: node unpublished; re-take the armed item (if any).
             return Err(if is_data {
                 Some(unsafe { node.slot.reclaim_item() })
@@ -156,6 +160,7 @@ impl<T: Send> EliminationArena<T> {
             .is_some()
         {
             self.eliminated.fetch_add(1, Ordering::Relaxed);
+            synq_obs::probe!(ElimHits);
             return Ok(if is_data {
                 None
             } else {
@@ -170,6 +175,7 @@ impl<T: Send> EliminationArena<T> {
         {
             // SAFETY: we took back the slot's strong count.
             unsafe { drop(Arc::from_raw(raw)) };
+            synq_obs::probe!(ElimMisses);
             // SAFETY: retracted before anyone claimed; the cell is ours.
             return Err(if is_data {
                 Some(unsafe { node.slot.reclaim_item() })
@@ -180,6 +186,7 @@ impl<T: Send> EliminationArena<T> {
         // Claimed at the buzzer: finish the exchange.
         node.slot.await_completion();
         self.eliminated.fetch_add(1, Ordering::Relaxed);
+        synq_obs::probe!(ElimHits);
         Ok(if is_data {
             None
         } else {

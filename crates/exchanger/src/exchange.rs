@@ -146,6 +146,7 @@ impl<T: Send> Exchanger<T> {
                 debug_assert!(claimed, "exchanger slot claimed twice");
                 // SAFETY: the claim grants the item cell to us.
                 unsafe { partner.slot.fulfill(mine.take().expect("item still ours")) };
+                synq_obs::probe!(ExchangerSwaps);
                 return Ok(theirs);
             }
 
@@ -153,6 +154,7 @@ impl<T: Send> Exchanger<T> {
             bound = (bound + 1).min(self.slots.len() - 1);
             backoff.snooze();
             if deadline.expired() {
+                synq_obs::probe!(ExchangerTimeouts);
                 return Err(mine.take().expect("item still ours"));
             }
         }
@@ -170,6 +172,7 @@ impl<T: Send> Exchanger<T> {
         deadline: Deadline,
     ) -> Result<T, T> {
         if node.slot.await_match(deadline, &self.spin).is_some() {
+            synq_obs::probe!(ExchangerSwaps);
             // SAFETY: a terminal match publishes the partner's deposit.
             return Ok(unsafe { node.slot.take_item() });
         }
@@ -182,11 +185,13 @@ impl<T: Send> Exchanger<T> {
             // Uninstalled before anyone met us.
             // SAFETY: we took back the slot's strong count.
             unsafe { drop(Arc::from_raw(raw)) };
+            synq_obs::probe!(ExchangerTimeouts);
             return Err(node_take_give(node));
         }
         // A partner claimed us at the deadline: the exchange is happening;
         // wait for completion (bounded by the claimer's next instructions).
         node.slot.await_completion();
+        synq_obs::probe!(ExchangerSwaps);
         // SAFETY: as above.
         Ok(unsafe { node.slot.take_item() })
     }

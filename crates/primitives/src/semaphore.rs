@@ -66,12 +66,16 @@ impl Semaphore {
     /// Blocks until a permit is available, then takes it.
     pub fn acquire(&self) {
         let mut state = self.state.lock().unwrap();
+        if state.count <= 0 {
+            synq_obs::probe!(SemContended);
+        }
         while state.count <= 0 {
             state.waiters += 1;
             state = self.cvar.wait(state).unwrap();
             state.waiters -= 1;
         }
         state.count -= 1;
+        synq_obs::probe!(SemAcquires);
     }
 
     /// Takes a permit if one is immediately available.
@@ -79,6 +83,7 @@ impl Semaphore {
         let mut state = self.state.lock().unwrap();
         if state.count > 0 {
             state.count -= 1;
+            synq_obs::probe!(SemAcquires);
             true
         } else {
             false
@@ -89,6 +94,9 @@ impl Semaphore {
     pub fn acquire_timeout(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         let mut state = self.state.lock().unwrap();
+        if state.count <= 0 {
+            synq_obs::probe!(SemContended);
+        }
         while state.count <= 0 {
             let now = Instant::now();
             if now >= deadline {
@@ -100,6 +108,7 @@ impl Semaphore {
             state.waiters -= 1;
         }
         state.count -= 1;
+        synq_obs::probe!(SemAcquires);
         true
     }
 

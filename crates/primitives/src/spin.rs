@@ -13,6 +13,15 @@
 
 use crate::backoff::ncpus;
 
+/// Spin iterations between deadline/cancellation polls in the wait loop.
+///
+/// `Instant::now()` is a vDSO call but still tens of nanoseconds — polling
+/// it every spin would dominate short spins, so [`crate::WaitStrategy`]
+/// amortizes it over this many iterations by default. The worst-case
+/// deadline overshoot is therefore this many `spin_loop` hints, well under
+/// a scheduling quantum. See DESIGN.md §4.7.
+pub const DEADLINE_POLL_INTERVAL: u32 = 16;
+
 /// How long a waiter spins on its own node before descheduling itself.
 ///
 /// A `SpinPolicy` is deliberately tiny and `Copy`: the queues embed one per

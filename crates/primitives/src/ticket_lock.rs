@@ -87,9 +87,11 @@ impl TicketLock {
     /// Acquires the lock, queuing FIFO behind any existing waiters.
     pub fn lock(&self) -> TicketLockGuard<'_> {
         let ticket = self.next_ticket.fetch_add(1, Ordering::AcqRel);
+        synq_obs::probe!(TicketAcquires);
         if self.now_serving.load(Ordering::Acquire) == ticket {
             return TicketLockGuard { lock: self };
         }
+        synq_obs::probe!(TicketQueued);
         // Slow path: register, then re-check before parking. The release
         // path stores `now_serving` *before* scanning the registry, so
         // either our registration is seen by the releaser (it unparks us)
@@ -118,6 +120,7 @@ impl TicketLock {
             .compare_exchange(serving, serving + 1, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
         {
+            synq_obs::probe!(TicketAcquires);
             Some(TicketLockGuard { lock: self })
         } else {
             None

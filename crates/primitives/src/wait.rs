@@ -8,7 +8,7 @@
 //! abstracts exactly the knobs the wait loop consumes so that every
 //! structure — and the benchmark harness — can sweep them uniformly.
 
-use crate::spin::SpinPolicy;
+use crate::spin::{SpinPolicy, DEADLINE_POLL_INTERVAL};
 
 /// How a waiter burns time between publishing its node and being matched.
 ///
@@ -31,8 +31,9 @@ pub trait WaitStrategy {
     /// Poll the deadline and cancellation token only once per this many
     /// spin iterations. `Instant::now()` is a vDSO call but still tens of
     /// nanoseconds — hammering it every pass would dominate short spins.
+    /// Defaults to [`DEADLINE_POLL_INTERVAL`].
     fn deadline_poll_interval(&self) -> u32 {
-        16
+        DEADLINE_POLL_INTERVAL
     }
 }
 

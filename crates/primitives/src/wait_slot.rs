@@ -458,8 +458,13 @@ impl<T> WaitSlot<T> {
         // a whole interval), then once per interval.
         let mut until_poll = 0u32;
         let mut parker: Option<Parker> = None;
+        // Wait accounting, flushed to the stats layer in one batch on exit
+        // so the loop body stays probe-free (paper §5 attributes throughput
+        // to the spin/park split — these two tallies are that split).
+        let mut spun: u64 = 0;
+        let mut parked: u64 = 0;
 
-        loop {
+        let result = 'outcome: loop {
             match self.state() {
                 WAITING => {}
                 CLAIMED => {
@@ -469,7 +474,7 @@ impl<T> WaitSlot<T> {
                     continue;
                 }
                 CANCELLED => unreachable!("waiting on a slot cancelled by someone else"),
-                s => return Ok(WaitOutcome::Matched(s)),
+                s => break 'outcome Ok(WaitOutcome::Matched(s)),
             }
 
             if until_poll == 0 {
@@ -477,26 +482,30 @@ impl<T> WaitSlot<T> {
                 if token.is_some_and(|t| t.is_cancelled()) {
                     if arbitrate {
                         if self.try_cancel() {
-                            return Ok(WaitOutcome::Cancelled);
+                            break 'outcome Ok(WaitOutcome::Cancelled);
                         }
-                        continue; // lost the race: a fulfiller is finishing
+                        // Lost the race: a fulfiller is finishing.
+                        synq_obs::probe!(WaitCancelRaceLost);
+                        continue;
                     }
-                    return Err(WaitOutcome::Cancelled);
+                    break 'outcome Err(WaitOutcome::Cancelled);
                 }
                 if deadline.expired() {
                     if arbitrate {
                         if self.try_cancel() {
-                            return Ok(WaitOutcome::TimedOut);
+                            break 'outcome Ok(WaitOutcome::TimedOut);
                         }
+                        synq_obs::probe!(WaitCancelRaceLost);
                         continue;
                     }
-                    return Err(WaitOutcome::TimedOut);
+                    break 'outcome Err(WaitOutcome::TimedOut);
                 }
             }
 
             if spins > 0 {
                 spins -= 1;
                 until_poll -= 1;
+                spun += 1;
                 std::hint::spin_loop();
                 continue;
             }
@@ -505,11 +514,12 @@ impl<T> WaitSlot<T> {
                 // Spin-only strategies treat budget exhaustion as expiry.
                 if arbitrate {
                     if self.try_cancel() {
-                        return Ok(WaitOutcome::TimedOut);
+                        break 'outcome Ok(WaitOutcome::TimedOut);
                     }
+                    synq_obs::probe!(WaitCancelRaceLost);
                     continue;
                 }
-                return Err(WaitOutcome::TimedOut);
+                break 'outcome Err(WaitOutcome::TimedOut);
             }
 
             let parker = parker.get_or_insert_with(Parker::new);
@@ -522,16 +532,44 @@ impl<T> WaitSlot<T> {
                 continue;
             }
             match deadline {
-                Deadline::Never => parker.park(),
+                Deadline::Never => {
+                    parked += 1;
+                    parker.park();
+                }
                 Deadline::Now => {}
                 Deadline::At(t) => {
+                    parked += 1;
                     parker.park_deadline(t);
                 }
             }
             // Whatever woke us (unpark, deadline, spurious), re-poll the
             // deadline/token immediately on the next pass.
             until_poll = 0;
+        };
+
+        if spun > 0 {
+            synq_obs::probe!(WaitSpins, spun);
         }
+        if parked > 0 {
+            synq_obs::probe!(WaitParks, parked);
+        }
+        match result {
+            Ok(WaitOutcome::Matched(_)) => {
+                if parked == 0 {
+                    synq_obs::probe!(WaitDirectHandoffs);
+                } else {
+                    synq_obs::probe!(WaitParkedHandoffs);
+                }
+            }
+            Ok(WaitOutcome::TimedOut) | Err(WaitOutcome::TimedOut) => {
+                synq_obs::probe!(WaitTimeouts);
+            }
+            Ok(WaitOutcome::Cancelled) | Err(WaitOutcome::Cancelled) => {
+                synq_obs::probe!(WaitCancels);
+            }
+            Err(WaitOutcome::Matched(_)) => unreachable!("matches are always Ok"),
+        }
+        result
     }
 }
 

@@ -194,12 +194,18 @@ impl Global {
         }
         fence(Ordering::Acquire);
 
-        let _ = self.epoch.compare_exchange(
-            global_epoch,
-            global_epoch.wrapping_add(1),
-            Ordering::Release,
-            Ordering::Relaxed,
-        );
+        if self
+            .epoch
+            .compare_exchange(
+                global_epoch,
+                global_epoch.wrapping_add(1),
+                Ordering::Release,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            synq_obs::probe!(EpochAdvances);
+        }
         self.epoch.load(Ordering::Relaxed)
     }
 
@@ -266,6 +272,7 @@ impl Global {
 
     /// Tries to advance the epoch, then frees every expired bag.
     pub(crate) fn collect(&self) {
+        synq_obs::probe!(EpochCollects);
         let global_epoch = self.try_advance();
 
         // Detach the whole garbage stack; we now own the chain.
@@ -382,7 +389,10 @@ impl Local {
                 .epoch
                 .compare_exchange(lazy, pinned, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok();
-        if !fast {
+        synq_obs::probe!(EpochPins);
+        if fast {
+            synq_obs::probe!(EpochFastRepins);
+        } else {
             Self::publish_slow(&self.epoch, pinned);
         }
 
@@ -435,6 +445,7 @@ impl Local {
 
     /// Adds a deferred closure to this thread's bag, sealing if full.
     pub(crate) fn defer(&self, mut deferred: Deferred) {
+        synq_obs::probe!(EpochDefers);
         // SAFETY: bag is owner-thread-only.
         let bag = unsafe { &mut *self.bag.get() };
         while let Err(d) = bag.try_push(deferred) {
