@@ -52,7 +52,9 @@ pub use future::{RecvFuture, RecvTimedFuture, SendFuture, SendTimedFuture};
 
 use std::sync::Arc;
 use std::time::Duration;
-use synq::{Deadline, SyncDualQueue, SyncDualStack, TimedSyncChannel};
+use synq::{
+    Deadline, StripedSyncQueue, StripedSyncStack, SyncDualQueue, SyncDualStack, TimedSyncChannel,
+};
 
 macro_rules! async_wrapper {
     (
@@ -199,6 +201,46 @@ async_wrapper! {
     AsyncSyncStack, SyncDualStack, "synq::SyncDualStack"
 }
 
+async_wrapper! {
+    /// The **striped fair** async handoff point: contention-adaptive
+    /// multi-lane routing on a [`StripedSyncQueue`] (FIFO per lane; see
+    /// `synq::striped` for the global-fairness trade-off). The default
+    /// lane count scales with the host's cores.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use synq_async::{block_on, AsyncStripedQueue};
+    /// use synq::SyncChannel;
+    /// use std::thread;
+    ///
+    /// let q = AsyncStripedQueue::new();
+    /// let q2 = q.clone();
+    /// // A *blocking* producer pairs with an *async* consumer, whichever
+    /// // lanes the two publish on.
+    /// let t = thread::spawn(move || q2.inner().put(5u32));
+    /// assert_eq!(block_on(q.recv()), 5);
+    /// t.join().unwrap();
+    /// ```
+    AsyncStripedQueue, StripedSyncQueue, "synq::StripedSyncQueue"
+}
+
+async_wrapper! {
+    /// The **striped unfair** async handoff point: contention-adaptive
+    /// multi-lane routing on a [`StripedSyncStack`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use synq_async::{block_on, AsyncStripedStack};
+    /// use std::time::Duration;
+    ///
+    /// let s: AsyncStripedStack<u8> = AsyncStripedStack::new();
+    /// assert_eq!(block_on(s.recv_timed(Duration::from_millis(10))), None);
+    /// ```
+    AsyncStripedStack, StripedSyncStack, "synq::StripedSyncStack"
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +281,23 @@ mod tests {
             }),
         ]);
         assert_eq!(outs, vec![2, 1]);
+    }
+
+    #[test]
+    fn striped_async_send_pairs_with_blocking_take() {
+        let q = AsyncStripedQueue::new();
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.inner().take());
+        block_on(q.send(9u64));
+        assert_eq!(t.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn striped_stack_try_ops_and_timed_recv() {
+        let s: AsyncStripedStack<u32> = AsyncStripedStack::new();
+        assert_eq!(s.try_recv(), None);
+        assert_eq!(s.try_send(1), Err(1));
+        assert_eq!(block_on(s.recv_timed(Duration::from_millis(10))), None);
     }
 
     #[test]

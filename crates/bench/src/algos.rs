@@ -1,7 +1,10 @@
 //! The algorithm registry: one factory per curve in the paper's figures.
 
 use std::sync::Arc;
-use synq::{SpinPolicy, SyncChannel, SyncDualQueue, SyncDualStack, TimedSyncChannel};
+use synq::{
+    SpinPolicy, StripedSyncQueue, StripedSyncStack, SyncChannel, SyncDualQueue, SyncDualStack,
+    TimedSyncChannel,
+};
 use synq_baselines::{HansonFastSQ, HansonSQ, Java5SQ, NaiveSQ};
 use synq_exchanger::EliminationSyncStack;
 use synq_executor::Job;
@@ -52,6 +55,10 @@ pub enum Algo {
     NewUnfairSpin(u32),
     /// Dual stack fronted by an elimination arena of the given size (A3).
     NewElim(usize),
+    /// Striped dual queue with the given lane count (scalability sweep).
+    NewFairStriped(usize),
+    /// Striped dual stack with the given lane count (scalability sweep).
+    NewUnfairStriped(usize),
 }
 
 impl Algo {
@@ -69,6 +76,8 @@ impl Algo {
             Algo::NewFairSpin(n) => format!("new-fair-spin{n}"),
             Algo::NewUnfairSpin(n) => format!("new-unfair-spin{n}"),
             Algo::NewElim(n) => format!("new-unfair-elim{n}"),
+            Algo::NewFairStriped(n) => format!("new-fair-striped{n}"),
+            Algo::NewUnfairStriped(n) => format!("new-unfair-striped{n}"),
         }
     }
 }
@@ -87,6 +96,8 @@ pub fn make_blocking(algo: Algo) -> Arc<dyn SyncChannel<u64>> {
         Algo::NewFairSpin(n) => Arc::new(SyncDualQueue::with_spin(SpinPolicy::fixed(n))),
         Algo::NewUnfairSpin(n) => Arc::new(SyncDualStack::with_spin(SpinPolicy::fixed(n))),
         Algo::NewElim(slots) => Arc::new(EliminationSyncStack::new(slots)),
+        Algo::NewFairStriped(lanes) => Arc::new(StripedSyncQueue::with_lanes(lanes)),
+        Algo::NewUnfairStriped(lanes) => Arc::new(StripedSyncStack::with_lanes(lanes)),
     }
 }
 
@@ -103,6 +114,8 @@ pub fn make_timed_job(algo: Algo) -> Option<Arc<dyn TimedSyncChannel<Job>>> {
         Algo::NewFairSpin(n) => Arc::new(SyncDualQueue::with_spin(SpinPolicy::fixed(n))),
         Algo::NewUnfairSpin(n) => Arc::new(SyncDualStack::with_spin(SpinPolicy::fixed(n))),
         Algo::NewElim(slots) => Arc::new(EliminationSyncStack::new(slots)),
+        Algo::NewFairStriped(lanes) => Arc::new(StripedSyncQueue::with_lanes(lanes)),
+        Algo::NewUnfairStriped(lanes) => Arc::new(StripedSyncStack::with_lanes(lanes)),
     })
 }
 

@@ -1,0 +1,141 @@
+//! Striped-lane scalability sweep: lanes × threads under the **contended**
+//! preset (threads ≫ cores), the workload the striped structures exist
+//! for. Runs the unstriped dual queue/stack as baselines, then the striped
+//! variants across a ladder of lane counts, and records the schema rev 2
+//! per-series `counters` section (`striped.*` routing probes plus the
+//! CAS-failure counters) that backs the scalability claims — the headline
+//! comparison is CAS failures *per transfer* for `new-fair-striped1`
+//! versus the multi-lane variants.
+//!
+//! Emits `target/figures/scalability-striped.json` and the repo-root
+//! `BENCH_striped.json` (overridable with `SYNQ_STRIPED_PATH`).
+//!
+//! With `SYNQ_STRIPED_ASSERT=1` the binary exits nonzero unless every
+//! multi-lane series actually spread its transfers across at least two
+//! lanes — the CI guard that striping is exercised, not silently routed
+//! to lane 0.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use synq::{Striped, StripedLane, SyncChannel, SyncDualQueue, SyncDualStack};
+use synq_bench::algos::{make_blocking, Algo};
+use synq_bench::report::{counter_deltas_since, write_bench_striped, FigureReport};
+use synq_bench::workload::{handoff_ns_per_transfer, HandoffShape};
+use synq_bench::{contended_pairs, quick_mode, transfers_for};
+
+/// Lane ladder for the fair (queue) family — the full sweep, since the
+/// acceptance comparisons (lanes=1 vs `DualQueue`, multi-lane vs
+/// single-lane CAS failures) read from it.
+const QUEUE_LANES: &[usize] = &[1, 2, 4, 8];
+
+/// Lane ladder for the unfair (stack) family — endpoints only; the stack
+/// rides along for coverage rather than headline claims.
+const STACK_LANES: &[usize] = &[1, 4];
+
+/// Runs one striped series across `levels`, pushing values + counter
+/// deltas into `report`. Returns the maximum number of lanes any level's
+/// fresh structure actually routed transfers onto.
+fn striped_series<S: StripedLane<u64> + 'static>(
+    label: String,
+    lanes: usize,
+    levels: &[usize],
+    quick: bool,
+    report: &mut FigureReport,
+) -> usize {
+    let before = synq_obs::StatsSnapshot::take();
+    let mut values = Vec::with_capacity(levels.len());
+    let mut max_exercised = 0;
+    for &level in levels {
+        let shape = HandoffShape::pairs(level);
+        let striped: Arc<Striped<u64, S>> = Arc::new(Striped::with_lanes(lanes));
+        let channel: Arc<dyn SyncChannel<u64>> = Arc::clone(&striped) as _;
+        let transfers = transfers_for(shape.producers + shape.consumers, quick);
+        let ns = handoff_ns_per_transfer(channel, shape, transfers);
+        max_exercised = max_exercised.max(striped.lanes_exercised());
+        eprintln!(
+            "  scalability {label:>20} pairs={level:<3} -> {ns:>12.0} ns/transfer \
+             ({transfers} transfers, {}/{lanes} lanes exercised)",
+            striped.lanes_exercised()
+        );
+        values.push(ns);
+    }
+    report.push_series_with_counters(label, values, counter_deltas_since(&before));
+    max_exercised
+}
+
+/// Runs one unstriped baseline series across `levels`.
+fn baseline_series(algo: Algo, levels: &[usize], quick: bool, report: &mut FigureReport) {
+    let before = synq_obs::StatsSnapshot::take();
+    let mut values = Vec::with_capacity(levels.len());
+    for &level in levels {
+        let shape = HandoffShape::pairs(level);
+        let transfers = transfers_for(shape.producers + shape.consumers, quick);
+        let ns = handoff_ns_per_transfer(make_blocking(algo), shape, transfers);
+        eprintln!(
+            "  scalability {:>20} pairs={level:<3} -> {ns:>12.0} ns/transfer ({transfers} transfers)",
+            algo.name()
+        );
+        values.push(ns);
+    }
+    report.push_series_with_counters(algo.name(), values, counter_deltas_since(&before));
+}
+
+fn main() -> ExitCode {
+    let quick = quick_mode();
+    let levels = contended_pairs(quick);
+    let mut report = FigureReport::new(
+        "scalability-striped",
+        "Striped lanes under the contended (threads >> cores) preset",
+        "pairs",
+        "ns/transfer",
+        levels.clone(),
+    );
+
+    baseline_series(Algo::NewFair, &levels, quick, &mut report);
+    let mut multi_lane_ok = true;
+    for &lanes in QUEUE_LANES {
+        let hit = striped_series::<SyncDualQueue<u64>>(
+            Algo::NewFairStriped(lanes).name(),
+            lanes,
+            &levels,
+            quick,
+            &mut report,
+        );
+        if lanes > 1 && hit < 2 {
+            multi_lane_ok = false;
+        }
+    }
+    baseline_series(Algo::NewUnfair, &levels, quick, &mut report);
+    for &lanes in STACK_LANES {
+        let hit = striped_series::<SyncDualStack<u64>>(
+            Algo::NewUnfairStriped(lanes).name(),
+            lanes,
+            &levels,
+            quick,
+            &mut report,
+        );
+        if lanes > 1 && hit < 2 {
+            multi_lane_ok = false;
+        }
+    }
+
+    println!("{}", report.to_table());
+    match report.write_json() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write JSON: {e}"),
+    }
+    match write_bench_striped(&report) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_striped.json: {e}"),
+    }
+
+    let assert_lanes = std::env::var("SYNQ_STRIPED_ASSERT").map(|v| v != "0") == Ok(true);
+    if assert_lanes && !multi_lane_ok {
+        eprintln!(
+            "error: a multi-lane striped series exercised fewer than two lanes \
+             under the contended preset (SYNQ_STRIPED_ASSERT=1)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

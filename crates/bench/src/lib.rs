@@ -31,6 +31,22 @@ pub const PAIR_LEVELS: &[usize] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
 /// Concurrency levels of Figures 4 and 5 (consumers / producers).
 pub const FAN_LEVELS: &[usize] = &[1, 2, 3, 5, 8, 12, 18, 27, 41, 62];
 
+/// The **contended** preset: pair counts chosen to oversubscribe the host
+/// (threads ≫ cores), so transfers pile onto the structures faster than
+/// they drain and the CAS-retry paths actually execute. The plain
+/// [`PAIR_LEVELS`] sweep starts at one pair, where quick-mode runs on
+/// small machines never fail a CAS and the stats counters read zero
+/// (EXPERIMENTS.md P4's blind spot); every level here is already past the
+/// core count, even in quick mode.
+pub fn contended_pairs(quick: bool) -> Vec<usize> {
+    // Oversubscription multipliers relative to whatever the host has.
+    let cores = synq_primitives::backoff::ncpus().max(1);
+    let full: &[usize] = &[2, 4, 8, 16];
+    let quick_levels: &[usize] = &[2, 4, 8];
+    let mult = if quick { quick_levels } else { full };
+    mult.iter().map(|&m| (cores * m).max(m)).collect()
+}
+
 /// Reads the harness scale from the environment: `SYNQ_BENCH_QUICK=1`
 /// shrinks transfer counts and sweeps so `cargo bench`/CI stay fast.
 pub fn quick_mode() -> bool {
@@ -75,6 +91,23 @@ mod tests {
         let quick = sweep(PAIR_LEVELS, true);
         assert!(quick.iter().all(|&l| l <= 8));
         assert!(!quick.is_empty());
+    }
+
+    #[test]
+    fn contended_levels_oversubscribe_the_host() {
+        let cores = synq_primitives::backoff::ncpus().max(1);
+        for quick in [false, true] {
+            let levels = contended_pairs(quick);
+            assert!(!levels.is_empty());
+            // Every level fields at least twice as many pairs as cores —
+            // each pair is two threads, so the CAS paths stay hot.
+            assert!(
+                levels.iter().all(|&l| l >= 2 * cores),
+                "levels {levels:?} vs {cores} cores"
+            );
+            assert!(levels.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(contended_pairs(true).len() <= contended_pairs(false).len());
     }
 
     #[test]

@@ -229,7 +229,8 @@ fn schema_string(family: &str) -> String {
 }
 
 /// Validates the `schema` field of a `BENCH_*.json` document against a
-/// schema family (`"headline"`, `"wait-strategy"`, `"async"`). Returns the
+/// schema family (`"headline"`, `"wait-strategy"`, `"async"`,
+/// `"striped"`). Returns the
 /// revision on success; a descriptive error for a missing field, a
 /// different family, or a revision outside
 /// [`BENCH_SCHEMA_OLDEST`]..=[`BENCH_SCHEMA_REV`].
@@ -295,6 +296,11 @@ pub fn async_path() -> PathBuf {
     bench_path("SYNQ_ASYNC_PATH", "BENCH_async.json")
 }
 
+/// Resolved path of `BENCH_striped.json` (`SYNQ_STRIPED_PATH` override).
+pub fn striped_path() -> PathBuf {
+    bench_path("SYNQ_STRIPED_PATH", "BENCH_striped.json")
+}
+
 /// Probe-counter deltas since `before`, in the owned form
 /// [`Series::counters`] stores. Empty when stats are off (every delta is
 /// zero), so callers can pass the result straight to
@@ -353,6 +359,23 @@ pub fn write_bench_async(sweep: &FigureReport) -> std::io::Result<PathBuf> {
     let path = async_path();
     let fields = vec![
         ("schema".into(), Json::Str(schema_string("async"))),
+        ("sweep".into(), sweep.to_json()),
+    ];
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(Json::Obj(fields).pretty().as_bytes())?;
+    Ok(path)
+}
+
+/// Writes the repo-root `BENCH_striped.json` file: ns/transfer for the
+/// striped structures across lane counts under the contended (threads ≫
+/// cores) preset, against the unstriped baseline. The per-series schema
+/// rev 2 `counters` section carries the `striped.*` and CAS-failure probe
+/// deltas the scalability claims rest on. Returns the path written
+/// (overridable with `SYNQ_STRIPED_PATH`).
+pub fn write_bench_striped(sweep: &FigureReport) -> std::io::Result<PathBuf> {
+    let path = striped_path();
+    let fields = vec![
+        ("schema".into(), Json::Str(schema_string("striped"))),
         ("sweep".into(), sweep.to_json()),
     ];
     let mut f = std::fs::File::create(&path)?;
@@ -443,6 +466,25 @@ mod tests {
             doc.get("schema").and_then(Json::as_str).map(str::to_owned),
             Some(format!("synq-bench-async/v{BENCH_SCHEMA_REV}"))
         );
+        let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
+        assert_eq!(sweep.series.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn striped_file_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("synq-striped-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_striped.json");
+        std::env::set_var("SYNQ_STRIPED_PATH", &path);
+        let written = write_bench_striped(&sample()).unwrap();
+        std::env::remove_var("SYNQ_STRIPED_PATH");
+        let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str).map(str::to_owned),
+            Some(format!("synq-bench-striped/v{BENCH_SCHEMA_REV}"))
+        );
+        assert!(read_bench_file(&written, "striped").is_ok());
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);
         std::fs::remove_dir_all(&dir).ok();

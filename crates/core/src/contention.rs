@@ -1,0 +1,146 @@
+//! Thread-local CAS-failure feedback driving the striped lane-picker.
+//!
+//! The dual structures report every failed install CAS (tail append, head
+//! claim, stack push, stack match) here; the striped router reads the
+//! counter around each transfer and uses the *delta* — the failures that
+//! transfer itself suffered — as its contention signal. Everything is a
+//! plain thread-local [`Cell`]: no shared state, no atomics, no cache-line
+//! traffic on the hot path, which is the whole point (the structures are
+//! contended enough already; the feedback channel must not add to it).
+//!
+//! # Diffraction policy
+//!
+//! Each thread keeps a per-thread lane *offset* added to its static affine
+//! hint ([`synq_primitives::lane_hint`]). The feedback step accumulates
+//! recent CAS failures into a score; when the score crosses the
+//! diffraction threshold (4), the thread rotates its offset by one — it
+//! *diffracts* to the next lane, like a diffracting-tree balancer shunting
+//! a colliding thread sideways — and the score resets. Conversely, a long
+//! streak of failure-free transfers (64) resets the offset to
+//! zero, re-converging threads onto their affine lanes when contention
+//! subsides (affinity is what keeps a lane's head/tail line hot in one
+//! core's cache).
+//!
+//! The offset is process-global per *thread*, not per structure: a thread
+//! that is being knocked around on one striped structure is overwhelmingly
+//! likely to collide on another in the same process, and a single cell
+//! keeps the hot path to two TLS reads.
+
+use std::cell::Cell;
+
+/// Consecutive CAS failures (summed across recent transfers) that trigger
+/// one diffraction step.
+const DIFFRACT_THRESHOLD: u32 = 4;
+
+/// Failure-free transfers after which a diffracted thread snaps back to
+/// its affine lane.
+const CALM_STREAK: u32 = 64;
+
+thread_local! {
+    /// Failed install CASes observed by this thread, ever. Monotonic; the
+    /// router differences it around each transfer.
+    static CAS_FAILS: Cell<u64> = const { Cell::new(0) };
+    /// Decaying failure score feeding the diffraction trigger.
+    static SCORE: Cell<u32> = const { Cell::new(0) };
+    /// Consecutive failure-free transfers (resets the offset at `CALM_STREAK`).
+    static CALM: Cell<u32> = const { Cell::new(0) };
+    /// Current lane offset added to the thread's affine hint.
+    static OFFSET: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Records one failed install CAS by the calling thread. Called from the
+/// dual queue/stack (and `synq-transfer`) retry edges; costs one TLS
+/// increment.
+pub fn note_cas_fail() {
+    CAS_FAILS.with(|c| c.set(c.get() + 1));
+}
+
+/// Total failed install CASes this thread has ever observed. The striped
+/// router snapshots this before a transfer and feeds the delta back into
+/// the picker state; exposed publicly for tests and diagnostics.
+pub fn cas_fails() -> u64 {
+    CAS_FAILS.with(Cell::get)
+}
+
+/// This thread's current diffraction offset (lanes to rotate past the
+/// affine hint).
+pub(crate) fn offset() -> usize {
+    OFFSET.with(Cell::get)
+}
+
+/// Feeds one transfer's CAS-failure delta back into the picker state,
+/// possibly diffracting (offset += 1) or re-converging (offset = 0).
+pub(crate) fn feedback(delta: u64) {
+    if delta == 0 {
+        SCORE.with(|s| s.set(s.get().saturating_sub(1)));
+        let calm = CALM.with(|c| {
+            let v = c.get() + 1;
+            c.set(v);
+            v
+        });
+        if calm >= CALM_STREAK && OFFSET.with(Cell::get) != 0 {
+            OFFSET.with(|o| o.set(0));
+            CALM.with(|c| c.set(0));
+        }
+        return;
+    }
+    CALM.with(|c| c.set(0));
+    let score = SCORE.with(|s| {
+        let v = s.get().saturating_add(delta.min(u32::MAX as u64) as u32);
+        s.set(v);
+        v
+    });
+    if score >= DIFFRACT_THRESHOLD {
+        SCORE.with(|s| s.set(0));
+        OFFSET.with(|o| o.set(o.get().wrapping_add(1)));
+        synq_obs::probe!(StripedDiffractions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These run single-threaded per test thread: all state is TLS, so the
+    // parallel test runner cannot interfere.
+
+    #[test]
+    fn note_and_read_roundtrip() {
+        let before = cas_fails();
+        note_cas_fail();
+        note_cas_fail();
+        assert_eq!(cas_fails(), before + 2);
+    }
+
+    #[test]
+    fn sustained_failures_diffract() {
+        OFFSET.with(|o| o.set(0));
+        SCORE.with(|s| s.set(0));
+        let start = offset();
+        feedback(u64::from(DIFFRACT_THRESHOLD));
+        assert_eq!(offset(), start + 1, "threshold delta must diffract");
+        // Below-threshold dribble accumulates until it crosses.
+        for _ in 0..DIFFRACT_THRESHOLD {
+            feedback(1);
+        }
+        assert_eq!(offset(), start + 2);
+    }
+
+    #[test]
+    fn calm_streak_reconverges() {
+        OFFSET.with(|o| o.set(3));
+        CALM.with(|c| c.set(0));
+        for _ in 0..CALM_STREAK {
+            feedback(0);
+        }
+        assert_eq!(offset(), 0, "calm streak must reset the offset");
+    }
+
+    #[test]
+    fn single_quiet_transfer_keeps_offset() {
+        OFFSET.with(|o| o.set(2));
+        CALM.with(|c| c.set(0));
+        feedback(0);
+        assert_eq!(offset(), 2);
+    }
+}

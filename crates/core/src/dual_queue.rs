@@ -192,7 +192,14 @@ impl<T: Send> SyncDualQueue<T> {
 
     /// Creates an empty queue with an explicit spin policy (ablation A1).
     pub fn with_spin(spin: SpinPolicy) -> Self {
-        let cache = Arc::new(NodeCache::new());
+        Self::with_config(spin, crate::node_cache::NODE_CACHE_CAP)
+    }
+
+    /// Creates an empty queue with an explicit spin policy and node-cache
+    /// retention bound. Striped structures size each lane's cache down so K
+    /// lanes together pin no more skeletons than one unstriped queue.
+    pub fn with_config(spin: SpinPolicy, cache_capacity: usize) -> Self {
+        let cache = Arc::new(NodeCache::with_capacity(cache_capacity));
         // The initial dummy holds only the structure reference.
         cache.note_alloc();
         let dummy = QNode::new(false, 1);
@@ -432,6 +439,7 @@ impl<T: Send> SyncDualQueue<T> {
                     Err(e) => {
                         // Reclaim the item and retry with the same node.
                         synq_obs::probe!(QueueAppendCasFail);
+                        crate::contention::note_cas_fail();
                         let owned = e.new;
                         if is_data {
                             // SAFETY: node unpublished; we wrote the slot
@@ -477,6 +485,7 @@ impl<T: Send> SyncDualQueue<T> {
                 true
             } else {
                 synq_obs::probe!(QueueClaimCasFail);
+                crate::contention::note_cas_fail();
                 false
             };
             // Advance past m whether we matched it or lost the race
@@ -562,6 +571,27 @@ impl<T: Send> SyncDualQueue<T> {
         outcome
     }
 
+    /// Racy peek for the striped router's rescan: is any linked node a
+    /// still-`WAITING` producer (`is_data`) / consumer (`!is_data`)? Walks
+    /// the whole chain — a cancelled front node must not hide a live waiter
+    /// behind it, or two waiters on sibling lanes could miss each other
+    /// forever. Staleness in both directions is possible by the time the
+    /// caller acts; the striped retract protocol tolerates both.
+    pub(crate) fn has_waiting(&self, is_data: bool) -> bool {
+        let guard = epoch::pin();
+        let h = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: head never null; the chain is protected by the pin.
+        let mut p = unsafe { h.deref() }.next.load(Ordering::Acquire, &guard);
+        // SAFETY: reachable from head under our pin.
+        while let Some(n) = unsafe { p.as_ref() } {
+            if n.is_data == is_data && n.slot.is_waiting() {
+                return true;
+            }
+            p = n.next.load(Ordering::Acquire, &guard);
+        }
+        false
+    }
+
     /// Diagnostic: number of linked nodes (excluding the dummy). O(n); used
     /// by tests and the cleaning ablation, not by the algorithm.
     pub fn linked_nodes(&self) -> usize {
@@ -626,6 +656,24 @@ pub struct QueuePermit<T: Send> {
 // references a blocking waiter thread holds — and the queue is `Sync`; the
 // raw pointer is kept alive by the reference count.
 unsafe impl<T: Send> Send for QueuePermit<T> {}
+
+impl<T: Send> QueuePermit<T> {
+    /// Resolves the permit by blocking — the same spin-then-park wait a
+    /// blocking `transfer` performs, on the already-published node. The
+    /// striped router uses this to downgrade a poll-mode publication into a
+    /// blocking wait once its post-publish rescan comes up empty.
+    pub(crate) fn wait(
+        mut self,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        self.done = true;
+        // SAFETY: `done` was false, so the waiter reference is still held.
+        let node = unsafe { &*self.node };
+        let verdict = node.slot.await_outcome(deadline, token, &self.queue.spin);
+        self.queue.finish_wait(self.node, self.is_data, verdict)
+    }
+}
 
 impl<T: Send> PendingTransfer<T> for QueuePermit<T> {
     fn poll_transfer(

@@ -194,9 +194,16 @@ impl<T: Send> SyncDualStack<T> {
 
     /// Creates an empty stack with an explicit spin policy (ablation A1).
     pub fn with_spin(spin: SpinPolicy) -> Self {
+        Self::with_config(spin, crate::node_cache::NODE_CACHE_CAP)
+    }
+
+    /// Creates an empty stack with an explicit spin policy and node-cache
+    /// retention bound. Striped structures size each lane's cache down so K
+    /// lanes together pin no more skeletons than one unstriped stack.
+    pub fn with_config(spin: SpinPolicy, cache_capacity: usize) -> Self {
         SyncDualStack {
             head: CachePadded::new(Atomic::null()),
-            cache: Arc::new(NodeCache::new()),
+            cache: Arc::new(NodeCache::with_capacity(cache_capacity)),
             spin,
         }
     }
@@ -318,6 +325,7 @@ impl<T: Send> SyncDualStack<T> {
             Err(actual) => {
                 // Revoke the reference we just added.
                 synq_obs::probe!(StackMatchCasFail);
+                crate::contention::note_cas_fail();
                 self.release_direct(f.as_raw());
                 actual == f.as_raw() as usize
             }
@@ -410,6 +418,7 @@ impl<T: Send> SyncDualStack<T> {
                     }
                     Err(e) => {
                         synq_obs::probe!(StackPushCasFail);
+                        crate::contention::note_cas_fail();
                         let owned = e.new;
                         if is_data {
                             // SAFETY: unpublished node; reclaim the item.
@@ -450,6 +459,7 @@ impl<T: Send> SyncDualStack<T> {
                     }
                     Err(e) => {
                         synq_obs::probe!(StackPushCasFail);
+                        crate::contention::note_cas_fail();
                         let owned = e.new;
                         if is_data {
                             // SAFETY: unpublished node.
@@ -609,6 +619,28 @@ impl<T: Send> SyncDualStack<T> {
         }
     }
 
+    /// Racy peek for the striped router's rescan: is any linked node a
+    /// still-`WAITING` producer (`is_data`) / consumer (`!is_data`)? Walks
+    /// the whole chain — a fulfilling pair or cancelled nodes on top must
+    /// not hide a live waiter beneath, or two waiters on sibling lanes
+    /// could miss each other forever. Staleness in both directions is
+    /// possible by the time the caller acts; the striped retract protocol
+    /// tolerates both. (The mode equality below excludes `FULFILLING`
+    /// nodes automatically.)
+    pub(crate) fn has_waiting(&self, is_data: bool) -> bool {
+        let mode = if is_data { DATA } else { REQUEST };
+        let guard = epoch::pin();
+        let mut p = self.head.load(Ordering::Acquire, &guard);
+        // SAFETY: the chain is protected by the pin.
+        while let Some(n) = unsafe { p.as_ref() } {
+            if n.mode == mode && n.slot.is_waiting() {
+                return true;
+            }
+            p = n.next.load(Ordering::Acquire, &guard);
+        }
+        false
+    }
+
     /// Diagnostic: number of linked nodes. O(n), test/ablation use only.
     pub fn linked_nodes(&self) -> usize {
         let guard = epoch::pin();
@@ -677,6 +709,24 @@ pub struct StackPermit<T: Send> {
 // references a blocking waiter thread holds — and the stack is `Sync`; the
 // raw pointer is kept alive by the reference count.
 unsafe impl<T: Send> Send for StackPermit<T> {}
+
+impl<T: Send> StackPermit<T> {
+    /// Resolves the permit by blocking — the same spin-then-park wait a
+    /// blocking `transfer` performs, on the already-pushed node. The
+    /// striped router uses this to downgrade a poll-mode publication into a
+    /// blocking wait once its post-publish rescan comes up empty.
+    pub(crate) fn wait(
+        mut self,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        self.done = true;
+        // SAFETY: `done` was false, so the owner reference is still held.
+        let node = unsafe { &*self.node };
+        let verdict = node.slot.await_outcome(deadline, token, &self.stack.spin);
+        self.stack.finish_wait(self.node, self.is_data, verdict)
+    }
+}
 
 impl<T: Send> PendingTransfer<T> for StackPermit<T> {
     fn poll_transfer(

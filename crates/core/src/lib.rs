@@ -48,11 +48,13 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod channel;
+pub mod contention;
 pub mod dual_queue;
 pub mod dual_stack;
 mod node_cache;
 pub mod pollable;
 pub mod queue;
+pub mod striped;
 pub mod transferer;
 
 pub use channel::{SyncChannel, TimedSyncChannel};
@@ -60,5 +62,6 @@ pub use dual_queue::{QueuePermit, SyncDualQueue};
 pub use dual_stack::{StackPermit, SyncDualStack};
 pub use pollable::{PendingTransfer, PollTransferer, StartTransfer};
 pub use queue::SynchronousQueue;
+pub use striped::{Striped, StripedLane, StripedPermit, StripedSyncQueue, StripedSyncStack};
 pub use synq_primitives::{CancelToken, SpinPolicy};
 pub use transferer::{Deadline, TransferOutcome, Transferer};

@@ -38,7 +38,10 @@
 use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use synq_primitives::CachePadded;
 
-/// Maximum number of skeletons a cache retains; overflow is freed.
+/// Default bound on the number of skeletons a cache retains; overflow is
+/// freed. [`NodeCache::with_capacity`] lets a structure size this down —
+/// striped structures give each lane a proportionally smaller stash so K
+/// lanes together pin no more memory than one unstriped structure.
 pub(crate) const NODE_CACHE_CAP: usize = 64;
 
 /// Node types that can ride the free list, which is threaded through the
@@ -78,6 +81,8 @@ pub(crate) struct NodeCache<N: Recyclable> {
     head: CachePadded<AtomicPtr<N>>,
     /// Upper bound on the list length (reserved at push time).
     len: AtomicUsize,
+    /// Retention bound: a push that would exceed this frees the node.
+    cap: usize,
     /// Fresh heap allocations made by the owning structure (diagnostic).
     allocs: AtomicUsize,
     /// Pops served from the cache instead of the allocator (diagnostic).
@@ -90,10 +95,14 @@ unsafe impl<N: Recyclable> Send for NodeCache<N> {}
 unsafe impl<N: Recyclable> Sync for NodeCache<N> {}
 
 impl<N: Recyclable> NodeCache<N> {
-    pub(crate) fn new() -> Self {
+    /// A cache retaining at most `cap` skeletons (0 disables retention:
+    /// every push frees immediately). [`NODE_CACHE_CAP`] is the standard
+    /// bound for unstriped structures.
+    pub(crate) fn with_capacity(cap: usize) -> Self {
         NodeCache {
             head: CachePadded::new(AtomicPtr::new(std::ptr::null_mut())),
             len: AtomicUsize::new(0),
+            cap,
             allocs: AtomicUsize::new(0),
             reuses: AtomicUsize::new(0),
         }
@@ -139,7 +148,7 @@ impl<N: Recyclable> NodeCache<N> {
     /// unreachable) — or hold exclusive access to the whole structure.
     pub(crate) unsafe fn push(&self, ptr: *mut N) {
         // Reserve a slot first so `len` never undercounts the list.
-        if self.len.fetch_add(1, Ordering::Relaxed) >= NODE_CACHE_CAP {
+        if self.len.fetch_add(1, Ordering::Relaxed) >= self.cap {
             self.len.fetch_sub(1, Ordering::Relaxed);
             // SAFETY: exclusive ownership per our contract; freeing here is
             // covered by the same grace period as a push would be.
@@ -232,7 +241,7 @@ mod tests {
 
     #[test]
     fn push_pop_roundtrip_and_counters() {
-        let cache: NodeCache<TestNode> = NodeCache::new();
+        let cache: NodeCache<TestNode> = NodeCache::with_capacity(NODE_CACHE_CAP);
         assert!(unsafe { cache.pop() }.is_none());
         let a = alloc_node();
         let b = alloc_node();
@@ -255,7 +264,7 @@ mod tests {
 
     #[test]
     fn overflow_is_freed_not_cached() {
-        let cache: NodeCache<TestNode> = NodeCache::new();
+        let cache: NodeCache<TestNode> = NodeCache::with_capacity(NODE_CACHE_CAP);
         for _ in 0..(NODE_CACHE_CAP + 10) {
             // SAFETY: single-threaded test.
             unsafe { cache.push(alloc_node()) };
@@ -268,7 +277,7 @@ mod tests {
 
     #[test]
     fn drop_drains_everything() {
-        let cache: NodeCache<TestNode> = NodeCache::new();
+        let cache: NodeCache<TestNode> = NodeCache::with_capacity(NODE_CACHE_CAP);
         for _ in 0..5 {
             // SAFETY: single-threaded test.
             unsafe { cache.push(alloc_node()) };
@@ -276,6 +285,24 @@ mod tests {
         assert_eq!(live(), 5);
         drop(cache);
         assert_eq!(live(), 0);
+    }
+
+    #[test]
+    fn custom_capacity_bounds_retention() {
+        let cache: NodeCache<TestNode> = NodeCache::with_capacity(3);
+        for _ in 0..10 {
+            // SAFETY: single-threaded test.
+            unsafe { cache.push(alloc_node()) };
+        }
+        assert_eq!(live(), 3);
+        drop(cache);
+        assert_eq!(live(), 0);
+
+        let none: NodeCache<TestNode> = NodeCache::with_capacity(0);
+        // SAFETY: single-threaded test.
+        unsafe { none.push(alloc_node()) };
+        assert_eq!(live(), 0);
+        assert!(unsafe { none.pop() }.is_none());
     }
 
     #[test]

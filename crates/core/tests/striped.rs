@@ -1,0 +1,204 @@
+//! Integration tests for the striped (multi-lane) structures: pairing and
+//! drop conservation under arbitrary shapes, and lanes=1 equivalence with
+//! the unstriped dual queue.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use synq::{StripedSyncQueue, StripedSyncStack, SyncChannel, SyncDualQueue, TimedSyncChannel};
+
+/// A payload that tracks its own liveness: exactly one decrement per
+/// construction, however many times it is moved between threads and lanes.
+struct Payload {
+    id: usize,
+    live: Arc<AtomicIsize>,
+}
+
+impl Payload {
+    fn new(id: usize, live: &Arc<AtomicIsize>) -> Self {
+        live.fetch_add(1, Ordering::Relaxed);
+        Payload {
+            id,
+            live: Arc::clone(live),
+        }
+    }
+}
+
+impl Drop for Payload {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs `producers`×`per` timed sends against `consumers` timed receivers
+/// on `channel`, then checks the exactly-one-pairing contract: every id is
+/// either received once or refused (timed out) back to its producer once,
+/// never both, and every payload is dropped exactly once.
+fn check_conservation(
+    channel: Arc<dyn TimedSyncChannel<Payload>>,
+    producers: usize,
+    consumers: usize,
+    per: usize,
+) -> Result<(), TestCaseError> {
+    let live = Arc::new(AtomicIsize::new(0));
+    let stop = Arc::new(AtomicUsize::new(0));
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let refused = Arc::new(Mutex::new(Vec::new()));
+
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let channel = Arc::clone(&channel);
+        let live = Arc::clone(&live);
+        let refused = Arc::clone(&refused);
+        handles.push(thread::spawn(move || {
+            for i in 0..per {
+                let payload = Payload::new(p * per + i, &live);
+                if let Err(back) = channel.offer_timeout(payload, Duration::from_micros(200)) {
+                    refused.lock().unwrap().push(back.id);
+                }
+            }
+        }));
+    }
+    let mut takers = Vec::new();
+    for _ in 0..consumers {
+        let channel = Arc::clone(&channel);
+        let stop = Arc::clone(&stop);
+        let received = Arc::clone(&received);
+        takers.push(thread::spawn(move || {
+            while stop.load(Ordering::Relaxed) == 0 {
+                if let Some(p) = channel.poll_timeout(Duration::from_micros(100)) {
+                    received.lock().unwrap().push(p.id);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(1, Ordering::Relaxed);
+    for t in takers {
+        t.join().unwrap();
+    }
+    // A producer may have matched at the buzzer, after every consumer
+    // already left: drain the tail.
+    while let Some(p) = channel.poll_timeout(Duration::from_millis(2)) {
+        received.lock().unwrap().push(p.id);
+    }
+
+    let mut seen: Vec<usize> = received.lock().unwrap().clone();
+    seen.extend(refused.lock().unwrap().iter().copied());
+    seen.sort_unstable();
+    let expected: Vec<usize> = (0..producers * per).collect();
+    prop_assert_eq!(
+        seen,
+        expected,
+        "every send must be received once xor refused once"
+    );
+    prop_assert_eq!(live.load(Ordering::Relaxed), 0, "payload drop conservation");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Striped queue: exactly-one-pairing and drop conservation across
+    /// lane counts and producer/consumer shapes.
+    #[test]
+    fn striped_queue_pairs_exactly_once(
+        lanes in 1usize..=8,
+        producers in 1usize..=3,
+        consumers in 1usize..=3,
+        per in 1usize..=25,
+    ) {
+        let q: Arc<StripedSyncQueue<Payload>> = Arc::new(StripedSyncQueue::with_lanes(lanes));
+        check_conservation(q, producers, consumers, per)?;
+    }
+
+    /// Same contract for the striped stack.
+    #[test]
+    fn striped_stack_pairs_exactly_once(
+        lanes in 1usize..=8,
+        producers in 1usize..=3,
+        consumers in 1usize..=3,
+        per in 1usize..=25,
+    ) {
+        let s: Arc<StripedSyncStack<Payload>> = Arc::new(StripedSyncStack::with_lanes(lanes));
+        check_conservation(s, producers, consumers, per)?;
+    }
+}
+
+/// Runs the same single-producer/single-consumer workload against a
+/// channel and returns the ids in arrival order.
+fn fifo_run(channel: Arc<dyn SyncChannel<u64>>, n: u64) -> Vec<u64> {
+    let rx = Arc::clone(&channel);
+    let taker = thread::spawn(move || (0..n).map(|_| rx.take()).collect::<Vec<_>>());
+    for i in 0..n {
+        channel.put(i);
+    }
+    taker.join().unwrap()
+}
+
+#[test]
+fn lanes1_striped_queue_is_equivalent_to_dual_queue() {
+    const N: u64 = 500;
+    // Identical deterministic observables: strict FIFO order under a
+    // put/take stream...
+    let striped: Arc<StripedSyncQueue<u64>> = Arc::new(StripedSyncQueue::with_lanes(1));
+    let plain: Arc<SyncDualQueue<u64>> = Arc::new(SyncDualQueue::new());
+    let a = fifo_run(Arc::clone(&striped) as _, N);
+    let b = fifo_run(Arc::clone(&plain) as _, N);
+    assert_eq!(a, b);
+    assert_eq!(a, (0..N).collect::<Vec<_>>());
+    // ...and the same non-blocking semantics on an empty structure.
+    assert_eq!(striped.poll(), plain.poll());
+    assert_eq!(striped.offer(9), plain.offer(9));
+    assert_eq!(
+        striped.poll_timeout(Duration::from_millis(1)),
+        plain.poll_timeout(Duration::from_millis(1))
+    );
+    assert_eq!(
+        striped.offer_timeout(3, Duration::from_millis(1)),
+        plain.offer_timeout(3, Duration::from_millis(1))
+    );
+    assert_eq!(striped.lanes_exercised(), 1);
+}
+
+#[test]
+fn contended_oversubscription_spreads_load_and_conserves_values() {
+    // Threads ≫ lanes ≫ cores: the picker must spread load across lanes
+    // while every value still pairs exactly once.
+    const SIDES: usize = 8;
+    const PER: usize = 200;
+    let q: Arc<StripedSyncQueue<usize>> = Arc::new(StripedSyncQueue::with_lanes(4));
+    let sum = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for p in 0..SIDES {
+        let q = Arc::clone(&q);
+        handles.push(thread::spawn(move || {
+            for i in 0..PER {
+                q.put(p * PER + i);
+            }
+        }));
+    }
+    for _ in 0..SIDES {
+        let q = Arc::clone(&q);
+        let sum = Arc::clone(&sum);
+        handles.push(thread::spawn(move || {
+            for _ in 0..PER {
+                sum.fetch_add(q.take(), Ordering::Relaxed);
+            }
+        }));
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for h in handles {
+        assert!(Instant::now() < deadline, "striped handoff wedged");
+        h.join().unwrap();
+    }
+    assert_eq!(sum.load(Ordering::Relaxed), (0..SIDES * PER).sum::<usize>());
+    assert!(
+        q.lanes_exercised() >= 2,
+        "16 threads on 4 lanes must exercise at least two lanes"
+    );
+}

@@ -1,0 +1,65 @@
+//! Per-thread lane-affinity hints for striped (multi-lane) structures.
+//!
+//! A striped structure splits one contended coordination point into K
+//! independent lanes and needs a cheap, stable way to route each thread to
+//! "its" lane. Hashing `std::thread::ThreadId` would work but gives no
+//! density guarantee: two threads could collide on one lane while others
+//! sit idle. This module instead assigns every thread a **dense** id from a
+//! process-wide counter on first use — thread n gets hint n — so any K
+//! consecutively spawned threads land on K distinct lanes of a K-lane
+//! structure (`hint % K` covers all residues). The hint is assigned once,
+//! costs one TLS read thereafter, and is shared by every striped structure
+//! in the process (deliberately: a thread keeps the *same* affine lane
+//! across structures, preserving locality).
+//!
+//! This is the same dense-id trick `synq-obs` uses for counter-shard
+//! selection, duplicated here because the obs crate compiles its version
+//! out when `stats` is off, while lane routing must always work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NEXT_HINT: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    static HINT: usize = NEXT_HINT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's dense affinity hint (0 for the first thread to ask,
+/// 1 for the second, …). Stable for the thread's lifetime.
+pub fn lane_hint() -> usize {
+    HINT.with(|h| *h)
+}
+
+/// The calling thread's affine lane among `lanes` (`lane_hint() % lanes`).
+///
+/// # Panics
+///
+/// Panics if `lanes` is zero.
+pub fn affine_lane(lanes: usize) -> usize {
+    lane_hint() % lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hint_is_stable_within_a_thread() {
+        assert_eq!(lane_hint(), lane_hint());
+        assert_eq!(affine_lane(4), lane_hint() % 4);
+    }
+
+    #[test]
+    fn hints_are_distinct_across_threads() {
+        let mine = lane_hint();
+        let theirs = std::thread::spawn(lane_hint).join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+
+    #[test]
+    fn affine_lane_is_in_range() {
+        for lanes in 1..9 {
+            assert!(affine_lane(lanes) < lanes);
+        }
+    }
+}

@@ -47,6 +47,7 @@ pub mod cache_padded;
 pub mod cancel;
 pub mod deadline;
 pub mod fast_semaphore;
+pub mod lane_hint;
 pub mod mcs_lock;
 pub mod parker;
 pub mod semaphore;

@@ -360,6 +360,7 @@ impl<T: Send> TransferQueue<T> {
                         return self.await_fulfill(raw, true, deadline, token);
                     }
                     Err(e) => {
+                        synq::contention::note_cas_fail();
                         let owned = e.new;
                         // SAFETY: unpublished; reclaim the item.
                         item = Some(unsafe { owned.slot.reclaim_item() });
@@ -452,6 +453,7 @@ impl<T: Send> TransferQueue<T> {
                         return self.await_fulfill(raw, false, deadline, token);
                     }
                     Err(e) => {
+                        synq::contention::note_cas_fail();
                         node = Some(e.new);
                         continue;
                     }
