@@ -55,6 +55,7 @@ use std::time::Duration;
 use synq::{
     Deadline, StripedSyncQueue, StripedSyncStack, SyncDualQueue, SyncDualStack, TimedSyncChannel,
 };
+use synq_transfer::BufferedChannel;
 
 macro_rules! async_wrapper {
     (
@@ -241,6 +242,133 @@ async_wrapper! {
     AsyncStripedStack, StripedSyncStack, "synq::StripedSyncStack"
 }
 
+/// The **buffered** async channel: a
+/// [`TransferQueue`](synq_transfer::TransferQueue) behind its
+/// [`BufferedChannel`] adapter. Unlike the rendezvous wrappers above,
+/// `send` buffers: it resolves as soon as the item is published — in
+/// bounded mode it suspends only while the ring is full, awaiting space
+/// through the queue's waiter machinery (the same wake path a blocking
+/// bounded `put` parks on).
+///
+/// # Examples
+///
+/// ```
+/// use synq_async::{block_on, AsyncTransferQueue};
+///
+/// let q = AsyncTransferQueue::bounded(4);
+/// block_on(async {
+///     q.send(1u32).await; // buffered: resolves immediately
+///     q.send(2).await;
+///     assert_eq!(q.recv().await, 1);
+///     assert_eq!(q.recv().await, 2);
+/// });
+/// ```
+pub struct AsyncTransferQueue<T: Send> {
+    inner: Arc<BufferedChannel<T>>,
+}
+
+impl<T: Send> Clone for AsyncTransferQueue<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send> std::fmt::Debug for AsyncTransferQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("AsyncTransferQueue { .. }")
+    }
+}
+
+impl<T: Send> AsyncTransferQueue<T> {
+    /// A bounded buffered channel: `send` awaits ring space when the
+    /// cycle-versioned ring (capacity rounded up to a power of two,
+    /// minimum 2) is full.
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(BufferedChannel::bounded(capacity)),
+        }
+    }
+
+    /// An unbounded buffered channel: `send` never suspends.
+    pub fn unbounded() -> Self {
+        Self {
+            inner: Arc::new(BufferedChannel::unbounded()),
+        }
+    }
+
+    /// Wraps an existing channel, so async tasks and blocking threads can
+    /// share the same instance.
+    pub fn from_arc(inner: Arc<BufferedChannel<T>>) -> Self {
+        Self { inner }
+    }
+
+    /// The underlying [`BufferedChannel`], for mixed sync/async use (and
+    /// for `transfer` via [`BufferedChannel::queue`]).
+    pub fn inner(&self) -> &Arc<BufferedChannel<T>> {
+        &self.inner
+    }
+
+    /// Ring capacity in bounded mode, `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.queue().capacity()
+    }
+
+    /// Buffers `value`, suspending only while a bounded ring is full.
+    pub fn send(&self, value: T) -> SendFuture<'_, T, BufferedChannel<T>> {
+        future::send(&self.inner, value)
+    }
+
+    /// Receives the oldest buffered value (ring items before waiting
+    /// synchronous transfers), suspending while the channel is empty.
+    pub fn recv(&self) -> RecvFuture<'_, T, BufferedChannel<T>> {
+        future::recv(&self.inner)
+    }
+
+    /// Buffers `value` only if it can be published immediately;
+    /// `Err(value)` when a bounded ring is full. Never suspends.
+    pub fn try_send(&self, value: T) -> Result<(), T> {
+        self.inner.offer(value)
+    }
+
+    /// Takes a buffered value if one is immediately available. Never
+    /// suspends.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.poll()
+    }
+
+    /// Like [`send`](Self::send), but gives up — resolving to
+    /// `Err(value)` — if no ring space appears within `patience`.
+    pub fn send_timed(
+        &self,
+        value: T,
+        patience: Duration,
+    ) -> SendTimedFuture<'_, T, BufferedChannel<T>> {
+        future::send_timed(&self.inner, value, Deadline::after(patience))
+    }
+
+    /// Like [`recv`](Self::recv), but gives up — resolving to `None` — if
+    /// nothing is buffered within `patience`.
+    pub fn recv_timed(&self, patience: Duration) -> RecvTimedFuture<'_, T, BufferedChannel<T>> {
+        future::recv_timed(&self.inner, Deadline::after(patience))
+    }
+
+    /// Like [`send`](Self::send), with an explicit [`Deadline`].
+    pub fn send_deadline(
+        &self,
+        value: T,
+        deadline: Deadline,
+    ) -> SendTimedFuture<'_, T, BufferedChannel<T>> {
+        future::send_timed(&self.inner, value, deadline)
+    }
+
+    /// Like [`recv`](Self::recv), with an explicit [`Deadline`].
+    pub fn recv_deadline(&self, deadline: Deadline) -> RecvTimedFuture<'_, T, BufferedChannel<T>> {
+        future::recv_timed(&self.inner, deadline)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +444,71 @@ mod tests {
             q2.inner().put(3u8);
         });
         assert_eq!(block_on(q.recv_timed(Duration::from_secs(10))), Some(3));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn buffered_send_does_not_suspend_below_capacity() {
+        let q = AsyncTransferQueue::bounded(4);
+        assert_eq!(q.capacity(), Some(4));
+        block_on(async {
+            q.send(1u32).await;
+            q.send(2).await;
+            assert_eq!(q.recv().await, 1);
+            assert_eq!(q.recv().await, 2);
+        });
+    }
+
+    #[test]
+    fn bounded_send_awaits_ring_space() {
+        let q = AsyncTransferQueue::bounded(2);
+        q.try_send(1u32).unwrap();
+        q.try_send(2).unwrap();
+        assert_eq!(q.try_send(3), Err(3));
+        let q2 = q.clone();
+        // A blocking consumer on the same structure frees the slot the
+        // suspended async sender is waiting for.
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.inner().queue().take()
+        });
+        block_on(q.send(3));
+        assert_eq!(t.join().unwrap(), 1);
+        assert_eq!(q.try_recv(), Some(2));
+        assert_eq!(q.try_recv(), Some(3));
+    }
+
+    #[test]
+    fn buffered_recv_awaits_put_and_timed_send_returns_item() {
+        let q = AsyncTransferQueue::bounded(2);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.inner().put(7u32);
+        });
+        assert_eq!(block_on(q.recv()), 7);
+        t.join().unwrap();
+        // Fill the ring; a timed send must give the item back on expiry.
+        q.try_send(1).unwrap();
+        q.try_send(2).unwrap();
+        assert_eq!(block_on(q.send_timed(3, Duration::from_millis(15))), Err(3));
+        // And an unbounded channel's send never suspends.
+        let u: AsyncTransferQueue<u32> = AsyncTransferQueue::unbounded();
+        assert_eq!(u.capacity(), None);
+        block_on(async {
+            for i in 0..100 {
+                u.send(i).await;
+            }
+        });
+        assert_eq!(u.inner().queue().len(), 100);
+    }
+
+    #[test]
+    fn buffered_recv_gets_sync_transfer_too() {
+        let q = AsyncTransferQueue::bounded(4);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.inner().queue().transfer(11u32));
+        assert_eq!(block_on(q.recv()), 11);
         t.join().unwrap();
     }
 }

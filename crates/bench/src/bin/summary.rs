@@ -14,18 +14,19 @@
 use std::process::ExitCode;
 use synq_bench::json::Json;
 use synq_bench::report::{
-    async_path, check_bench_schema, headline_path, read_bench_file, striped_path,
-    wait_strategy_path, write_bench_async, write_bench_headline, write_bench_striped,
-    write_bench_wait_strategy, FigureReport,
+    async_path, check_bench_schema, headline_path, read_bench_file, ring_path, striped_path,
+    wait_strategy_path, write_bench_async, write_bench_headline, write_bench_ring,
+    write_bench_striped, write_bench_wait_strategy, FigureReport,
 };
 
 /// The repo-root perf-trajectory files: (resolved path, schema family).
-fn bench_files() -> [(std::path::PathBuf, &'static str); 4] {
+fn bench_files() -> [(std::path::PathBuf, &'static str); 5] {
     [
         (headline_path(), "headline"),
         (wait_strategy_path(), "wait-strategy"),
         (async_path(), "async"),
         (striped_path(), "striped"),
+        (ring_path(), "ring"),
     ]
 }
 
@@ -159,6 +160,12 @@ fn run() -> Result<(), String> {
         guard_overwrite(&striped_path(), "striped")?;
         let path = write_bench_striped(sweep)
             .map_err(|e| format!("failed to write BENCH_striped.json: {e}"))?;
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(sweep) = reports.iter().find(|r| r.id == "ring") {
+        guard_overwrite(&ring_path(), "ring")?;
+        let path =
+            write_bench_ring(sweep).map_err(|e| format!("failed to write BENCH_ring.json: {e}"))?;
         eprintln!("wrote {}", path.display());
     }
     Ok(())

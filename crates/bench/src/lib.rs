@@ -23,7 +23,10 @@ pub mod workload;
 
 pub use algos::{make_blocking, make_timed_job, Algo, BLOCKING_ALGOS, TIMED_ALGOS};
 pub use report::{FigureReport, Series};
-pub use workload::{executor_ns_per_task, handoff_ns_per_transfer, HandoffShape};
+pub use workload::{
+    batched_handoff_ns_per_transfer, executor_ns_per_task, handoff_ns_per_transfer,
+    mixed_handoff_ns_per_transfer, HandoffShape,
+};
 
 /// Concurrency levels of Figures 3 and 6 (pairs / threads).
 pub const PAIR_LEVELS: &[usize] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];

@@ -230,7 +230,7 @@ fn schema_string(family: &str) -> String {
 
 /// Validates the `schema` field of a `BENCH_*.json` document against a
 /// schema family (`"headline"`, `"wait-strategy"`, `"async"`,
-/// `"striped"`). Returns the
+/// `"striped"`, `"ring"`). Returns the
 /// revision on success; a descriptive error for a missing field, a
 /// different family, or a revision outside
 /// [`BENCH_SCHEMA_OLDEST`]..=[`BENCH_SCHEMA_REV`].
@@ -299,6 +299,11 @@ pub fn async_path() -> PathBuf {
 /// Resolved path of `BENCH_striped.json` (`SYNQ_STRIPED_PATH` override).
 pub fn striped_path() -> PathBuf {
     bench_path("SYNQ_STRIPED_PATH", "BENCH_striped.json")
+}
+
+/// Resolved path of `BENCH_ring.json` (`SYNQ_RING_PATH` override).
+pub fn ring_path() -> PathBuf {
+    bench_path("SYNQ_RING_PATH", "BENCH_ring.json")
 }
 
 /// Probe-counter deltas since `before`, in the owned form
@@ -376,6 +381,24 @@ pub fn write_bench_striped(sweep: &FigureReport) -> std::io::Result<PathBuf> {
     let path = striped_path();
     let fields = vec![
         ("schema".into(), Json::Str(schema_string("striped"))),
+        ("sweep".into(), sweep.to_json()),
+    ];
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(Json::Obj(fields).pretty().as_bytes())?;
+    Ok(path)
+}
+
+/// Writes the repo-root `BENCH_ring.json` file: ns/transfer for the
+/// bounded ring fast path across capacity × batch-size × pair-count,
+/// against the unbounded linked baseline. The per-series `counters`
+/// section carries the `ring.*` probe deltas plus the explicitly recorded
+/// `epoch.pins` / `node_cache.*` values — zero for the pure buffered
+/// series, which is the allocation-free/epoch-free acceptance proof.
+/// Returns the path written (overridable with `SYNQ_RING_PATH`).
+pub fn write_bench_ring(sweep: &FigureReport) -> std::io::Result<PathBuf> {
+    let path = ring_path();
+    let fields = vec![
+        ("schema".into(), Json::Str(schema_string("ring"))),
         ("sweep".into(), sweep.to_json()),
     ];
     let mut f = std::fs::File::create(&path)?;
@@ -485,6 +508,25 @@ mod tests {
             Some(format!("synq-bench-striped/v{BENCH_SCHEMA_REV}"))
         );
         assert!(read_bench_file(&written, "striped").is_ok());
+        let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
+        assert_eq!(sweep.series.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ring_file_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("synq-ring-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_ring.json");
+        std::env::set_var("SYNQ_RING_PATH", &path);
+        let written = write_bench_ring(&sample()).unwrap();
+        std::env::remove_var("SYNQ_RING_PATH");
+        let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str).map(str::to_owned),
+            Some(format!("synq-bench-ring/v{BENCH_SCHEMA_REV}"))
+        );
+        assert!(read_bench_file(&written, "ring").is_ok());
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);
         std::fs::remove_dir_all(&dir).ok();

@@ -5,6 +5,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Instant;
 use synq::{SyncChannel, TimedSyncChannel};
 use synq_executor::{Job, PoolConfig, ThreadPool};
+use synq_transfer::TransferQueue;
 
 /// Producer:consumer shape of a handoff microbenchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +104,143 @@ pub fn handoff_ns_per_transfer(
     elapsed.as_nanos() as f64 / transfers as f64
 }
 
+/// Like [`handoff_ns_per_transfer`], but every thread moves items in
+/// batches of up to `batch` through `send_batch`/`recv_batch`. Tickets are
+/// claimed in whole chunks so the produced and consumed totals both equal
+/// exactly `transfers` — `send_batch` blocks until its chunk is delivered,
+/// `recv_batch` blocks for the first item of each chunk — and no thread is
+/// stranded at the end. Returns nanoseconds per transfer (per item, not
+/// per batch).
+pub fn batched_handoff_ns_per_transfer(
+    channel: Arc<dyn SyncChannel<u64>>,
+    shape: HandoffShape,
+    transfers: usize,
+    batch: usize,
+) -> f64 {
+    assert!(batch >= 1);
+    let put_tickets = Arc::new(AtomicUsize::new(0));
+    let take_tickets = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(shape.producers + shape.consumers + 1));
+
+    let mut handles = Vec::with_capacity(shape.producers + shape.consumers);
+    for _ in 0..shape.producers {
+        let channel = Arc::clone(&channel);
+        let tickets = Arc::clone(&put_tickets);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut items = Vec::with_capacity(batch);
+            loop {
+                let first = tickets.fetch_add(batch, Ordering::Relaxed);
+                if first >= transfers {
+                    break;
+                }
+                let last = (first + batch).min(transfers);
+                items.extend((first..last).map(|i| i as u64));
+                channel.send_batch(&mut items);
+                debug_assert!(items.is_empty());
+            }
+        }));
+    }
+    for _ in 0..shape.consumers {
+        let channel = Arc::clone(&channel);
+        let tickets = Arc::clone(&take_tickets);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut out = Vec::with_capacity(batch);
+            let mut check: u64 = 0;
+            loop {
+                let first = tickets.fetch_add(batch, Ordering::Relaxed);
+                if first >= transfers {
+                    break;
+                }
+                let want = (first + batch).min(transfers) - first;
+                let mut got = 0;
+                while got < want {
+                    got += channel.recv_batch(&mut out, want - got);
+                }
+                for v in out.drain(..) {
+                    check = check.wrapping_add(v);
+                }
+            }
+            std::hint::black_box(check);
+        }));
+    }
+
+    let start = Instant::now();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("benchmark thread panicked");
+    }
+    let elapsed = start.elapsed();
+    elapsed.as_nanos() as f64 / transfers as f64
+}
+
+/// Mixed buffered + synchronous workload on a bounded [`TransferQueue`]:
+/// every `sync_every`-th ticket rendezvouses through `transfer` (linked
+/// path) while the rest ride the ring via `put`, overflowing small rings
+/// so the ring-full → waiter fallback executes alongside rendezvous
+/// traffic. Consumers drain everything with `take`. Returns nanoseconds
+/// per transfer.
+pub fn mixed_handoff_ns_per_transfer(
+    queue: Arc<TransferQueue<u64>>,
+    shape: HandoffShape,
+    transfers: usize,
+    sync_every: usize,
+) -> f64 {
+    assert!(sync_every >= 1);
+    let put_tickets = Arc::new(AtomicUsize::new(0));
+    let take_tickets = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(shape.producers + shape.consumers + 1));
+
+    let mut handles = Vec::with_capacity(shape.producers + shape.consumers);
+    for _ in 0..shape.producers {
+        let queue = Arc::clone(&queue);
+        let tickets = Arc::clone(&put_tickets);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            loop {
+                let i = tickets.fetch_add(1, Ordering::Relaxed);
+                if i >= transfers {
+                    break;
+                }
+                if i.is_multiple_of(sync_every) {
+                    queue.transfer(i as u64);
+                } else {
+                    queue.put(i as u64);
+                }
+            }
+        }));
+    }
+    for _ in 0..shape.consumers {
+        let queue = Arc::clone(&queue);
+        let tickets = Arc::clone(&take_tickets);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut check: u64 = 0;
+            loop {
+                let i = tickets.fetch_add(1, Ordering::Relaxed);
+                if i >= transfers {
+                    break;
+                }
+                check = check.wrapping_add(queue.take());
+            }
+            std::hint::black_box(check);
+        }));
+    }
+
+    let start = Instant::now();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("benchmark thread panicked");
+    }
+    let elapsed = start.elapsed();
+    elapsed.as_nanos() as f64 / transfers as f64
+}
+
 /// Runs the Figure 6 workload: `submitters` threads submit `tasks` trivial
 /// tasks to a cached thread pool whose handoff channel is under test.
 /// Returns nanoseconds per task.
@@ -190,6 +328,34 @@ mod tests {
             let ns = handoff_ns_per_transfer(make_blocking(algo), HandoffShape::pairs(2), 500);
             assert!(ns > 0.0, "algo {}", algo.name());
         }
+    }
+
+    #[test]
+    fn batched_handoff_completes_bounded_and_unbounded() {
+        for capacity in [None, Some(8)] {
+            let channel: Arc<dyn SyncChannel<u64>> = match capacity {
+                Some(c) => Arc::new(synq_transfer::BufferedChannel::bounded(c)),
+                None => Arc::new(synq_transfer::BufferedChannel::unbounded()),
+            };
+            let ns = batched_handoff_ns_per_transfer(channel, HandoffShape::pairs(2), 2_000, 8);
+            assert!(ns > 0.0, "capacity {capacity:?}");
+        }
+    }
+
+    #[test]
+    fn batched_handoff_handles_ragged_tail() {
+        // transfers not a multiple of batch: the last chunk is short.
+        let channel: Arc<dyn SyncChannel<u64>> =
+            Arc::new(synq_transfer::BufferedChannel::bounded(4));
+        let ns = batched_handoff_ns_per_transfer(channel, HandoffShape::pairs(1), 1_003, 8);
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn mixed_handoff_completes_on_tiny_ring() {
+        let queue = Arc::new(TransferQueue::bounded(2));
+        let ns = mixed_handoff_ns_per_transfer(queue, HandoffShape::pairs(2), 1_500, 3);
+        assert!(ns > 0.0);
     }
 
     #[test]

@@ -20,6 +20,32 @@ pub trait SyncChannel<T: Send>: Send + Sync {
 
     /// Receives a value from a producer, waiting for one to arrive.
     fn take(&self) -> T;
+
+    /// Transfers every item in `items`, in order, blocking as needed; on
+    /// return the vector is empty.
+    ///
+    /// The default delivers one item per [`Self::put`]. Buffered
+    /// implementations (the bounded `TransferQueue` ring) override this to
+    /// amortize one publication over the whole batch.
+    fn send_batch(&self, items: &mut Vec<T>) {
+        for value in items.drain(..) {
+            self.put(value);
+        }
+    }
+
+    /// Receives up to `max` items into `out`, blocking until at least one
+    /// is available (when `max > 0`). Returns how many items arrived.
+    ///
+    /// The default receives exactly one item via [`Self::take`]; buffered
+    /// implementations drain as many as are immediately available after
+    /// the first.
+    fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        out.push(self.take());
+        1
+    }
 }
 
 /// The rich interface: non-blocking and timed variants plus cancellation.
@@ -47,6 +73,45 @@ pub trait TimedSyncChannel<T: Send>: SyncChannel<T> {
 
     /// Fully general consumer-side transfer.
     fn take_with(&self, deadline: Deadline, token: Option<&CancelToken>) -> TransferOutcome<T>;
+
+    /// Transfers as many items from the front of `items` as the channel
+    /// will immediately accept (partial progress), leaving the rest in the
+    /// vector. Returns how many were sent.
+    ///
+    /// The default stops at the first [`Self::offer`] refusal, preserving
+    /// order; ring-buffered implementations override this with one
+    /// tail-update per batch.
+    fn try_send_batch(&self, items: &mut Vec<T>) -> usize {
+        let mut rest = std::mem::take(items).into_iter();
+        let mut sent = 0;
+        for value in rest.by_ref() {
+            match self.offer(value) {
+                Ok(()) => sent += 1,
+                Err(back) => {
+                    items.push(back);
+                    items.extend(rest);
+                    break;
+                }
+            }
+        }
+        sent
+    }
+
+    /// Receives up to `max` immediately-available items into `out` without
+    /// blocking. Returns how many arrived.
+    fn try_recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut got = 0;
+        while got < max {
+            match self.poll() {
+                Some(value) => {
+                    out.push(value);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
 }
 
 /// Implements [`SyncChannel`] and [`TimedSyncChannel`] for a type that

@@ -183,6 +183,26 @@ probes! {
     /// Published waits retracted because a counterpart appeared on a
     /// sibling lane during the post-publish rescan.
     StripedRetracts => "striped.retracts",
+
+    // Bounded ring-buffer fast path (DESIGN §4.11): SCQ-style
+    // cycle-versioned slots in front of the TransferQueue rendezvous.
+    /// Items published into the bounded ring (buffered fast-path puts).
+    RingPushItems => "ring.push_items",
+    /// Items consumed from the bounded ring (buffered fast-path polls).
+    RingPopItems => "ring.pop_items",
+    /// Successful tail-advancing CASes — one per push *or per push batch*,
+    /// so `push_items / tail_updates` is the producer-side amortization.
+    RingTailUpdates => "ring.tail_updates",
+    /// Successful head-advancing CASes — one per pop *or per pop batch*.
+    RingHeadUpdates => "ring.head_updates",
+    /// Failed head/tail CASes (another thread won the slot race; retry).
+    RingCasFails => "ring.cas_fails",
+    /// Producers that found the ring full and registered as space-waiters
+    /// (the ring-full → rendezvous-machinery fallback edge).
+    RingFullWaits => "ring.full_waits",
+    /// Consumers that found the ring empty (and no linked transfers) and
+    /// registered as item-waiters.
+    RingEmptyWaits => "ring.empty_waits",
 }
 
 impl Probe {

@@ -13,17 +13,48 @@
 //! [`TransferQueue::transfer`] blocks until a consumer takes the item,
 //! exactly like the synchronous queue's `put`. Consumers are identical in
 //! both cases. The list still never holds data and reservations at once.
+//!
+//! # Bounded mode
+//!
+//! [`TransferQueue::bounded`] puts a [`RingBuffer`] — a cycle-versioned
+//! circular array (DESIGN §4.11) — in front of the linked rendezvous
+//! machinery. Buffered `put`/`poll` then ride the ring: no node
+//! allocation, no epoch pin, one CAS on a cache-padded index per
+//! operation (or per *batch* via [`TransferQueue::put_batch`] /
+//! [`TransferQueue::take_batch`]). Producers block only when the ring is
+//! full, consumers only when it is empty, both via lightweight
+//! space/item wait lists. [`TransferQueue::transfer`] still rendezvouses
+//! through the linked protocol for exactly-once handoff semantics.
+//!
+//! The ordering contract in bounded mode: `take`/`poll` drain buffered
+//! ring items *before* claiming waiting synchronous transfers, and each
+//! category is FIFO within itself. Because bounded consumers wait on the
+//! item list rather than publishing linked reservations,
+//! [`TransferQueue::try_transfer`] (and the channel-trait `offer`, which
+//! has the same only-if-a-consumer-waits semantics) always fails in
+//! bounded mode — use [`BufferedChannel`] for trait-level buffered
+//! semantics.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+mod ring;
+mod waiters;
+
+pub use ring::RingBuffer;
+
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Poll, Waker};
 use std::time::Duration;
 use synq::{
-    impl_channels_via_transferer, CancelToken, Deadline, SpinPolicy, TransferOutcome, Transferer,
+    impl_channels_via_transferer, CancelToken, Deadline, PendingTransfer, PollTransferer,
+    SpinPolicy, StartTransfer, SyncChannel, TimedSyncChannel, TransferOutcome, Transferer,
 };
-use synq_primitives::{WaitOutcome, WaitSlot};
+use synq_obs::probe;
+use synq_primitives::{CachePadded, WaitOutcome, WaitSlot};
 use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
+use waiters::WaiterQueue;
 
 struct TNode<T> {
     /// The wait-node protocol. Async data nodes never wait on it: the
@@ -31,16 +62,22 @@ struct TNode<T> {
     slot: WaitSlot<T>,
     next: Atomic<TNode<T>>,
     is_data: bool,
+    /// Bounded mode tallies linked sync transfers in
+    /// `TransferQueue::sync_transfers` so consumers can skip the epoch-
+    /// pinned linked path entirely when none exist; a counted node must
+    /// decrement on claim or cancellation.
+    counted: bool,
     refs: AtomicUsize,
     unlinked: AtomicBool,
 }
 
 impl<T> TNode<T> {
-    fn new(is_data: bool, refs: usize) -> Owned<TNode<T>> {
+    fn new(is_data: bool, counted: bool, refs: usize) -> Owned<TNode<T>> {
         Owned::new(TNode {
             slot: WaitSlot::new(),
             next: Atomic::null(),
             is_data,
+            counted,
             refs: AtomicUsize::new(refs),
             unlinked: AtomicBool::new(false),
         })
@@ -68,7 +105,8 @@ enum PutMode {
     Sync,
 }
 
-/// A queue supporting both synchronous and asynchronous enqueue.
+/// A queue supporting both synchronous and asynchronous enqueue, with an
+/// optional bounded array-backed fast path for the asynchronous side.
 ///
 /// # Examples
 ///
@@ -82,13 +120,38 @@ enum PutMode {
 /// assert_eq!(q.take(), 1); // FIFO
 /// assert_eq!(q.take(), 2);
 /// ```
+///
+/// Bounded mode buffers through the ring instead of the linked list:
+///
+/// ```
+/// use synq_transfer::TransferQueue;
+///
+/// let q = TransferQueue::bounded(4);
+/// assert_eq!(q.capacity(), Some(4));
+/// assert_eq!(q.try_put(1), Ok(()));
+/// assert_eq!(q.try_put(2), Ok(()));
+/// assert_eq!(q.poll(), Some(1));
+/// assert_eq!(q.poll(), Some(2));
+/// ```
 pub struct TransferQueue<T> {
     head: Atomic<TNode<T>>,
     tail: Atomic<TNode<T>>,
     spin: SpinPolicy,
+    /// Bounded mode: the array fast path in front of the linked protocol.
+    ring: Option<RingBuffer<T>>,
+    /// Bounded mode: linked *sync* data nodes currently published (put
+    /// after the publish CAS, taken back on claim or cancellation).
+    /// Consumers touch the epoch-pinned linked path only when this is
+    /// non-zero, which is what makes the pure buffered path epoch-free.
+    sync_transfers: CachePadded<AtomicUsize>,
+    /// Bounded mode: producers waiting for ring space.
+    space_waiters: WaiterQueue,
+    /// Bounded mode: consumers (and unbounded async receivers) waiting
+    /// for an item.
+    item_waiters: WaiterQueue,
 }
 
-// SAFETY: as for synq::SyncDualQueue.
+// SAFETY: as for synq::SyncDualQueue; the ring imposes only T: Send.
 unsafe impl<T: Send> Send for TransferQueue<T> {}
 unsafe impl<T: Send> Sync for TransferQueue<T> {}
 
@@ -99,26 +162,58 @@ impl<T: Send> Default for TransferQueue<T> {
 }
 
 impl<T: Send> TransferQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty unbounded queue.
     pub fn new() -> Self {
         Self::with_spin(SpinPolicy::adaptive())
     }
 
-    /// Creates an empty queue with an explicit spin policy.
+    /// Creates an empty unbounded queue with an explicit spin policy.
     pub fn with_spin(spin: SpinPolicy) -> Self {
-        let dummy = TNode::new(false, 1);
+        Self::build(spin, None)
+    }
+
+    /// Creates a bounded queue: buffered `put`/`poll` ride a
+    /// [`RingBuffer`] of `capacity` slots (rounded up to a power of two,
+    /// minimum 2) and block when it is full/empty. `transfer` still
+    /// rendezvouses through the linked protocol.
+    pub fn bounded(capacity: usize) -> Self {
+        Self::bounded_with_spin(capacity, SpinPolicy::adaptive())
+    }
+
+    /// [`Self::bounded`] with an explicit spin policy.
+    pub fn bounded_with_spin(capacity: usize, spin: SpinPolicy) -> Self {
+        Self::build(spin, Some(RingBuffer::new(capacity)))
+    }
+
+    fn build(spin: SpinPolicy, ring: Option<RingBuffer<T>>) -> Self {
+        let dummy = TNode::new(false, false, 1);
         let guard = unsafe { epoch::unprotected() };
         let dummy = dummy.into_shared(&guard);
         let head = Atomic::null();
         let tail = Atomic::null();
         head.store(dummy, Ordering::Relaxed);
         tail.store(dummy, Ordering::Relaxed);
-        TransferQueue { head, tail, spin }
+        TransferQueue {
+            head,
+            tail,
+            spin,
+            ring,
+            sync_transfers: CachePadded::new(AtomicUsize::new(0)),
+            space_waiters: WaiterQueue::new(),
+            item_waiters: WaiterQueue::new(),
+        }
+    }
+
+    /// Ring capacity in bounded mode, `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.ring.as_ref().map(RingBuffer::capacity)
     }
 
     // ------------------------------------------------------ producer API
 
-    /// Asynchronous enqueue: links the item and returns immediately.
+    /// Asynchronous (buffered) enqueue. Unbounded: links the item and
+    /// returns immediately. Bounded: publishes into the ring, waiting for
+    /// space if it is full.
     ///
     /// **Name-resolution note:** this inherent method shadows
     /// `SyncChannel::put` (which maps to the *synchronous* [`TransferQueue::transfer`])
@@ -126,9 +221,41 @@ impl<T: Send> TransferQueue<T> {
     /// `dyn SyncChannel` or a generic bound, `put` is synchronous — the
     /// same put/transfer duality as Java's `LinkedTransferQueue`.
     pub fn put(&self, value: T) {
-        match self.producer(Some(value), PutMode::Async, Deadline::Never, None) {
+        match self.put_with(value, Deadline::Never, None) {
             TransferOutcome::Transferred(_) => {}
-            _ => unreachable!("async put cannot fail"),
+            _ => unreachable!("untimed put cannot fail"),
+        }
+    }
+
+    /// Buffered enqueue only if it can complete immediately. Unbounded
+    /// queues always accept; bounded queues refuse (returning the value)
+    /// when the ring is full.
+    pub fn try_put(&self, value: T) -> Result<(), T> {
+        match self.put_with(value, Deadline::Now, None) {
+            TransferOutcome::Transferred(_) => Ok(()),
+            other => Err(other.into_inner().expect("item returned")),
+        }
+    }
+
+    /// Buffered enqueue, waiting up to `patience` for ring space.
+    pub fn put_timeout(&self, value: T, patience: Duration) -> Result<(), T> {
+        match self.put_with(value, Deadline::after(patience), None) {
+            TransferOutcome::Transferred(_) => Ok(()),
+            other => Err(other.into_inner().expect("item returned")),
+        }
+    }
+
+    /// Fully general buffered enqueue. The deadline/token only matter in
+    /// bounded mode (an unbounded buffered put never waits).
+    pub fn put_with(
+        &self,
+        value: T,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        match &self.ring {
+            Some(ring) => self.bounded_put(ring, value, deadline, token),
+            None => self.producer(Some(value), PutMode::Async, deadline, token),
         }
     }
 
@@ -141,6 +268,10 @@ impl<T: Send> TransferQueue<T> {
     }
 
     /// Synchronous enqueue only if a consumer is already waiting.
+    ///
+    /// Bounded-mode caveat: consumers wait on the item list rather than
+    /// publishing linked reservations, so there is never a reservation to
+    /// fulfill and this **always fails** on a bounded queue.
     pub fn try_transfer(&self, value: T) -> Result<(), T> {
         match self.producer(Some(value), PutMode::Sync, Deadline::Now, None) {
             TransferOutcome::Transferred(_) => Ok(()),
@@ -168,9 +299,11 @@ impl<T: Send> TransferQueue<T> {
 
     // ------------------------------------------------------ consumer API
 
-    /// Receives a value, waiting if necessary.
+    /// Receives a value, waiting if necessary. Bounded mode prefers
+    /// buffered ring items over waiting synchronous transfers (FIFO
+    /// within each category).
     pub fn take(&self) -> T {
-        match self.consumer(Deadline::Never, None) {
+        match self.take_with(Deadline::Never, None) {
             TransferOutcome::Transferred(Some(v)) => v,
             _ => unreachable!("untimed take cannot fail"),
         }
@@ -178,23 +311,150 @@ impl<T: Send> TransferQueue<T> {
 
     /// Receives a buffered or offered value without waiting.
     pub fn poll(&self) -> Option<T> {
-        self.consumer(Deadline::Now, None).into_inner()
+        self.take_with(Deadline::Now, None).into_inner()
     }
 
     /// `poll` with patience.
     pub fn poll_timeout(&self, patience: Duration) -> Option<T> {
-        self.consumer(Deadline::after(patience), None).into_inner()
+        self.take_with(Deadline::after(patience), None).into_inner()
     }
 
     /// Fully general receive.
     pub fn take_with(&self, deadline: Deadline, token: Option<&CancelToken>) -> TransferOutcome<T> {
-        self.consumer(deadline, token)
+        match &self.ring {
+            Some(ring) => self.bounded_take(ring, deadline, token),
+            None => self.consumer(deadline, token),
+        }
+    }
+
+    // --------------------------------------------------------- batch API
+
+    /// Transfers every item in `items` (buffered), in order, blocking for
+    /// ring space as needed in bounded mode; on return the vector is
+    /// empty. Bounded queues publish each run of items with a single tail
+    /// update (see [`RingBuffer::try_push_batch`]).
+    pub fn put_batch(&self, items: &mut Vec<T>) {
+        let Some(ring) = &self.ring else {
+            for value in items.drain(..) {
+                self.put(value);
+            }
+            return;
+        };
+        while !items.is_empty() {
+            let pushed = ring.try_push_batch(items);
+            if pushed > 0 {
+                fence(Ordering::SeqCst);
+                self.item_waiters.notify(pushed);
+                continue;
+            }
+            let waiter = self.space_waiters.register();
+            fence(Ordering::SeqCst);
+            if !ring.is_full() {
+                self.space_waiters.retract(&waiter);
+                continue;
+            }
+            probe!(RingFullWaits);
+            match waiter.await_outcome(Deadline::Never, None, &self.spin) {
+                WaitOutcome::Matched(_) => continue,
+                _ => unreachable!("untimed, uncancellable wait cannot expire"),
+            }
+        }
+    }
+
+    /// Transfers as many items from the front of `items` as fit without
+    /// waiting, leaving the rest. Returns how many were sent. Unbounded
+    /// queues accept everything.
+    pub fn try_put_batch(&self, items: &mut Vec<T>) -> usize {
+        let Some(ring) = &self.ring else {
+            let n = items.len();
+            for value in items.drain(..) {
+                self.put(value);
+            }
+            return n;
+        };
+        let mut sent = 0;
+        loop {
+            let pushed = ring.try_push_batch(items);
+            if pushed == 0 {
+                break;
+            }
+            sent += pushed;
+        }
+        if sent > 0 {
+            fence(Ordering::SeqCst);
+            self.item_waiters.notify(sent);
+        }
+        sent
+    }
+
+    /// Receives up to `max` items into `out`, blocking until at least one
+    /// is available (when `max > 0`). Returns how many arrived. Bounded
+    /// queues claim each available run with a single head update.
+    pub fn take_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let got = self.try_take_batch(out, max);
+        if got > 0 {
+            return got;
+        }
+        match self.take_with(Deadline::Never, None) {
+            TransferOutcome::Transferred(Some(v)) => out.push(v),
+            _ => unreachable!("untimed take cannot fail"),
+        }
+        1 + self.try_take_batch(out, max - 1)
+    }
+
+    /// Receives up to `max` immediately-available items into `out` without
+    /// blocking. Returns how many arrived. In bounded mode, ring items
+    /// are drained first, then any waiting synchronous transfers.
+    pub fn try_take_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let Some(ring) = &self.ring else {
+            let mut got = 0;
+            while got < max {
+                match self.consumer(Deadline::Now, None) {
+                    TransferOutcome::Transferred(Some(v)) => {
+                        out.push(v);
+                        got += 1;
+                    }
+                    _ => break,
+                }
+            }
+            return got;
+        };
+        let mut got = 0;
+        loop {
+            let popped = ring.try_pop_batch(out, max - got);
+            if popped == 0 {
+                break;
+            }
+            fence(Ordering::SeqCst);
+            self.space_waiters.notify(popped);
+            got += popped;
+        }
+        while got < max && self.sync_transfers.load(Ordering::SeqCst) > 0 {
+            match self.consumer(Deadline::Now, None) {
+                TransferOutcome::Transferred(Some(v)) => {
+                    out.push(v);
+                    got += 1;
+                }
+                _ => break,
+            }
+        }
+        got
     }
 
     // ------------------------------------------------------- inspection
 
-    /// Number of buffered (unmatched, uncancelled) data items. O(n).
+    /// Number of buffered (unmatched, uncancelled) data items: ring
+    /// occupancy plus published-but-unclaimed synchronous transfers.
+    ///
+    /// Bounded mode is O(1) and epoch-free (two atomic loads); unbounded
+    /// mode walks the linked chain under an epoch pin, O(n).
     pub fn len(&self) -> usize {
+        if let Some(ring) = &self.ring {
+            return ring.len() + self.sync_transfers.load(Ordering::SeqCst);
+        }
         let guard = epoch::pin();
         let mut n = 0;
         let mut p = self.head.load(Ordering::Acquire, &guard);
@@ -212,7 +472,8 @@ impl<T: Send> TransferQueue<T> {
         }
     }
 
-    /// True if no data is buffered.
+    /// True if no data is buffered (ring *and* linked chain — see
+    /// [`Self::len`]).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -225,9 +486,13 @@ impl<T: Send> TransferQueue<T> {
     }
 
     /// Number of consumers blocked waiting for an element (mirrors
-    /// `LinkedTransferQueue.getWaitingConsumerCount`). O(n), approximate
-    /// under concurrency.
+    /// `LinkedTransferQueue.getWaitingConsumerCount`). Approximate under
+    /// concurrency. Bounded mode reads the item wait-list length (O(1));
+    /// unbounded mode walks the chain, O(n).
     pub fn waiting_consumer_count(&self) -> usize {
+        if self.ring.is_some() {
+            return self.item_waiters.hint();
+        }
         let guard = epoch::pin();
         let mut n = 0;
         let mut p = self.head.load(Ordering::Acquire, &guard);
@@ -242,6 +507,109 @@ impl<T: Send> TransferQueue<T> {
                 n += 1;
             }
             p = next;
+        }
+    }
+
+    // ----------------------------------------------- bounded fast paths
+
+    /// Bounded buffered put: ride the ring, waiting for space when full.
+    ///
+    /// Lost-wakeup discipline (see `waiters`): push (SeqCst CAS) →
+    /// fence → notify on the producer side; register (SeqCst store) →
+    /// fence → re-check `is_full` on this side. One of the two always
+    /// observes the other.
+    fn bounded_put(
+        &self,
+        ring: &RingBuffer<T>,
+        mut value: T,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        loop {
+            match ring.try_push(value) {
+                Ok(()) => {
+                    fence(Ordering::SeqCst);
+                    self.item_waiters.notify(1);
+                    return TransferOutcome::Transferred(None);
+                }
+                Err(back) => value = back,
+            }
+            if deadline.is_now() || deadline.expired() {
+                return TransferOutcome::Timeout(Some(value));
+            }
+            if token.is_some_and(|tk| tk.is_cancelled()) {
+                return TransferOutcome::Cancelled(Some(value));
+            }
+            let waiter = self.space_waiters.register();
+            fence(Ordering::SeqCst);
+            if !ring.is_full() {
+                self.space_waiters.retract(&waiter);
+                continue;
+            }
+            probe!(RingFullWaits);
+            match waiter.await_outcome(deadline, token, &self.spin) {
+                WaitOutcome::Matched(_) => continue,
+                WaitOutcome::TimedOut => {
+                    self.space_waiters.remove(&waiter);
+                    return TransferOutcome::Timeout(Some(value));
+                }
+                WaitOutcome::Cancelled => {
+                    self.space_waiters.remove(&waiter);
+                    return TransferOutcome::Cancelled(Some(value));
+                }
+            }
+        }
+    }
+
+    /// Bounded receive: ring items first, then waiting synchronous
+    /// transfers, else wait on the item list. The `sync_transfers` gate is
+    /// what keeps the pure buffered path off the epoch-pinned linked
+    /// protocol entirely.
+    fn bounded_take(
+        &self,
+        ring: &RingBuffer<T>,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        loop {
+            if let Some(v) = ring.try_pop() {
+                fence(Ordering::SeqCst);
+                self.space_waiters.notify(1);
+                return TransferOutcome::Transferred(Some(v));
+            }
+            if self.sync_transfers.load(Ordering::SeqCst) > 0 {
+                if let TransferOutcome::Transferred(v) = self.consumer(Deadline::Now, None) {
+                    return TransferOutcome::Transferred(v);
+                }
+                // The counted node was claimed or cancelled by someone
+                // else and the counter is momentarily stale; re-examine.
+                std::thread::yield_now();
+                continue;
+            }
+            if deadline.is_now() || deadline.expired() {
+                return TransferOutcome::Timeout(None);
+            }
+            if token.is_some_and(|tk| tk.is_cancelled()) {
+                return TransferOutcome::Cancelled(None);
+            }
+            let waiter = self.item_waiters.register();
+            fence(Ordering::SeqCst);
+            if !ring.is_empty() || self.sync_transfers.load(Ordering::SeqCst) > 0 {
+                self.item_waiters.retract(&waiter);
+                continue;
+            }
+            probe!(RingEmptyWaits);
+            match waiter.await_outcome(deadline, token, &self.spin) {
+                WaitOutcome::Matched(_) => continue,
+                WaitOutcome::TimedOut => {
+                    self.item_waiters.remove(&waiter);
+                    return TransferOutcome::Timeout(None);
+                }
+                WaitOutcome::Cancelled => {
+                    self.item_waiters.remove(&waiter);
+                    return TransferOutcome::Cancelled(None);
+                }
+            }
         }
     }
 
@@ -295,6 +663,8 @@ impl<T: Send> TransferQueue<T> {
         deadline: Deadline,
         token: Option<&CancelToken>,
     ) -> TransferOutcome<T> {
+        // Bounded mode tallies linked sync transfers (see `sync_transfers`).
+        let counted = mode == PutMode::Sync && self.ring.is_some();
         let mut node: Option<Owned<TNode<T>>> = None;
         loop {
             let guard = epoch::pin();
@@ -333,7 +703,7 @@ impl<T: Send> TransferQueue<T> {
                 let refs = if mode == PutMode::Async { 1 } else { 2 };
                 let owned = match node.take() {
                     Some(n) => n,
-                    None => TNode::new(true, refs),
+                    None => TNode::new(true, counted, refs),
                 };
                 // SAFETY: unpublished node, exclusively ours.
                 unsafe { owned.slot.put_item(item.take().expect("producer has item")) };
@@ -352,6 +722,13 @@ impl<T: Send> TransferQueue<T> {
                             Ordering::Relaxed,
                             &guard,
                         );
+                        if counted {
+                            self.sync_transfers.fetch_add(1, Ordering::SeqCst);
+                        }
+                        // Wake an item-list waiter (bounded consumers and
+                        // async receivers wait there, not as reservations).
+                        fence(Ordering::SeqCst);
+                        self.item_waiters.notify(1);
                         if mode == PutMode::Async {
                             return TransferOutcome::Transferred(None);
                         }
@@ -431,7 +808,7 @@ impl<T: Send> TransferQueue<T> {
                 }
                 let owned = match node.take() {
                     Some(n) => n,
-                    None => TNode::new(false, 2),
+                    None => TNode::new(false, false, 2),
                 };
                 match t_ref.next.compare_exchange(
                     Shared::null(),
@@ -476,6 +853,9 @@ impl<T: Send> TransferQueue<T> {
                 // SAFETY: claim grants slot read access.
                 taken = Some(unsafe { m_ref.slot.take_item() });
                 m_ref.slot.complete();
+                if m_ref.counted {
+                    self.sync_transfers.fetch_sub(1, Ordering::SeqCst);
+                }
             }
             let _ = self.advance_head(h, m, &guard);
             if taken.is_some() {
@@ -505,6 +885,9 @@ impl<T: Send> TransferQueue<T> {
             }
             verdict => {
                 // We won the cancel CAS.
+                if node.counted {
+                    self.sync_transfers.fetch_sub(1, Ordering::SeqCst);
+                }
                 let guard = epoch::pin();
                 self.absorb_cancelled(&guard);
                 drop(guard);
@@ -533,6 +916,7 @@ impl<T: Send> TransferQueue<T> {
 /// mirrors our fair synchronous queue"). This lets a `TransferQueue` slot
 /// directly into anything built over the channel traits — including the
 /// `ThreadPoolExecutor` — while still offering `put` for asynchronous use.
+/// (For *buffered* channel-trait semantics, wrap in [`BufferedChannel`].)
 impl<T: Send> Transferer<T> for TransferQueue<T> {
     fn transfer(
         &self,
@@ -542,7 +926,7 @@ impl<T: Send> Transferer<T> for TransferQueue<T> {
     ) -> TransferOutcome<T> {
         match item {
             Some(v) => self.producer(Some(v), PutMode::Sync, deadline, token),
-            None => self.consumer(deadline, token),
+            None => self.take_with(deadline, token),
         }
     }
 }
@@ -565,7 +949,269 @@ impl<T> Drop for TransferQueue<T> {
 
 impl<T> std::fmt::Debug for TransferQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.pad("TransferQueue { .. }")
+        match &self.ring {
+            Some(ring) => write!(f, "TransferQueue {{ capacity: {} }}", ring.capacity()),
+            None => f.pad("TransferQueue { unbounded }"),
+        }
+    }
+}
+
+// ===================================================== buffered channel
+
+/// Channel-trait adapter exposing a [`TransferQueue`]'s *buffered*
+/// semantics: `put`/`offer` enqueue asynchronously (ride the ring in
+/// bounded mode) instead of rendezvousing.
+///
+/// The raw `TransferQueue` channel impls keep the paper-faithful
+/// synchronous mapping (`put` = `transfer`); this wrapper is what you hand
+/// to generic drivers — and to `synq-async`, via its [`PollTransferer`]
+/// impl — when you want queue semantics.
+///
+/// # Examples
+///
+/// ```
+/// use synq::{SyncChannel, TimedSyncChannel};
+/// use synq_transfer::BufferedChannel;
+///
+/// let ch = BufferedChannel::bounded(8);
+/// ch.put(1); // buffered: returns immediately
+/// assert_eq!(ch.offer(2), Ok(()));
+/// let mut batch = vec![3, 4, 5];
+/// ch.send_batch(&mut batch);
+/// assert_eq!(SyncChannel::take(&ch), 1);
+/// let mut out = Vec::new();
+/// assert_eq!(ch.recv_batch(&mut out, 8), 4);
+/// assert_eq!(out, vec![2, 3, 4, 5]);
+/// ```
+#[derive(Debug)]
+pub struct BufferedChannel<T> {
+    queue: TransferQueue<T>,
+}
+
+impl<T: Send> BufferedChannel<T> {
+    /// A bounded buffered channel (see [`TransferQueue::bounded`]).
+    pub fn bounded(capacity: usize) -> Self {
+        BufferedChannel {
+            queue: TransferQueue::bounded(capacity),
+        }
+    }
+
+    /// An unbounded buffered channel.
+    pub fn unbounded() -> Self {
+        BufferedChannel {
+            queue: TransferQueue::new(),
+        }
+    }
+
+    /// Wraps an existing queue.
+    pub fn from_queue(queue: TransferQueue<T>) -> Self {
+        BufferedChannel { queue }
+    }
+
+    /// The underlying queue (for `transfer` and introspection).
+    pub fn queue(&self) -> &TransferQueue<T> {
+        &self.queue
+    }
+}
+
+impl<T: Send> SyncChannel<T> for BufferedChannel<T> {
+    fn put(&self, value: T) {
+        self.queue.put(value);
+    }
+
+    fn take(&self) -> T {
+        self.queue.take()
+    }
+
+    fn send_batch(&self, items: &mut Vec<T>) {
+        self.queue.put_batch(items);
+    }
+
+    fn recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        self.queue.take_batch(out, max)
+    }
+}
+
+impl<T: Send> TimedSyncChannel<T> for BufferedChannel<T> {
+    fn offer(&self, value: T) -> Result<(), T> {
+        self.queue.try_put(value)
+    }
+
+    fn poll(&self) -> Option<T> {
+        self.queue.poll()
+    }
+
+    fn offer_timeout(&self, value: T, patience: Duration) -> Result<(), T> {
+        self.queue.put_timeout(value, patience)
+    }
+
+    fn poll_timeout(&self, patience: Duration) -> Option<T> {
+        self.queue.poll_timeout(patience)
+    }
+
+    fn put_with(
+        &self,
+        value: T,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> TransferOutcome<T> {
+        self.queue.put_with(value, deadline, token)
+    }
+
+    fn take_with(&self, deadline: Deadline, token: Option<&CancelToken>) -> TransferOutcome<T> {
+        self.queue.take_with(deadline, token)
+    }
+
+    fn try_send_batch(&self, items: &mut Vec<T>) -> usize {
+        self.queue.try_put_batch(items)
+    }
+
+    fn try_recv_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        self.queue.try_take_batch(out, max)
+    }
+}
+
+/// A published-but-unresolved buffered transfer: the poll-mode stand-in
+/// for a thread blocked in [`TransferQueue::put`] (ring full) or
+/// [`TransferQueue::take`] (ring empty).
+///
+/// Unlike the dual structures' permits, which stand for a *linked node*,
+/// a buffered permit stands for an entry on the queue's space/item wait
+/// list; each poll re-attempts the ring operation and (re-)registers as
+/// needed. Dropping an unresolved permit retracts the entry; a producer's
+/// item is dropped with it.
+#[derive(Debug)]
+pub struct BufferedPermit<T: Send> {
+    channel: Arc<BufferedChannel<T>>,
+    entry: Option<Arc<WaitSlot<()>>>,
+    /// `Some` while a producer-side permit still owns its unsent item.
+    item: Option<T>,
+    producer: bool,
+    done: bool,
+}
+
+// The permit only ever moves its fields by value (no self-referential
+// state, no pin projection into `item`), so it is unconditionally Unpin —
+// the `PendingTransfer` supertrait the futures layer relies on.
+impl<T: Send> Unpin for BufferedPermit<T> {}
+
+impl<T: Send> BufferedPermit<T> {
+    fn waiters(&self) -> &WaiterQueue {
+        if self.producer {
+            &self.channel.queue.space_waiters
+        } else {
+            &self.channel.queue.item_waiters
+        }
+    }
+
+    /// Withdraws a still-live wait-list entry (cancel-or-pass-on).
+    fn release_entry(&mut self) {
+        if let Some(entry) = self.entry.take() {
+            self.waiters().retract(&entry);
+        }
+    }
+}
+
+impl<T: Send> PendingTransfer<T> for BufferedPermit<T> {
+    fn poll_transfer(
+        &mut self,
+        waker: &Waker,
+        deadline: Deadline,
+        token: Option<&CancelToken>,
+    ) -> Poll<TransferOutcome<T>> {
+        assert!(!self.done, "permit polled after resolving");
+        let queue = &self.channel.queue;
+        loop {
+            // Re-attempt the operation first: a wakeup (or a spurious
+            // poll) means the condition may now hold.
+            if self.producer {
+                let value = self.item.take().expect("producer permit owns its item");
+                match queue.try_put(value) {
+                    Ok(()) => {
+                        self.release_entry();
+                        self.done = true;
+                        return Poll::Ready(TransferOutcome::Transferred(None));
+                    }
+                    Err(back) => self.item = Some(back),
+                }
+            } else if let Some(v) = queue.poll() {
+                self.release_entry();
+                self.done = true;
+                return Poll::Ready(TransferOutcome::Transferred(Some(v)));
+            }
+            match &self.entry {
+                None => {
+                    // Register, then loop to re-check the condition — the
+                    // Dekker pattern (see `waiters`), with the re-check
+                    // being the try_put/poll above.
+                    let entry = self.waiters().register();
+                    fence(Ordering::SeqCst);
+                    self.entry = Some(entry);
+                }
+                Some(entry) => match entry.poll_outcome(waker, deadline, token) {
+                    Poll::Ready(WaitOutcome::Matched(_)) => {
+                        // Notification consumed; re-attempt with a fresh
+                        // registration if the race is lost again.
+                        self.entry = None;
+                    }
+                    Poll::Ready(verdict) => {
+                        // Our entry is terminally CANCELLED: physical
+                        // removal only (retract would pass a wakeup on).
+                        let entry = self.entry.take().expect("entry present");
+                        self.waiters().remove(&entry);
+                        self.done = true;
+                        let item = self.item.take();
+                        return Poll::Ready(match verdict {
+                            WaitOutcome::TimedOut => TransferOutcome::Timeout(item),
+                            WaitOutcome::Cancelled => TransferOutcome::Cancelled(item),
+                            WaitOutcome::Matched(_) => unreachable!("handled above"),
+                        });
+                    }
+                    Poll::Pending => return Poll::Pending,
+                },
+            }
+        }
+    }
+}
+
+impl<T: Send> Drop for BufferedPermit<T> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.release_entry();
+        }
+    }
+}
+
+/// Poll-mode transfers over the buffered semantics: `Some(v)` buffers the
+/// item (pending only when a bounded ring is full), `None` receives
+/// (pending when nothing is buffered). This is what `synq-async` builds
+/// its bounded channel futures from.
+impl<T: Send> PollTransferer<T> for BufferedChannel<T> {
+    type Permit = BufferedPermit<T>;
+
+    fn start_transfer(this: &Arc<Self>, item: Option<T>) -> StartTransfer<T, Self::Permit> {
+        match item {
+            Some(value) => match this.queue.try_put(value) {
+                Ok(()) => StartTransfer::Complete(TransferOutcome::Transferred(None)),
+                Err(back) => StartTransfer::Pending(BufferedPermit {
+                    channel: Arc::clone(this),
+                    entry: None,
+                    item: Some(back),
+                    producer: true,
+                    done: false,
+                }),
+            },
+            None => match this.queue.poll() {
+                Some(v) => StartTransfer::Complete(TransferOutcome::Transferred(Some(v))),
+                None => StartTransfer::Pending(BufferedPermit {
+                    channel: Arc::clone(this),
+                    entry: None,
+                    item: None,
+                    producer: false,
+                    done: false,
+                }),
+            },
+        }
     }
 }
 
@@ -800,5 +1446,298 @@ mod tests {
             drop(q.take());
         }
         assert_eq!(DROPS.load(std::sync::atomic::Ordering::SeqCst), 7);
+    }
+
+    // ------------------------------------------------------ bounded mode
+
+    #[test]
+    fn bounded_put_poll_fifo() {
+        let q = TransferQueue::bounded(4);
+        assert_eq!(q.capacity(), Some(4));
+        for i in 0..4 {
+            assert_eq!(q.try_put(i), Ok(()));
+        }
+        assert_eq!(q.try_put(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(q.poll(), Some(i));
+        }
+        assert_eq!(q.poll(), None);
+    }
+
+    #[test]
+    fn bounded_put_blocks_until_space() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let q = Arc::new(TransferQueue::bounded(2));
+        q.put(1u32);
+        q.put(2);
+        let entered = Arc::new(AtomicBool::new(false));
+        let q2 = Arc::clone(&q);
+        let e2 = Arc::clone(&entered);
+        let t = thread::spawn(move || {
+            e2.store(true, Ordering::SeqCst);
+            q2.put(3); // ring full: must wait
+        });
+        while !entered.load(Ordering::SeqCst) {
+            thread::yield_now();
+        }
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 2, "third put must not have landed");
+        assert_eq!(q.take(), 1); // frees a slot; wakes the producer
+        t.join().unwrap();
+        assert_eq!(q.take(), 2);
+        assert_eq!(q.take(), 3);
+    }
+
+    #[test]
+    fn bounded_take_blocks_until_put() {
+        let q: Arc<TransferQueue<u32>> = Arc::new(TransferQueue::bounded(4));
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        thread::sleep(Duration::from_millis(20));
+        q.put(42);
+        assert_eq!(t.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn bounded_put_timeout_returns_item() {
+        let q = TransferQueue::bounded(2);
+        q.put("a".to_string());
+        q.put("b".to_string());
+        let back = q
+            .put_timeout("c".to_string(), Duration::from_millis(15))
+            .unwrap_err();
+        assert_eq!(back, "c");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn bounded_transfer_rendezvouses_and_take_prefers_ring() {
+        // Regression for the len/ordering contract: len counts ring items
+        // AND waiting sync transfers; take drains the ring first.
+        let q = Arc::new(TransferQueue::bounded(4));
+        q.put(10u32);
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.transfer(20));
+        while q.len() < 2 {
+            thread::yield_now();
+        }
+        assert_eq!(q.len(), 2, "one ring item + one waiting transfer");
+        assert_eq!(q.take(), 10, "ring items drain before sync transfers");
+        assert_eq!(q.take(), 20);
+        t.join().unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bounded_try_transfer_always_fails() {
+        let q = Arc::new(TransferQueue::bounded(4));
+        assert_eq!(q.try_transfer(1u32), Err(1));
+        // Even with a waiting consumer: bounded consumers wait on the item
+        // list, never as linked reservations.
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        while q.waiting_consumer_count() == 0 {
+            thread::yield_now();
+        }
+        assert_eq!(q.try_transfer(2u32), Err(2));
+        q.put(3);
+        assert_eq!(t.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn bounded_transfer_timeout_cleans_counter() {
+        let q: TransferQueue<u32> = TransferQueue::bounded(2);
+        assert!(q.transfer_timeout(7, Duration::from_millis(10)).is_err());
+        assert_eq!(q.len(), 0, "cancelled transfer must not count");
+        assert_eq!(q.poll(), None);
+    }
+
+    #[test]
+    fn bounded_batch_partial_progress() {
+        let q = TransferQueue::bounded(4);
+        let mut items: Vec<u32> = (0..6).collect();
+        assert_eq!(q.try_put_batch(&mut items), 4);
+        assert_eq!(items, vec![4, 5], "overflow stays in the vector");
+        let mut out = Vec::new();
+        assert_eq!(q.try_take_batch(&mut out, 10), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(q.try_take_batch(&mut out, 10), 0);
+    }
+
+    #[test]
+    fn bounded_take_batch_blocks_for_first_item() {
+        let q: Arc<TransferQueue<u32>> = Arc::new(TransferQueue::bounded(8));
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || {
+            let mut out = Vec::new();
+            let n = q2.take_batch(&mut out, 4);
+            (n, out)
+        });
+        thread::sleep(Duration::from_millis(20));
+        let mut items = vec![1, 2, 3];
+        q.put_batch(&mut items);
+        let (n, out) = t.join().unwrap();
+        assert!(n >= 1, "take_batch must deliver at least one item");
+        assert_eq!(out[0], 1);
+    }
+
+    #[test]
+    fn bounded_batch_drains_sync_transfers_too() {
+        let q = Arc::new(TransferQueue::bounded(4));
+        q.put(1u32);
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.transfer(2));
+        while q.len() < 2 {
+            thread::yield_now();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.try_take_batch(&mut out, 8), 2);
+        assert_eq!(out, vec![1, 2]);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn buffered_channel_trait_semantics() {
+        use synq::{SyncChannel, TimedSyncChannel};
+        let ch = BufferedChannel::bounded(4);
+        // offer succeeds with no consumer: buffered, not synchronous.
+        assert_eq!(ch.offer(1u32), Ok(()));
+        ch.put(2);
+        assert_eq!(TimedSyncChannel::poll(&ch), Some(1));
+        assert_eq!(SyncChannel::take(&ch), 2);
+        let mut batch = vec![3, 4, 5, 6];
+        assert_eq!(ch.try_send_batch(&mut batch), 4);
+        let mut out = Vec::new();
+        assert_eq!(ch.recv_batch(&mut out, 2), 2);
+        assert_eq!(out, vec![3, 4]);
+        assert_eq!(ch.try_recv_batch(&mut out, 8), 2);
+        assert_eq!(out, vec![3, 4, 5, 6]);
+    }
+
+    fn counting_waker() -> (Waker, Arc<AtomicUsize>) {
+        struct W(Arc<AtomicUsize>);
+        impl std::task::Wake for W {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let hits = Arc::new(AtomicUsize::new(0));
+        (Waker::from(Arc::new(W(Arc::clone(&hits)))), hits)
+    }
+
+    #[test]
+    fn buffered_permit_recv_wakes_on_put() {
+        let ch: Arc<BufferedChannel<u32>> = Arc::new(BufferedChannel::bounded(4));
+        let StartTransfer::Pending(mut permit) = BufferedChannel::start_transfer(&ch, None) else {
+            panic!("empty channel must pend the receiver");
+        };
+        let (waker, hits) = counting_waker();
+        assert!(permit
+            .poll_transfer(&waker, Deadline::Never, None)
+            .is_pending());
+        ch.queue().put(5);
+        assert!(hits.load(Ordering::SeqCst) >= 1, "put must wake the task");
+        match permit.poll_transfer(&waker, Deadline::Never, None) {
+            Poll::Ready(TransferOutcome::Transferred(Some(5))) => {}
+            other => panic!("expected the item, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffered_permit_send_wakes_on_space() {
+        let ch: Arc<BufferedChannel<u32>> = Arc::new(BufferedChannel::bounded(2));
+        ch.queue().put(1);
+        ch.queue().put(2);
+        let StartTransfer::Pending(mut permit) = BufferedChannel::start_transfer(&ch, Some(3))
+        else {
+            panic!("full ring must pend the sender");
+        };
+        let (waker, hits) = counting_waker();
+        assert!(permit
+            .poll_transfer(&waker, Deadline::Never, None)
+            .is_pending());
+        assert_eq!(ch.queue().take(), 1);
+        assert!(hits.load(Ordering::SeqCst) >= 1, "take must wake the task");
+        match permit.poll_transfer(&waker, Deadline::Never, None) {
+            Poll::Ready(TransferOutcome::Transferred(None)) => {}
+            other => panic!("expected the send to land, got {other:?}"),
+        }
+        assert_eq!(ch.queue().take(), 2);
+        assert_eq!(ch.queue().take(), 3);
+    }
+
+    #[test]
+    fn buffered_permit_timeout_returns_item() {
+        let ch: Arc<BufferedChannel<String>> = Arc::new(BufferedChannel::bounded(2));
+        ch.queue().put("a".into());
+        ch.queue().put("b".into());
+        let StartTransfer::Pending(mut permit) =
+            BufferedChannel::start_transfer(&ch, Some("c".to_string()))
+        else {
+            panic!("full ring must pend the sender");
+        };
+        let (waker, _) = counting_waker();
+        match permit.poll_transfer(&waker, Deadline::Now, None) {
+            Poll::Ready(TransferOutcome::Timeout(Some(s))) => assert_eq!(s, "c"),
+            other => panic!("expected Timeout with the item back, got {other:?}"),
+        }
+        assert_eq!(ch.queue().len(), 2);
+    }
+
+    #[test]
+    fn buffered_permit_drop_retracts_entry() {
+        let ch: Arc<BufferedChannel<u32>> = Arc::new(BufferedChannel::bounded(4));
+        let StartTransfer::Pending(mut permit) = BufferedChannel::start_transfer(&ch, None) else {
+            panic!("empty channel must pend the receiver");
+        };
+        let (waker, _) = counting_waker();
+        assert!(permit
+            .poll_transfer(&waker, Deadline::Never, None)
+            .is_pending());
+        assert_eq!(ch.queue().waiting_consumer_count(), 1);
+        drop(permit);
+        assert_eq!(ch.queue().waiting_consumer_count(), 0);
+    }
+
+    #[test]
+    fn bounded_values_conserved_mixed_stress() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        const PRODUCERS: usize = 4;
+        const PER: usize = 400;
+        let q = Arc::new(TransferQueue::bounded(8));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    let v = p * PER + i;
+                    if i % 4 == 0 {
+                        q.transfer(v); // rendezvous path
+                    } else {
+                        q.put(v); // ring path (blocking on full)
+                    }
+                }
+            }));
+        }
+        let sum = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let sum = Arc::clone(&sum);
+                thread::spawn(move || {
+                    for _ in 0..PER {
+                        sum.fetch_add(q.take(), Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), (0..PRODUCERS * PER).sum());
+        assert!(q.is_empty());
     }
 }

@@ -1,0 +1,168 @@
+//! A notification registry for threads/tasks waiting on ring transitions.
+//!
+//! The bounded mode of [`TransferQueue`](crate::TransferQueue) needs two
+//! wait lists — producers waiting for ring *space* and consumers waiting
+//! for ring *items* — with the same lost-wakeup discipline the rendezvous
+//! path gets from its linked reservations. Rather than invent a second
+//! parking mechanism, each waiter is an `Arc<WaitSlot<()>>`: the same
+//! primitive that backs rendezvous nodes, so blocking waits reuse the
+//! spin-then-park policy and async waits reuse `poll_match`.
+//!
+//! The lost-wakeup-free protocol (Dekker-style, DESIGN §4.11):
+//!
+//! * **Waiter**: [`WaiterQueue::register`] (a SeqCst RMW on the length
+//!   hint) → `fence(SeqCst)` → re-check the condition → if now satisfied,
+//!   [`WaiterQueue::retract`] and retry; else park.
+//! * **Notifier**: perform the state change (a SeqCst CAS on the ring) →
+//!   `fence(SeqCst)` → [`WaiterQueue::notify`] (a SeqCst load of the
+//!   hint, queue lock taken only when it is non-zero).
+//!
+//! In the SC total order either the notifier's hint load sees the
+//! registration (and wakes the waiter) or the waiter's re-check sees the
+//! state change (and retracts) — there is no interleaving where both miss.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use synq_primitives::{WaitSlot, MIN_TOKEN};
+
+/// Token stored into a waiter's slot by [`WaiterQueue::notify`]. The
+/// payload carries no data — waiters loop back and re-attempt the ring
+/// operation — so one token suffices.
+pub(crate) const NOTIFIED: usize = MIN_TOKEN;
+
+/// FIFO list of parked waiters with a lock-free emptiness hint.
+///
+/// The hint holds the exact queue length (maintained under the lock, read
+/// with SeqCst outside it) so the notify fast path on an uncontended ring
+/// is a single atomic load.
+pub(crate) struct WaiterQueue {
+    hint: AtomicUsize,
+    entries: Mutex<VecDeque<Arc<WaitSlot<()>>>>,
+}
+
+impl WaiterQueue {
+    pub(crate) fn new() -> Self {
+        WaiterQueue {
+            hint: AtomicUsize::new(0),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends a fresh waiter and returns its slot. The caller MUST then
+    /// fence and re-check the awaited condition before parking (see the
+    /// module docs), retracting on success.
+    pub(crate) fn register(&self) -> Arc<WaitSlot<()>> {
+        let slot = Arc::new(WaitSlot::new());
+        let mut q = self.entries.lock().unwrap();
+        q.push_back(Arc::clone(&slot));
+        self.hint.store(q.len(), Ordering::SeqCst);
+        slot
+    }
+
+    /// Number of registered (possibly already-notified) waiters.
+    pub(crate) fn hint(&self) -> usize {
+        self.hint.load(Ordering::SeqCst)
+    }
+
+    /// Wakes up to `n` live waiters. Cancelled entries are discarded and
+    /// do not count against `n`.
+    pub(crate) fn notify(&self, n: usize) {
+        if n == 0 || self.hint.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut q = self.entries.lock().unwrap();
+        let mut woken = 0;
+        while woken < n {
+            let Some(slot) = q.pop_front() else { break };
+            if slot.try_fulfill_token(NOTIFIED).is_ok() {
+                woken += 1;
+            }
+            // A failed fulfill means the waiter raced us out (cancelled or
+            // already notified); it is dead weight either way — drop it.
+        }
+        self.hint.store(q.len(), Ordering::SeqCst);
+    }
+
+    /// Withdraws a waiter whose condition turned out to be satisfied
+    /// before it parked. If a notifier got to the slot first, the
+    /// notification is passed on to the next waiter so it is not lost.
+    pub(crate) fn retract(&self, waiter: &Arc<WaitSlot<()>>) {
+        if waiter.try_cancel() {
+            self.remove(waiter);
+        } else {
+            // Lost the race: a notify already landed in this slot. We are
+            // about to retry the operation ourselves, so hand the wakeup
+            // to the next parked waiter.
+            self.remove(waiter);
+            self.notify(1);
+        }
+    }
+
+    /// Physically unlinks a waiter without touching its slot state. Use
+    /// after `await_outcome` returned a TimedOut/Cancelled verdict (the
+    /// slot is already CANCELLED) — calling [`Self::retract`] there would
+    /// wrongly pass a notification on.
+    pub(crate) fn remove(&self, waiter: &Arc<WaitSlot<()>>) {
+        let mut q = self.entries.lock().unwrap();
+        if let Some(idx) = q.iter().position(|s| Arc::ptr_eq(s, waiter)) {
+            q.remove(idx);
+        }
+        self.hint.store(q.len(), Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for WaiterQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaiterQueue")
+            .field("waiting", &self.hint())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synq_primitives::{Deadline, SpinPolicy, WaitOutcome};
+
+    #[test]
+    fn notify_wakes_registered_waiter() {
+        let wq = Arc::new(WaiterQueue::new());
+        let w = wq.register();
+        assert_eq!(wq.hint(), 1);
+        let wq2 = Arc::clone(&wq);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            wq2.notify(1);
+        });
+        let out = w.await_outcome(Deadline::Never, None, &SpinPolicy::default());
+        assert!(matches!(out, WaitOutcome::Matched(NOTIFIED)));
+        t.join().unwrap();
+        assert_eq!(wq.hint(), 0);
+    }
+
+    #[test]
+    fn retract_passes_stolen_notification_on() {
+        let wq = WaiterQueue::new();
+        let first = wq.register();
+        let second = wq.register();
+        // Notify lands in `first` before it can retract.
+        wq.notify(1);
+        wq.retract(&first);
+        // The wakeup must have been passed to `second`.
+        let out = second.await_outcome(Deadline::Never, None, &SpinPolicy::default());
+        assert!(matches!(out, WaitOutcome::Matched(NOTIFIED)));
+        assert_eq!(wq.hint(), 0);
+    }
+
+    #[test]
+    fn notify_skips_cancelled_entries() {
+        let wq = WaiterQueue::new();
+        let dead = wq.register();
+        let live = wq.register();
+        assert!(dead.try_cancel());
+        wq.notify(1);
+        let out = live.await_outcome(Deadline::Never, None, &SpinPolicy::default());
+        assert!(matches!(out, WaitOutcome::Matched(NOTIFIED)));
+    }
+}

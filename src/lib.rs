@@ -20,7 +20,9 @@
 //! * [`primitives`] — parker, semaphore, ticket lock, backoff, spin policy.
 //! * [`classic`] — Treiber stack, M&S queue, nonsynchronous dual structures.
 //! * [`exchanger`] — elimination arena and elimination-backoff queue.
-//! * [`transfer`] — TransferQueue (sync + async enqueue).
+//! * [`transfer`] — TransferQueue (sync + async enqueue), plus the bounded
+//!   ring-buffer mode (`TransferQueue::bounded`, `BufferedChannel`) with
+//!   cycle-versioned slots and batch send/recv.
 //! * [`executor`] — ThreadPoolExecutor built on a synchronous handoff.
 
 pub use synq as core;
