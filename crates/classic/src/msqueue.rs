@@ -9,14 +9,14 @@
 use std::mem::MaybeUninit;
 use std::sync::atomic::Ordering;
 use synq_primitives::{Backoff, CachePadded};
-use synq_reclaim::{self as epoch, Atomic, Owned};
+use synq_reclaim::{Atomic, Epoch, Owned, Reclaimer, Shield};
 
-struct Node<T> {
+struct Node<T, R: Reclaimer> {
     /// Uninitialized in the dummy node, initialized in all others. The
     /// value is moved out by the dequeuer that advances the head past it
     /// (at which point the node *becomes* the new dummy).
     value: MaybeUninit<T>,
-    next: Atomic<Node<T>>,
+    next: Atomic<Node<T, R>, R>,
 }
 
 /// A lock-free FIFO queue.
@@ -33,33 +33,55 @@ struct Node<T> {
 /// assert_eq!(q.dequeue(), Some(2));
 /// assert_eq!(q.dequeue(), None);
 /// ```
-pub struct MsQueue<T> {
+///
+/// A reclamation backend other than the default epoch collector is selected
+/// with the second type parameter (see [`Reclaimer`]):
+///
+/// ```
+/// use synq_classic::MsQueue;
+/// use synq_reclaim::Hazard;
+///
+/// let q: MsQueue<u32, Hazard> = MsQueue::new_in();
+/// q.enqueue(1);
+/// assert_eq!(q.dequeue(), Some(1));
+/// ```
+pub struct MsQueue<T, R: Reclaimer = Epoch> {
     /// Dequeuers hammer `head`; padded apart from `tail` so the two
     /// ends of the queue do not false-share (M&S's key scalability trait).
-    head: CachePadded<Atomic<Node<T>>>,
+    head: CachePadded<Atomic<Node<T, R>, R>>,
     /// Enqueuers hammer `tail`.
-    tail: CachePadded<Atomic<Node<T>>>,
+    tail: CachePadded<Atomic<Node<T, R>, R>>,
 }
 
 const _: () = assert!(std::mem::align_of::<MsQueue<u8>>() >= 128);
 const _: () = assert!(std::mem::size_of::<MsQueue<u8>>() >= 256);
 
-impl<T> Default for MsQueue<T> {
+impl<T, R: Reclaimer> Default for MsQueue<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl<T> MsQueue<T> {
-    /// Creates an empty queue (one dummy node).
+    /// Creates an empty queue (one dummy node) under the default epoch
+    /// reclaimer. (Kept non-generic so bare `MsQueue::new()` call sites
+    /// infer the default backend; use [`MsQueue::new_in`] to pick another.)
     pub fn new() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<T, R: Reclaimer> MsQueue<T, R> {
+    /// Creates an empty queue (one dummy node) under the reclamation
+    /// backend `R`.
+    pub fn new_in() -> Self {
         let dummy = Owned::new(Node {
             value: MaybeUninit::uninit(),
             next: Atomic::null(),
         });
         // Both head and tail point at the same dummy; we must not double
         // free it, so only `head` is treated as owning in Drop.
-        let guard = unsafe { epoch::unprotected() };
+        let guard = unsafe { R::unprotected() };
         let dummy = dummy.into_shared(&guard);
         MsQueue {
             head: CachePadded::new(Atomic::from_owned(unsafe { dummy.into_owned() })),
@@ -73,7 +95,7 @@ impl<T> MsQueue<T> {
 
     /// Appends `value` at the tail.
     pub fn enqueue(&self, value: T) {
-        let guard = epoch::pin();
+        let guard = R::pin();
         let mut node = Owned::new(Node {
             value: MaybeUninit::new(value),
             next: Atomic::null(),
@@ -122,7 +144,7 @@ impl<T> MsQueue<T> {
 
     /// Removes and returns the oldest value, or `None` if empty.
     pub fn dequeue(&self) -> Option<T> {
-        let guard = epoch::pin();
+        let guard = R::pin();
         let backoff = Backoff::new();
         loop {
             let head = self.head.load(Ordering::Acquire, &guard);
@@ -146,9 +168,17 @@ impl<T> MsQueue<T> {
                 .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, &guard)
                 .is_ok()
             {
-                // `next` is the new dummy; its value is ours to take.
+                // `next` is the new dummy; its value is ours to take (the
+                // CAS success also proves `next` was still linked, so this
+                // first deref of it is sound under bounded-slot backends).
+                // The retired old dummy's value was consumed when it was
+                // dequeued (or never written), so the deferred Box drop
+                // frees only the skeleton.
                 let value = unsafe { next_ref.value.assume_init_read() };
-                unsafe { guard.defer_destroy(head) };
+                let addr = head.as_raw() as usize;
+                unsafe {
+                    guard.defer_retire(addr, move || drop(Box::from_raw(addr as *mut Node<T, R>)))
+                };
                 return Some(value);
             }
             backoff.spin();
@@ -157,7 +187,7 @@ impl<T> MsQueue<T> {
 
     /// True if the queue was empty at the moment of the check.
     pub fn is_empty(&self) -> bool {
-        let guard = epoch::pin();
+        let guard = R::pin();
         let head = self.head.load(Ordering::Acquire, &guard);
         unsafe { head.deref() }
             .next
@@ -166,10 +196,10 @@ impl<T> MsQueue<T> {
     }
 }
 
-impl<T> Drop for MsQueue<T> {
+impl<T, R: Reclaimer> Drop for MsQueue<T, R> {
     fn drop(&mut self) {
         // SAFETY: exclusive access in Drop.
-        let guard = unsafe { epoch::unprotected() };
+        let guard = unsafe { R::unprotected() };
         // The head node is the dummy: its value is uninitialized.
         let mut node = self.head.load(Ordering::Relaxed, &guard);
         let mut first = true;
@@ -187,6 +217,7 @@ impl<T> Drop for MsQueue<T> {
 fn _assert_send_sync() {
     fn check<X: Send + Sync>() {}
     check::<MsQueue<usize>>();
+    check::<MsQueue<usize, synq_reclaim::Hazard>>();
 }
 
 #[cfg(test)]
@@ -209,6 +240,18 @@ mod tests {
         }
         assert_eq!(q.dequeue(), None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn hazard_backend_fifo_order() {
+        let q: MsQueue<u32, synq_reclaim::Hazard> = MsQueue::new_in();
+        for i in 0..100 {
+            q.enqueue(i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
     }
 
     #[test]

@@ -8,11 +8,11 @@
 use std::mem::ManuallyDrop;
 use std::sync::atomic::Ordering;
 use synq_primitives::{Backoff, CachePadded};
-use synq_reclaim::{self as epoch, Atomic, Owned};
+use synq_reclaim::{Atomic, Epoch, Owned, Reclaimer, Shield};
 
-struct Node<T> {
+struct Node<T, R: Reclaimer> {
     value: ManuallyDrop<T>,
-    next: Atomic<Node<T>>,
+    next: Atomic<Node<T, R>, R>,
 }
 
 /// A lock-free LIFO stack.
@@ -29,22 +29,43 @@ struct Node<T> {
 /// assert_eq!(stack.pop(), Some(1));
 /// assert_eq!(stack.pop(), None);
 /// ```
-pub struct TreiberStack<T> {
+///
+/// A reclamation backend other than the default epoch collector is selected
+/// with the second type parameter (see [`Reclaimer`]):
+///
+/// ```
+/// use synq_classic::TreiberStack;
+/// use synq_reclaim::Hazard;
+///
+/// let stack: TreiberStack<u32, Hazard> = TreiberStack::new_in();
+/// stack.push(1);
+/// assert_eq!(stack.pop(), Some(1));
+/// ```
+pub struct TreiberStack<T, R: Reclaimer = Epoch> {
     /// Padded: the single contended word of the whole structure.
-    head: CachePadded<Atomic<Node<T>>>,
+    head: CachePadded<Atomic<Node<T, R>, R>>,
 }
 
 const _: () = assert!(std::mem::align_of::<TreiberStack<u8>>() >= 128);
 
-impl<T> Default for TreiberStack<T> {
+impl<T, R: Reclaimer> Default for TreiberStack<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl<T> TreiberStack<T> {
-    /// Creates an empty stack.
+    /// Creates an empty stack under the default epoch reclaimer. (Kept
+    /// non-generic so bare `TreiberStack::new()` call sites infer the
+    /// default backend; use [`TreiberStack::new_in`] to pick another.)
     pub fn new() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<T, R: Reclaimer> TreiberStack<T, R> {
+    /// Creates an empty stack under the reclamation backend `R`.
+    pub fn new_in() -> Self {
         TreiberStack {
             head: CachePadded::new(Atomic::null()),
         }
@@ -52,7 +73,7 @@ impl<T> TreiberStack<T> {
 
     /// Pushes a value on top of the stack.
     pub fn push(&self, value: T) {
-        let guard = epoch::pin();
+        let guard = R::pin();
         let mut node = Owned::new(Node {
             value: ManuallyDrop::new(value),
             next: Atomic::null(),
@@ -80,7 +101,7 @@ impl<T> TreiberStack<T> {
 
     /// Pops the most recently pushed value, or `None` if empty.
     pub fn pop(&self) -> Option<T> {
-        let guard = epoch::pin();
+        let guard = R::pin();
         let backoff = Backoff::new();
         loop {
             let head = self.head.load(Ordering::Acquire, &guard);
@@ -91,9 +112,14 @@ impl<T> TreiberStack<T> {
                 .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed, &guard)
                 .is_ok()
             {
-                // We own the node's value now; the node itself is retired.
+                // We own the node's value now; the node itself is retired
+                // (the value was moved out, so the deferred Box drop frees
+                // only the skeleton).
                 let value = unsafe { std::ptr::read(&*node.value) };
-                unsafe { guard.defer_destroy(head) };
+                let addr = head.as_raw() as usize;
+                unsafe {
+                    guard.defer_retire(addr, move || drop(Box::from_raw(addr as *mut Node<T, R>)))
+                };
                 return Some(value);
             }
             backoff.spin();
@@ -102,15 +128,15 @@ impl<T> TreiberStack<T> {
 
     /// True if the stack was empty at the moment of the check.
     pub fn is_empty(&self) -> bool {
-        let guard = epoch::pin();
+        let guard = R::pin();
         self.head.load(Ordering::Acquire, &guard).is_null()
     }
 }
 
-impl<T> Drop for TreiberStack<T> {
+impl<T, R: Reclaimer> Drop for TreiberStack<T, R> {
     fn drop(&mut self) {
         // SAFETY: exclusive access in Drop.
-        let guard = unsafe { epoch::unprotected() };
+        let guard = unsafe { R::unprotected() };
         let mut head = self.head.load(Ordering::Relaxed, &guard);
         while !head.is_null() {
             // SAFETY: exclusive access; nodes were allocated by push.
@@ -124,6 +150,7 @@ impl<T> Drop for TreiberStack<T> {
 fn _assert_send_sync() {
     fn check<X: Send + Sync>() {}
     check::<TreiberStack<usize>>();
+    check::<TreiberStack<usize, synq_reclaim::Hazard>>();
 }
 
 #[cfg(test)]
@@ -150,6 +177,18 @@ mod tests {
     #[test]
     fn pop_empty_is_none() {
         let s: TreiberStack<u8> = TreiberStack::new();
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn hazard_backend_lifo_order() {
+        let s: TreiberStack<u32, synq_reclaim::Hazard> = TreiberStack::new_in();
+        for i in 0..100 {
+            s.push(i);
+        }
+        for i in (0..100).rev() {
+            assert_eq!(s.pop(), Some(i));
+        }
         assert_eq!(s.pop(), None);
     }
 

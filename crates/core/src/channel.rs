@@ -121,9 +121,17 @@ pub trait TimedSyncChannel<T: Send>: SyncChannel<T> {
 #[macro_export]
 macro_rules! impl_channels_via_transferer {
     ($ty:ident) => {
-        impl<T: Send> $crate::SyncChannel<T> for $ty<T>
+        $crate::impl_channels_via_transferer!(@imp ($ty<T>), (T: Send));
+    };
+    // Variant for types carrying a reclamation-backend parameter: covers
+    // every backend, not just the default.
+    ($ty:ident<$r:ident: $bound:path>) => {
+        $crate::impl_channels_via_transferer!(@imp ($ty<T, $r>), (T: Send, $r: $bound));
+    };
+    (@imp ($($self_ty:tt)*), ($($gen:tt)*)) => {
+        impl<$($gen)*> $crate::SyncChannel<T> for $($self_ty)*
         where
-            $ty<T>: $crate::Transferer<T> + Send + Sync,
+            $($self_ty)*: $crate::Transferer<T> + Send + Sync,
         {
             fn put(&self, value: T) {
                 match $crate::Transferer::transfer(self, Some(value), $crate::Deadline::Never, None)
@@ -141,9 +149,9 @@ macro_rules! impl_channels_via_transferer {
             }
         }
 
-        impl<T: Send> $crate::TimedSyncChannel<T> for $ty<T>
+        impl<$($gen)*> $crate::TimedSyncChannel<T> for $($self_ty)*
         where
-            $ty<T>: $crate::Transferer<T> + Send + Sync,
+            $($self_ty)*: $crate::Transferer<T> + Send + Sync,
         {
             fn offer(&self, value: T) -> Result<(), T> {
                 match $crate::Transferer::transfer(self, Some(value), $crate::Deadline::Now, None) {
@@ -197,6 +205,6 @@ macro_rules! impl_channels_via_transferer {
 use crate::dual_queue::SyncDualQueue;
 use crate::dual_stack::SyncDualStack;
 use crate::queue::SynchronousQueue;
-impl_channels_via_transferer!(SyncDualQueue);
-impl_channels_via_transferer!(SyncDualStack);
+impl_channels_via_transferer!(SyncDualQueue<R: synq_reclaim::Reclaimer>);
+impl_channels_via_transferer!(SyncDualStack<R: synq_reclaim::Reclaimer>);
 impl_channels_via_transferer!(SynchronousQueue);

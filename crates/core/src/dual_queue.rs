@@ -40,16 +40,38 @@
 //!
 //! Each node carries a reference count, initially 2: one held by the
 //! *structure*, one by the *waiter* that created it (the dummy starts at 1).
-//! The structure's reference is released — via an epoch deferral — by
-//! whichever thread's CAS advances the head past the node; the waiter's is
-//! released directly when its operation returns. Waiters therefore hold no
-//! epoch pin while parked (a sleeping thread never stalls reclamation),
-//! and matchers only touch nodes while pinned.
+//! The structure's reference is released — via [`Shield::defer_retire`] —
+//! by whichever thread's CAS advances the head past the node; the waiter's
+//! is released directly when its operation returns. Waiters therefore hold
+//! no reclaimer guard while parked (a sleeping thread never stalls epoch
+//! reclamation), and matchers only touch nodes while guarded.
+//!
+//! The reclamation backend is the type parameter `R` (default [`Epoch`]).
+//! Under bounded-slot backends ([`synq_reclaim::Hazard`]) every deref of a
+//! node reached through another node's `next` field must be preceded by a
+//! validation proving the node was not yet retired when its protection
+//! became visible (the [`Shield::protect`] contract). Two idioms appear
+//! below:
+//!
+//! * **Snapshot re-check** (the M&S consistency checks the loops already
+//!   perform): re-load `head`/`tail` and compare to the protected snapshot.
+//!   A protected structure-field value cannot be recycled while its slot
+//!   is live, so pointer equality proves it is still the field's value —
+//!   and a live head means none of its successors are retired (nodes
+//!   retire strictly front-to-back, when the head advances past them).
+//! * **Head re-anchor** (the chain walks): after protecting `p.next`,
+//!   re-read `head` and restart the walk if it moved. The queue retires
+//!   nodes only as the head advances past them, so an *unchanged* head —
+//!   conclusive, because popped nodes are never re-linked and the slot
+//!   protecting it prevents address reuse — proves no node reachable from
+//!   it has been retired. (A per-node `unlinked` flag would not do: the
+//!   popping thread sets it *after* its head CAS, so a stalled popper can
+//!   leave a successor retired while its predecessor still reads as live.)
 //!
 //! Dead nodes are not returned to the allocator: their skeletons go to a
 //! bounded per-queue free list (`node_cache`) and are recycled by
-//! later transfers. Skeletons reach the list only through epoch-deferred
-//! closures (or with exclusive access), and are popped only under a pin —
+//! later transfers. Skeletons reach the list only through retire closures
+//! (or with exclusive access), and are popped only under a guard —
 //! the ABA argument lives in the node-cache module docs.
 
 use crate::node_cache::{NodeCache, Recyclable};
@@ -59,34 +81,35 @@ use core::task::{Poll, Waker};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use synq_primitives::{CachePadded, CancelToken, SpinPolicy, WaitOutcome, WaitSlot};
-use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Pointer, Shared};
+use synq_reclaim::{Atomic, Epoch, Owned, Pointer, Reclaimer, Shared, Shield};
 
 /// Result of the lock-free phase: resolved outright, or a node published
 /// that some counterpart must now fulfill.
-enum RawStart<T> {
+enum RawStart<T, R: Reclaimer> {
     Done(TransferOutcome<T>),
-    Published(*const QNode<T>),
+    Published(*const QNode<T, R>),
 }
 
-struct QNode<T> {
+struct QNode<T, R: Reclaimer> {
     /// The wait-node protocol: state machine, item cell, waiter mailbox.
     /// For a data node the item is written by the owner before publication;
     /// for a request node, by the matcher while `CLAIMED`.
     slot: WaitSlot<T>,
-    next: Atomic<QNode<T>>,
+    next: Atomic<QNode<T, R>, R>,
     /// Producer (`true`) or consumer (`false`) node. Immutable.
     is_data: bool,
     /// 2 = structure + waiter (dummy: 1 = structure only).
     refs: AtomicUsize,
-    /// Debug guard: the structure reference is released exactly once.
+    /// Set (before the retire) by the release of the structure reference;
+    /// a debug guard that the release happens exactly once.
     unlinked: AtomicBool,
 }
 
-impl<T> QNode<T> {
+impl<T, R: Reclaimer> QNode<T, R> {
     /// `is_data` must be passed explicitly: waiter nodes are allocated
     /// empty and have their item written just before publication, so it
     /// cannot be inferred from the slot.
-    fn new(is_data: bool, refs: usize) -> Owned<QNode<T>> {
+    fn new(is_data: bool, refs: usize) -> Owned<QNode<T, R>> {
         Owned::new(QNode {
             slot: WaitSlot::new(),
             next: Atomic::null(),
@@ -98,26 +121,28 @@ impl<T> QNode<T> {
 
     /// Drops one reference. When it was the last, drops any unconsumed item
     /// eagerly and hands the dead skeleton to `dispose` (cache or free).
-    unsafe fn release(ptr: *const QNode<T>, dispose: impl FnOnce(*mut QNode<T>)) {
+    unsafe fn release(ptr: *const QNode<T, R>, dispose: impl FnOnce(*mut QNode<T, R>)) {
         // SAFETY: caller owns one reference.
         let node = unsafe { &*ptr };
         if node.refs.fetch_sub(1, Ordering::Release) == 1 {
             std::sync::atomic::fence(Ordering::Acquire);
             // SAFETY: last reference; nobody can reach the node (the
-            // structure's release is epoch-deferred, so any pinned reader
-            // has since unpinned). The slot's filled/consumed flags decide
-            // whether an item is still pending.
-            let node = unsafe { &mut *(ptr as *mut QNode<T>) };
+            // structure's release is deferred past the grace period, so any
+            // guarded reader has since lost its protection). The slot's
+            // filled/consumed flags decide whether an item is still pending.
+            let node = unsafe { &mut *(ptr as *mut QNode<T, R>) };
             node.slot.drop_pending_item();
-            dispose(ptr as *mut QNode<T>);
+            dispose(ptr as *mut QNode<T, R>);
         }
     }
 }
 
-impl<T> Recyclable for QNode<T> {
+impl<T, R: Reclaimer> Recyclable for QNode<T, R> {
     unsafe fn free_next(ptr: *mut Self) -> *mut Self {
         // The free list reuses the node's own `next` field as its link.
-        let guard = unsafe { epoch::unprotected() };
+        // SAFETY: the trait contract grants the exclusivity (or protection)
+        // the unprotected guard requires for this read.
+        let guard = unsafe { R::unprotected() };
         // SAFETY: `ptr` is alive per the trait contract.
         unsafe { (*ptr).next.load(Ordering::Acquire, &guard).as_raw() as *mut Self }
     }
@@ -141,8 +166,12 @@ impl<T> Recyclable for QNode<T> {
 
 /// The fair (FIFO) synchronous queue.
 ///
-/// See the [module docs](self) for the algorithm. Prefer the
-/// [`crate::SynchronousQueue`] facade unless you need this concrete type.
+/// See the [module docs](self) for the algorithm. The second type
+/// parameter selects the memory-reclamation backend (see "Choosing a
+/// reclaimer" in the README); it defaults to [`Epoch`], so
+/// `SyncDualQueue<T>` is the fast-load configuration every pre-existing
+/// caller gets. Prefer the [`crate::SynchronousQueue`] facade unless you
+/// need this concrete type.
 ///
 /// # Examples
 ///
@@ -158,14 +187,25 @@ impl<T> Recyclable for QNode<T> {
 /// q.put("hello");
 /// assert_eq!(t.join().unwrap(), "hello");
 /// ```
-pub struct SyncDualQueue<T> {
+///
+/// Selecting the hazard-pointer backend (bounded garbage under stalled
+/// readers, slower loads):
+///
+/// ```
+/// use synq::{SyncDualQueue, TimedSyncChannel};
+/// use synq_reclaim::Hazard;
+///
+/// let q: SyncDualQueue<u32, Hazard> = SyncDualQueue::new_in();
+/// assert_eq!(q.poll(), None);
+/// ```
+pub struct SyncDualQueue<T, R: Reclaimer = Epoch> {
     /// Consumers (matchers) hammer `head`, producers hammer `tail`; each
     /// owns its cache line(s) so the two ends never false-share.
-    head: CachePadded<Atomic<QNode<T>>>,
-    tail: CachePadded<Atomic<QNode<T>>>,
-    /// Free list of dead node skeletons, shared with the epoch-deferred
-    /// closures that refill it.
-    cache: Arc<NodeCache<QNode<T>>>,
+    head: CachePadded<Atomic<QNode<T, R>, R>>,
+    tail: CachePadded<Atomic<QNode<T, R>, R>>,
+    /// Free list of dead node skeletons, shared with the retire closures
+    /// that refill it.
+    cache: Arc<NodeCache<QNode<T, R>>>,
     spin: SpinPolicy,
 }
 
@@ -175,17 +215,19 @@ const _: () = assert!(std::mem::size_of::<SyncDualQueue<u8>>() >= 2 * 128);
 
 // SAFETY: nodes hand `T` values across threads; all shared mutation goes
 // through atomics and the claim/consume protocol.
-unsafe impl<T: Send> Send for SyncDualQueue<T> {}
-unsafe impl<T: Send> Sync for SyncDualQueue<T> {}
+unsafe impl<T: Send, R: Reclaimer> Send for SyncDualQueue<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for SyncDualQueue<T, R> {}
 
-impl<T: Send> Default for SyncDualQueue<T> {
+impl<T: Send, R: Reclaimer> Default for SyncDualQueue<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl<T: Send> SyncDualQueue<T> {
-    /// Creates an empty queue with the adaptive spin policy.
+    /// Creates an empty queue with the adaptive spin policy (and the
+    /// default [`Epoch`] reclaimer — see [`SyncDualQueue::new_in`] for
+    /// other backends).
     pub fn new() -> Self {
         Self::with_spin(SpinPolicy::adaptive())
     }
@@ -199,11 +241,40 @@ impl<T: Send> SyncDualQueue<T> {
     /// retention bound. Striped structures size each lane's cache down so K
     /// lanes together pin no more skeletons than one unstriped queue.
     pub fn with_config(spin: SpinPolicy, cache_capacity: usize) -> Self {
+        Self::with_config_in(spin, cache_capacity)
+    }
+}
+
+impl<T: Send, R: Reclaimer> SyncDualQueue<T, R> {
+    /// Creates an empty queue under the reclamation backend `R` with the
+    /// adaptive spin policy. The backend defaults to epoch, so the plain
+    /// [`SyncDualQueue::new`] is `new_in` with `R = Epoch`:
+    ///
+    /// ```
+    /// use synq::{SyncChannel, SyncDualQueue, TimedSyncChannel};
+    /// use synq_reclaim::{Epoch, Hazard};
+    ///
+    /// let epoch: SyncDualQueue<u32, Epoch> = SyncDualQueue::new_in(); // == new()
+    /// let hazard: SyncDualQueue<u32, Hazard> = SyncDualQueue::new_in();
+    /// std::thread::scope(|s| {
+    ///     s.spawn(|| hazard.put(7));
+    ///     s.spawn(|| assert_eq!(hazard.take(), 7));
+    /// });
+    /// assert_eq!(epoch.offer(1), Err(1)); // nobody waiting
+    /// ```
+    pub fn new_in() -> Self {
+        Self::with_config_in(SpinPolicy::adaptive(), crate::node_cache::NODE_CACHE_CAP)
+    }
+
+    /// Creates an empty queue under the reclamation backend `R` with an
+    /// explicit spin policy and node-cache retention bound.
+    pub fn with_config_in(spin: SpinPolicy, cache_capacity: usize) -> Self {
         let cache = Arc::new(NodeCache::with_capacity(cache_capacity));
         // The initial dummy holds only the structure reference.
         cache.note_alloc();
         let dummy = QNode::new(false, 1);
-        let guard = unsafe { epoch::unprotected() };
+        // SAFETY: single-threaded construction.
+        let guard = unsafe { R::unprotected() };
         let dummy = dummy.into_shared(&guard);
         let head = Atomic::null();
         let tail = Atomic::null();
@@ -218,11 +289,11 @@ impl<T: Send> SyncDualQueue<T> {
     }
 
     /// Gets a node for this transfer: a recycled skeleton when one is
-    /// available, a fresh allocation otherwise. `_guard` witnesses the
-    /// epoch pin the free-list pop requires.
-    fn alloc_node(&self, is_data: bool, _guard: &Guard) -> Owned<QNode<T>> {
-        // SAFETY: pinned, per `_guard`.
-        if let Some(p) = unsafe { self.cache.pop() } {
+    /// available, a fresh allocation otherwise. `guard` witnesses the
+    /// protection the free-list pop requires.
+    fn alloc_node(&self, is_data: bool, guard: &R::Guard) -> Owned<QNode<T, R>> {
+        // SAFETY: guarded, per `guard`.
+        if let Some(p) = unsafe { self.cache.pop(guard) } {
             // SAFETY: the pop transferred exclusive ownership of a dead
             // skeleton (item slot empty); re-arm every field in place.
             unsafe {
@@ -254,9 +325,9 @@ impl<T: Send> SyncDualQueue<T> {
     /// structure reference. Returns true if this thread's CAS won.
     fn advance_head<'g>(
         &self,
-        h: Shared<'g, QNode<T>>,
-        nh: Shared<'g, QNode<T>>,
-        guard: &'g Guard,
+        h: Shared<'g, QNode<T, R>>,
+        nh: Shared<'g, QNode<T, R>>,
+        guard: &'g R::Guard,
     ) -> bool {
         if self
             .head
@@ -264,6 +335,18 @@ impl<T: Send> SyncDualQueue<T> {
             .is_ok()
         {
             synq_obs::probe!(QueueHeadAdvances);
+            // Help a lagging tail off `h` before retiring it, so `tail`
+            // never references a retired node (Michael's rule). Without
+            // this a bounded-slot backend could free `h` while `tail`
+            // still points at it, and a later tail-load's source
+            // re-validation would wrongly pass. Tail moves only forward
+            // along the chain, so once past `h` it can never return.
+            let t = self.tail.load(Ordering::Acquire, guard);
+            if t.ptr_eq(&h) {
+                let _ =
+                    self.tail
+                        .compare_exchange(t, nh, Ordering::Release, Ordering::Relaxed, guard);
+            }
             self.release_structure_ref(h, guard);
             true
         } else {
@@ -271,42 +354,43 @@ impl<T: Send> SyncDualQueue<T> {
         }
     }
 
-    fn release_structure_ref<'g>(&self, node: Shared<'g, QNode<T>>, guard: &'g Guard) {
-        // SAFETY: node was just unlinked by our CAS; it stays alive for the
-        // guard's grace period.
+    fn release_structure_ref<'g>(&self, node: Shared<'g, QNode<T, R>>, guard: &'g R::Guard) {
+        // SAFETY: node was just unlinked by our CAS (which proves it was
+        // live, and the caller protected it before); it stays alive for the
+        // backend's grace period.
         let node_ref = unsafe { node.deref() };
         let was = node_ref.unlinked.swap(true, Ordering::AcqRel);
         debug_assert!(!was, "structure reference released twice");
         let raw = node.as_raw() as usize;
         let cache = Arc::clone(&self.cache);
-        // SAFETY: runs after every thread pinned at unlink time has
-        // unpinned; the waiter's own reference keeps the node alive beyond
-        // that if it is still waking up. Running *inside* the deferral
-        // satisfies the free-list push contract, so the skeleton can go to
-        // the cache directly.
+        // SAFETY: runs once no guard protects the node; the waiter's own
+        // reference keeps the node alive beyond that if it is still waking
+        // up. Running *inside* the retire closure satisfies the free-list
+        // push contract, so the skeleton can go to the cache directly.
         unsafe {
-            guard.defer_unchecked(move || {
-                // SAFETY (push): runs inside this deferral with exclusive
+            guard.defer_retire(raw, move || {
+                // SAFETY (push): runs inside this retirement with exclusive
                 // skeleton ownership, satisfying the free-list contract.
-                QNode::release(raw as *const QNode<T>, |p| cache.push(p));
+                QNode::release(raw as *const QNode<T, R>, |p| cache.push(p));
             });
         }
     }
 
-    /// Releases a reference from outside any deferral (the waiter's own
-    /// reference). If it is the last, the item is dropped now but the
+    /// Releases a reference from outside any retire closure (the waiter's
+    /// own reference). If it is the last, the item is dropped now but the
     /// skeleton's return to the free list is itself deferred — re-pushing
-    /// before a grace period would reintroduce free-list ABA.
-    fn release_direct(&self, ptr: *const QNode<T>) {
+    /// before the node is unprotected would reintroduce free-list ABA.
+    fn release_direct(&self, ptr: *const QNode<T, R>) {
         // SAFETY: caller owns the reference being dropped. The dispose
-        // closure defers the free-list push past a grace period, so it
-        // satisfies the push contract; the skeleton is exclusively ours.
+        // closure defers the free-list push until the node is unprotected,
+        // so it satisfies the push contract; the skeleton is exclusively
+        // ours.
         unsafe {
             QNode::release(ptr, |p| {
                 let cache = Arc::clone(&self.cache);
                 let addr = p as usize;
-                let guard = epoch::pin();
-                guard.defer_unchecked(move || cache.push(addr as *mut QNode<T>));
+                let guard = R::pin();
+                guard.defer_retire(addr, move || cache.push(addr as *mut QNode<T, R>));
             });
         }
     }
@@ -314,13 +398,22 @@ impl<T: Send> SyncDualQueue<T> {
     /// Absorbs leading cancelled nodes. Called by every arriving operation
     /// and by cancelling waiters; this is the cleaning strategy (see module
     /// docs). Returns true if it advanced the head at all.
-    fn absorb_cancelled(&self, guard: &Guard) -> bool {
+    fn absorb_cancelled(&self, guard: &R::Guard) -> bool {
         let mut advanced = false;
         let mut h = self.head.load(Ordering::Acquire, guard);
         loop {
             // SAFETY: head is never null (dummy invariant) and protected.
             let h_ref = unsafe { h.deref() };
             let hn = h_ref.next.load(Ordering::Acquire, guard);
+            // Snapshot re-check (module docs): `hn` came through a node
+            // field, so prove `h` was still the head — hence unretired,
+            // hence `hn` unretired — after `hn`'s protection published.
+            let reread = self.head.load(Ordering::Acquire, guard);
+            if !h.ptr_eq(&reread) {
+                h = reread;
+                continue;
+            }
+            // SAFETY: validated just above.
             let Some(hn_ref) = (unsafe { hn.as_ref() }) else {
                 return advanced;
             };
@@ -349,7 +442,7 @@ impl<T: Send> SyncDualQueue<T> {
         let is_data = item.is_some();
         match self.start_impl(item, deadline, token) {
             RawStart::Done(outcome) => outcome,
-            // Wait without holding an epoch pin.
+            // Wait without holding a reclaimer guard.
             RawStart::Published(node_raw) => self.await_fulfill(node_raw, is_data, deadline, token),
         }
     }
@@ -364,14 +457,14 @@ impl<T: Send> SyncDualQueue<T> {
         mut item: Option<T>,
         deadline: Deadline,
         token: Option<&CancelToken>,
-    ) -> RawStart<T> {
+    ) -> RawStart<T, R> {
         let is_data = item.is_some();
         // The node is allocated at most once per call and reused across
         // retries (the paper's pragmatics: avoid per-retry allocation).
-        let mut node: Option<Owned<QNode<T>>> = None;
+        let mut node: Option<Owned<QNode<T, R>>> = None;
 
         loop {
-            let guard = epoch::pin();
+            let guard = R::pin();
             self.absorb_cancelled(&guard);
 
             let h = self.head.load(Ordering::Acquire, &guard);
@@ -386,7 +479,8 @@ impl<T: Send> SyncDualQueue<T> {
                     continue; // inconsistent snapshot
                 }
                 if !n.is_null() {
-                    // Lagging tail: help.
+                    // Lagging tail: help. (`n` is compared and CASed, never
+                    // dereferenced, so no extra validation is needed.)
                     let _ = self.tail.compare_exchange(
                         t,
                         n,
@@ -456,13 +550,17 @@ impl<T: Send> SyncDualQueue<T> {
 
             // Complementary mode at the front: match `head.next`.
             let m = h_ref_next(h, &guard);
+            // Snapshot re-check (module docs): `m` came through a node
+            // field; `h` still being the head proves both snapshots are
+            // consistent and `m` was unretired when its protection
+            // published.
             if !t.ptr_eq(&self.tail.load(Ordering::Acquire, &guard))
                 || !h.ptr_eq(&self.head.load(Ordering::Acquire, &guard))
             {
                 continue;
             }
             let Some(m_shared) = m else { continue };
-            // SAFETY: m reachable from head under our pin.
+            // SAFETY: m reachable from head, validated above.
             let m_ref = unsafe { m_shared.deref() };
             debug_assert_ne!(m_ref.is_data, is_data, "dual invariant violated");
 
@@ -498,12 +596,13 @@ impl<T: Send> SyncDualQueue<T> {
     }
 
     /// Waits on our own freshly appended node. Touches only that node (we
-    /// hold a reference on it), so no epoch pin is held while waiting —
-    /// parked threads never stall reclamation. The spin-then-park loop and
-    /// the cancel arbitration are the shared [`WaitSlot`] engine's.
+    /// hold a reference on it), so no reclaimer guard is held while
+    /// waiting — parked threads never stall reclamation. The
+    /// spin-then-park loop and the cancel arbitration are the shared
+    /// [`WaitSlot`] engine's.
     fn await_fulfill(
         &self,
-        node_raw: *const QNode<T>,
+        node_raw: *const QNode<T, R>,
         is_data: bool,
         deadline: Deadline,
         token: Option<&CancelToken>,
@@ -519,7 +618,7 @@ impl<T: Send> SyncDualQueue<T> {
     /// helps dequeue the node, and drops the waiter's reference.
     fn finish_wait(
         &self,
-        node_raw: *const QNode<T>,
+        node_raw: *const QNode<T, R>,
         is_data: bool,
         verdict: WaitOutcome,
     ) -> TransferOutcome<T> {
@@ -538,7 +637,7 @@ impl<T: Send> SyncDualQueue<T> {
             verdict => {
                 // We won the cancel CAS. Give the cancelled prefix (which
                 // now includes our node) a chance to be reclaimed.
-                let guard = epoch::pin();
+                let guard = R::pin();
                 self.absorb_cancelled(&guard);
                 drop(guard);
                 let item = if is_data {
@@ -556,9 +655,10 @@ impl<T: Send> SyncDualQueue<T> {
         };
 
         // Help dequeue our own node if it is next in line (paper Listing 5
-        // lines 17–19), then drop the waiter's reference.
+        // lines 17–19), then drop the waiter's reference. `hn` is only
+        // compared against our own pointer, never dereferenced.
         if matches!(outcome, TransferOutcome::Transferred(_)) {
-            let guard = epoch::pin();
+            let guard = R::pin();
             let h = self.head.load(Ordering::Acquire, &guard);
             // SAFETY: head never null.
             let hn = unsafe { h.deref() }.next.load(Ordering::Acquire, &guard);
@@ -578,41 +678,68 @@ impl<T: Send> SyncDualQueue<T> {
     /// forever. Staleness in both directions is possible by the time the
     /// caller acts; the striped retract protocol tolerates both.
     pub(crate) fn has_waiting(&self, is_data: bool) -> bool {
-        let guard = epoch::pin();
-        let h = self.head.load(Ordering::Acquire, &guard);
-        // SAFETY: head never null; the chain is protected by the pin.
-        let mut p = unsafe { h.deref() }.next.load(Ordering::Acquire, &guard);
-        // SAFETY: reachable from head under our pin.
-        while let Some(n) = unsafe { p.as_ref() } {
-            if n.is_data == is_data && n.slot.is_waiting() {
-                return true;
+        let guard = R::pin();
+        'restart: loop {
+            let h = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: head never null; structure-field protection.
+            let mut prev = unsafe { h.deref() };
+            loop {
+                let next = prev.next.load(Ordering::Acquire, &guard);
+                // Head re-anchor (module docs): the queue retires nodes
+                // only as the head advances past them, so while the head
+                // is *unchanged* — conclusive, because popped nodes are
+                // never re-linked and the slot protecting `h` prevents
+                // address reuse — every node reached from it is unpopped,
+                // structure-referenced, and alive. Each restart means the
+                // head advanced, so the loop is lock-free.
+                if !self.head.load(Ordering::Acquire, &guard).ptr_eq(&h) {
+                    continue 'restart;
+                }
+                // SAFETY: protected, and validated live just above.
+                let Some(n) = (unsafe { next.as_ref() }) else {
+                    return false;
+                };
+                if n.is_data == is_data && n.slot.is_waiting() {
+                    return true;
+                }
+                prev = n;
             }
-            p = n.next.load(Ordering::Acquire, &guard);
         }
-        false
     }
 
     /// Diagnostic: number of linked nodes (excluding the dummy). O(n); used
     /// by tests and the cleaning ablation, not by the algorithm.
     pub fn linked_nodes(&self) -> usize {
-        let guard = epoch::pin();
-        let mut n = 0;
-        let mut p = self.head.load(Ordering::Acquire, &guard);
-        loop {
-            // SAFETY: chain protected by the pin.
-            let node = unsafe { p.deref() };
-            let next = node.next.load(Ordering::Acquire, &guard);
-            if next.is_null() {
-                return n;
+        let guard = R::pin();
+        'restart: loop {
+            let h = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: head never null; structure-field protection.
+            let mut prev = unsafe { h.deref() };
+            let mut count = 0;
+            loop {
+                let next = prev.next.load(Ordering::Acquire, &guard);
+                // Head re-anchor (see `has_waiting`).
+                if !self.head.load(Ordering::Acquire, &guard).ptr_eq(&h) {
+                    continue 'restart;
+                }
+                // SAFETY: protected, and validated live just above.
+                let Some(n) = (unsafe { next.as_ref() }) else {
+                    return count;
+                };
+                count += 1;
+                prev = n;
             }
-            n += 1;
-            p = next;
         }
     }
 }
 
-/// Loads `h.next`, returning `None` (retry) if it is null.
-fn h_ref_next<'g, T>(h: Shared<'g, QNode<T>>, guard: &'g Guard) -> Option<Shared<'g, QNode<T>>> {
+/// Loads `h.next`, returning `None` (retry) if it is null. The result is
+/// protected but not yet validated — callers must re-check `head` before
+/// dereferencing (see the module docs).
+fn h_ref_next<'g, T, R: Reclaimer>(
+    h: Shared<'g, QNode<T, R>>,
+    guard: &'g R::Guard,
+) -> Option<Shared<'g, QNode<T, R>>> {
     // SAFETY: h is the protected head.
     let next = unsafe { h.deref() }.next.load(Ordering::Acquire, guard);
     if next.is_null() {
@@ -622,7 +749,7 @@ fn h_ref_next<'g, T>(h: Shared<'g, QNode<T>>, guard: &'g Guard) -> Option<Shared
     }
 }
 
-impl<T: Send> Transferer<T> for SyncDualQueue<T> {
+impl<T: Send, R: Reclaimer> Transferer<T> for SyncDualQueue<T, R> {
     fn transfer(
         &self,
         item: Option<T>,
@@ -643,9 +770,9 @@ impl<T: Send> Transferer<T> for SyncDualQueue<T> {
 /// unsent item — or an item a fulfiller deposited that the dropped
 /// consumer will never read — is dropped exactly once by the node's final
 /// reference release.
-pub struct QueuePermit<T: Send> {
-    queue: Arc<SyncDualQueue<T>>,
-    node: *const QNode<T>,
+pub struct QueuePermit<T: Send, R: Reclaimer = Epoch> {
+    queue: Arc<SyncDualQueue<T, R>>,
+    node: *const QNode<T, R>,
     is_data: bool,
     /// Set when `poll_transfer` returned `Ready`: the waiter reference has
     /// been released and `node` must not be touched again.
@@ -655,9 +782,9 @@ pub struct QueuePermit<T: Send> {
 // SAFETY: the permit is a waiter's handle on its own node — the same
 // references a blocking waiter thread holds — and the queue is `Sync`; the
 // raw pointer is kept alive by the reference count.
-unsafe impl<T: Send> Send for QueuePermit<T> {}
+unsafe impl<T: Send, R: Reclaimer> Send for QueuePermit<T, R> {}
 
-impl<T: Send> QueuePermit<T> {
+impl<T: Send, R: Reclaimer> QueuePermit<T, R> {
     /// Resolves the permit by blocking — the same spin-then-park wait a
     /// blocking `transfer` performs, on the already-published node. The
     /// striped router uses this to downgrade a poll-mode publication into a
@@ -675,7 +802,7 @@ impl<T: Send> QueuePermit<T> {
     }
 }
 
-impl<T: Send> PendingTransfer<T> for QueuePermit<T> {
+impl<T: Send, R: Reclaimer> PendingTransfer<T> for QueuePermit<T, R> {
     fn poll_transfer(
         &mut self,
         waker: &Waker,
@@ -695,7 +822,7 @@ impl<T: Send> PendingTransfer<T> for QueuePermit<T> {
     }
 }
 
-impl<T: Send> Drop for QueuePermit<T> {
+impl<T: Send, R: Reclaimer> Drop for QueuePermit<T, R> {
     fn drop(&mut self) {
         if self.done {
             return;
@@ -710,19 +837,20 @@ impl<T: Send> Drop for QueuePermit<T> {
                 // SAFETY: cancellation wins back item ownership.
                 drop(unsafe { node.slot.take_item() });
             }
-            let guard = epoch::pin();
+            let guard = R::pin();
             self.queue.absorb_cancelled(&guard);
             drop(guard);
         }
         // Cancel lost: a fulfiller claimed (or already matched) the node.
         // Nothing to retract — an item it deposited for us is likewise
-        // dropped by the final release, which the epoch deferral orders
-        // after the fulfiller's pin, so a mid-`put_item` fulfiller is safe.
+        // dropped by the final release, which the retirement orders after
+        // the fulfiller's protection, so a mid-`put_item` fulfiller is
+        // safe.
         self.queue.release_direct(self.node);
     }
 }
 
-impl<T: Send> std::fmt::Debug for QueuePermit<T> {
+impl<T: Send, R: Reclaimer> std::fmt::Debug for QueuePermit<T, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueuePermit")
             .field("is_data", &self.is_data)
@@ -731,10 +859,10 @@ impl<T: Send> std::fmt::Debug for QueuePermit<T> {
     }
 }
 
-impl<T: Send> PollTransferer<T> for SyncDualQueue<T> {
-    type Permit = QueuePermit<T>;
+impl<T: Send, R: Reclaimer> PollTransferer<T> for SyncDualQueue<T, R> {
+    type Permit = QueuePermit<T, R>;
 
-    fn start_transfer(this: &Arc<Self>, item: Option<T>) -> StartTransfer<T, QueuePermit<T>> {
+    fn start_transfer(this: &Arc<Self>, item: Option<T>) -> StartTransfer<T, QueuePermit<T, R>> {
         let is_data = item.is_some();
         // Never/None: poll-mode callers apply deadline and cancellation on
         // each poll; the lock-free phase must always publish.
@@ -750,11 +878,12 @@ impl<T: Send> PollTransferer<T> for SyncDualQueue<T> {
     }
 }
 
-impl<T> Drop for SyncDualQueue<T> {
+impl<T, R: Reclaimer> Drop for SyncDualQueue<T, R> {
     fn drop(&mut self) {
         // Exclusive access: every waiter has returned (they hold &self via
         // Arc or borrow), so all remaining references are the structure's.
-        let guard = unsafe { epoch::unprotected() };
+        // SAFETY: exclusive access per above.
+        let guard = unsafe { R::unprotected() };
         let mut p = self.head.load(Ordering::Relaxed, &guard);
         while !p.is_null() {
             // SAFETY: exclusive access; chain nodes each hold exactly the
@@ -768,7 +897,7 @@ impl<T> Drop for SyncDualQueue<T> {
     }
 }
 
-impl<T> std::fmt::Debug for SyncDualQueue<T> {
+impl<T, R: Reclaimer> std::fmt::Debug for SyncDualQueue<T, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.pad("SyncDualQueue { .. }")
     }
@@ -978,5 +1107,15 @@ mod tests {
             }
         }
         assert_eq!(DROPS.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn hazard_backend_put_take_pair() {
+        let q: Arc<SyncDualQueue<u32, synq_reclaim::Hazard>> = Arc::new(SyncDualQueue::new_in());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.take());
+        q.put(7);
+        assert_eq!(t.join().unwrap(), 7);
+        assert_eq!(q.linked_nodes(), 0);
     }
 }

@@ -41,12 +41,37 @@
 //! # Memory lifetime
 //!
 //! As in the queue: refcount 2 per node (structure + owner), structure side
-//! released by the unique CAS that removes the node from the stack, via an
-//! epoch deferral. One extra wrinkle (absent from the GC'd Java version):
-//! the waiter must read the *fulfiller's* item after waking, possibly long
-//! after the fulfiller popped both nodes — so the thread whose CAS installs
-//! a match first takes an extra reference on the fulfilling node *on the
-//! waiter's behalf*; the waiter releases it after reading.
+//! released by a deferred retirement through the selected [`Reclaimer`]
+//! backend (`R`, defaulting to [`Epoch`]). One extra wrinkle (absent from
+//! the GC'd Java version): the waiter must read the *fulfiller's* item
+//! after waking, possibly long after the fulfiller popped both nodes — so
+//! the thread whose CAS installs a match first takes an extra reference on
+//! the fulfilling node *on the waiter's behalf*; the waiter releases it
+//! after reading.
+//!
+//! Unlike the queue, the stack removes nodes from *mid-chain* (a fulfiller
+//! or helper skips cancelled nodes beneath the fulfilling top), so the
+//! bounded-protection backends need stronger validation than the queue's
+//! snapshot re-check:
+//!
+//! * **Skips rewrite the link before retiring its target**, so
+//!   [`Shield::protect`]'s own source re-check (publish, re-read, loop)
+//!   already rules out dereferencing a skip victim.
+//! * **A matched reservation can be retired without its predecessor's
+//!   `next` changing** (the dead fulfilling node still points at it).
+//!   Two defenses: the *fulfiller* — the only thread that must read the
+//!   matched node's item — is made the sole releaser of the matched
+//!   node's structure reference (helpers and the waiter's help-pop leave
+//!   it), so the node is refcount-live until the fulfiller is done with
+//!   it; and *helpers* re-validate that the fulfilling node is still the
+//!   head before dereferencing below it (a popped node is never re-pushed,
+//!   and the protecting slot prevents its address from being recycled, so
+//!   `head == h` is unambiguous).
+//! * **Chain walks** (`has_waiting`, `linked_nodes`)
+//!   re-read `head` after every hop and restart when it moved: with the
+//!   head stable, every link-validated node reached from it is unpopped
+//!   (the stack pops only at the top), and nodes retired before the walk
+//!   began are unreachable from the current head.
 
 use crate::node_cache::{NodeCache, Recyclable};
 use crate::pollable::{PendingTransfer, PollTransferer, StartTransfer};
@@ -55,13 +80,13 @@ use core::task::{Poll, Waker};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use synq_primitives::{CachePadded, CancelToken, SpinPolicy, WaitOutcome, WaitSlot};
-use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Pointer, Shared};
+use synq_reclaim::{Atomic, Epoch, Owned, Pointer, Reclaimer, Shared, Shield};
 
 /// Result of the lock-free phase: resolved outright, or a node pushed that
 /// some counterpart must now fulfill.
-enum RawStart<T> {
+enum RawStart<T, R: Reclaimer> {
     Done(TransferOutcome<T>),
-    Published(*const SNode<T>),
+    Published(*const SNode<T, R>),
 }
 
 /// Node is a waiting consumer.
@@ -71,7 +96,7 @@ const DATA: usize = 1;
 /// Node is actively fulfilling the node beneath it (ORed with the mode).
 const FULFILLING: usize = 2;
 
-struct SNode<T> {
+struct SNode<T, R: Reclaimer> {
     /// `REQUEST`, `DATA`, possibly `| FULFILLING`. Set before publication.
     mode: usize,
     /// The wait-node protocol. The stack's fulfillers match a reservation
@@ -79,13 +104,17 @@ struct SNode<T> {
     /// Java `TransferStack` CASes a `match` pointer; the reserved control
     /// states play the null/self roles).
     slot: WaitSlot<T>,
-    next: Atomic<SNode<T>>,
+    next: Atomic<SNode<T, R>, R>,
     refs: AtomicUsize,
+    /// Set exactly once, by the thread that releases the structure
+    /// reference — the guard against a double release when racing
+    /// removers (a skip and an absorb, or the fulfiller's explicit
+    /// release and a cancelled-path absorb) both reach the same node.
     unlinked: AtomicBool,
 }
 
-impl<T> SNode<T> {
-    fn new(mode: usize) -> Owned<SNode<T>> {
+impl<T, R: Reclaimer> SNode<T, R> {
+    fn new(mode: usize) -> Owned<SNode<T, R>> {
         Owned::new(SNode {
             mode,
             slot: WaitSlot::new(),
@@ -101,15 +130,15 @@ impl<T> SNode<T> {
 
     /// Drops one reference. When it was the last, drops any unconsumed item
     /// eagerly and hands the dead skeleton to `dispose` (cache or free).
-    unsafe fn release(ptr: *const SNode<T>, dispose: impl FnOnce(*mut SNode<T>)) {
+    unsafe fn release(ptr: *const SNode<T, R>, dispose: impl FnOnce(*mut SNode<T, R>)) {
         // SAFETY: caller owns one reference.
         let node = unsafe { &*ptr };
         if node.refs.fetch_sub(1, Ordering::Release) == 1 {
             std::sync::atomic::fence(Ordering::Acquire);
             // SAFETY: last reference (see QNode::release for the argument).
-            let node = unsafe { &mut *(ptr as *mut SNode<T>) };
+            let node = unsafe { &mut *(ptr as *mut SNode<T, R>) };
             node.slot.drop_pending_item();
-            dispose(ptr as *mut SNode<T>);
+            dispose(ptr as *mut SNode<T, R>);
         }
     }
 
@@ -118,15 +147,17 @@ impl<T> SNode<T> {
     /// # Safety
     ///
     /// Caller must own `ptr` exclusively.
-    unsafe fn dealloc(ptr: *mut SNode<T>) {
+    unsafe fn dealloc(ptr: *mut SNode<T, R>) {
         drop(unsafe { Box::from_raw(ptr) });
     }
 }
 
-impl<T> Recyclable for SNode<T> {
+impl<T, R: Reclaimer> Recyclable for SNode<T, R> {
     unsafe fn free_next(ptr: *mut Self) -> *mut Self {
         // The free list reuses the node's own `next` field as its link.
-        let guard = unsafe { epoch::unprotected() };
+        // SAFETY: the free list hands out exclusively owned nodes; no
+        // protection is needed to read our own link.
+        let guard = unsafe { R::unprotected() };
         // SAFETY: `ptr` is alive per the trait contract.
         unsafe { (*ptr).next.load(Ordering::Acquire, &guard).as_raw() as *mut Self }
     }
@@ -162,13 +193,24 @@ impl<T> Recyclable for SNode<T> {
 /// q.put(7u32);
 /// assert_eq!(t.join().unwrap(), 7);
 /// ```
-pub struct SyncDualStack<T> {
+///
+/// A reclamation backend other than the default epoch collector is selected
+/// with the second type parameter (see [`Reclaimer`]):
+///
+/// ```
+/// use synq::{SyncDualStack, TimedSyncChannel};
+/// use synq_reclaim::Hazard;
+///
+/// let s: SyncDualStack<u32, Hazard> = SyncDualStack::new_in();
+/// assert_eq!(s.poll(), None);
+/// ```
+pub struct SyncDualStack<T, R: Reclaimer = Epoch> {
     /// The single contended word of the structure: padded so the free-list
     /// head and spin policy beside it never ride its cache line.
-    head: CachePadded<Atomic<SNode<T>>>,
-    /// Free list of dead node skeletons, shared with the epoch-deferred
-    /// closures that refill it.
-    cache: Arc<NodeCache<SNode<T>>>,
+    head: CachePadded<Atomic<SNode<T, R>, R>>,
+    /// Free list of dead node skeletons, shared with the deferred
+    /// reclamation closures that refill it.
+    cache: Arc<NodeCache<SNode<T, R>>>,
     spin: SpinPolicy,
 }
 
@@ -177,17 +219,20 @@ const _: () = assert!(std::mem::align_of::<SyncDualStack<u8>>() >= 128);
 const _: () = assert!(std::mem::size_of::<SyncDualStack<u8>>() >= 128);
 
 // SAFETY: as for SyncDualQueue.
-unsafe impl<T: Send> Send for SyncDualStack<T> {}
-unsafe impl<T: Send> Sync for SyncDualStack<T> {}
+unsafe impl<T: Send, R: Reclaimer> Send for SyncDualStack<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for SyncDualStack<T, R> {}
 
-impl<T: Send> Default for SyncDualStack<T> {
+impl<T: Send, R: Reclaimer> Default for SyncDualStack<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl<T: Send> SyncDualStack<T> {
-    /// Creates an empty stack with the adaptive spin policy.
+    /// Creates an empty stack with the adaptive spin policy and the
+    /// default epoch reclaimer. (Kept non-generic so bare
+    /// `SyncDualStack::new()` call sites infer the default backend; use
+    /// [`SyncDualStack::new_in`] to pick another.)
     pub fn new() -> Self {
         Self::with_spin(SpinPolicy::adaptive())
     }
@@ -201,6 +246,32 @@ impl<T: Send> SyncDualStack<T> {
     /// retention bound. Striped structures size each lane's cache down so K
     /// lanes together pin no more skeletons than one unstriped stack.
     pub fn with_config(spin: SpinPolicy, cache_capacity: usize) -> Self {
+        Self::with_config_in(spin, cache_capacity)
+    }
+}
+
+impl<T: Send, R: Reclaimer> SyncDualStack<T, R> {
+    /// Creates an empty stack with the adaptive spin policy under the
+    /// reclamation backend `R`. The backend defaults to epoch, so the
+    /// plain [`SyncDualStack::new`] is `new_in` with `R = Epoch`:
+    ///
+    /// ```
+    /// use synq::{SyncChannel, SyncDualStack};
+    /// use synq_reclaim::Hazard;
+    ///
+    /// let s: SyncDualStack<u32, Hazard> = SyncDualStack::new_in();
+    /// std::thread::scope(|sc| {
+    ///     sc.spawn(|| s.put(7));
+    ///     sc.spawn(|| assert_eq!(s.take(), 7));
+    /// });
+    /// ```
+    pub fn new_in() -> Self {
+        Self::with_config_in(SpinPolicy::adaptive(), crate::node_cache::NODE_CACHE_CAP)
+    }
+
+    /// Creates an empty stack with an explicit spin policy and node-cache
+    /// retention bound under the reclamation backend `R`.
+    pub fn with_config_in(spin: SpinPolicy, cache_capacity: usize) -> Self {
         SyncDualStack {
             head: CachePadded::new(Atomic::null()),
             cache: Arc::new(NodeCache::with_capacity(cache_capacity)),
@@ -209,11 +280,11 @@ impl<T: Send> SyncDualStack<T> {
     }
 
     /// Gets a node for this transfer: a recycled skeleton when one is
-    /// available, a fresh allocation otherwise. `_guard` witnesses the
-    /// epoch pin the free-list pop requires.
-    fn alloc_node(&self, mode: usize, _guard: &Guard) -> Owned<SNode<T>> {
-        // SAFETY: pinned, per `_guard`.
-        if let Some(p) = unsafe { self.cache.pop() } {
+    /// available, a fresh allocation otherwise. `guard` witnesses the
+    /// protection the free-list pop requires.
+    fn alloc_node(&self, mode: usize, guard: &R::Guard) -> Owned<SNode<T, R>> {
+        // SAFETY: protected, per `guard`.
+        if let Some(p) = unsafe { self.cache.pop(guard) } {
             // SAFETY: the pop transferred exclusive ownership of a dead
             // skeleton (item slot empty); re-arm every field in place.
             unsafe {
@@ -244,30 +315,30 @@ impl<T: Send> SyncDualStack<T> {
     /// Releases a reference from outside any deferral (an owner or
     /// waiter-held reference). If it is the last, the item is dropped now
     /// but the skeleton's return to the free list is itself deferred —
-    /// re-pushing before a grace period would reintroduce free-list ABA.
-    fn release_direct(&self, ptr: *const SNode<T>) {
+    /// re-pushing before the backend's grace window would reintroduce
+    /// free-list ABA.
+    fn release_direct(&self, ptr: *const SNode<T, R>) {
         // SAFETY: caller owns the reference being dropped. The dispose
-        // closure defers the free-list push past a grace period, so it
-        // satisfies the push contract; the skeleton is exclusively ours.
+        // closure defers the free-list push until the node is unprotected,
+        // so it satisfies the push contract; the skeleton is exclusively
+        // ours.
         unsafe {
             SNode::release(ptr, |p| {
                 let cache = Arc::clone(&self.cache);
                 let addr = p as usize;
-                let guard = epoch::pin();
-                guard.defer_unchecked(move || cache.push(addr as *mut SNode<T>));
+                let guard = R::pin();
+                guard.defer_retire(addr, move || cache.push(addr as *mut SNode<T, R>));
             });
         }
     }
 
     /// Pops `h`, releasing its structure reference, if it is still the
-    /// head. Also releases `extra` (the node annihilated together with
-    /// `h`) when the CAS wins.
+    /// head.
     fn pop_head<'g>(
         &self,
-        h: Shared<'g, SNode<T>>,
-        new_head: Shared<'g, SNode<T>>,
-        extra: Option<Shared<'g, SNode<T>>>,
-        guard: &'g Guard,
+        h: Shared<'g, SNode<T, R>>,
+        new_head: Shared<'g, SNode<T, R>>,
+        guard: &'g R::Guard,
     ) -> bool {
         if self
             .head
@@ -275,29 +346,29 @@ impl<T: Send> SyncDualStack<T> {
             .is_ok()
         {
             self.release_structure_ref(h, guard);
-            if let Some(m) = extra {
-                self.release_structure_ref(m, guard);
-            }
             true
         } else {
             false
         }
     }
 
-    fn release_structure_ref<'g>(&self, node: Shared<'g, SNode<T>>, guard: &'g Guard) {
-        // SAFETY: node protected by the guard.
+    fn release_structure_ref<'g>(&self, node: Shared<'g, SNode<T, R>>, guard: &'g R::Guard) {
+        // SAFETY: node protected by the guard (or refcount-live, see the
+        // fulfiller's explicit release).
         let node_ref = unsafe { node.deref() };
         if node_ref.unlinked.swap(true, Ordering::AcqRel) {
             return; // already released by a racing remover
         }
+        synq_obs::probe!(ReclaimRetired);
         let raw = node.as_raw() as usize;
         let cache = Arc::clone(&self.cache);
-        // SAFETY: see QNode: deferred past the grace period. Running inside
-        // the deferral satisfies the free-list push contract, so the
-        // skeleton can go to the cache directly.
+        // SAFETY: see QNode: the reference-count decrement itself is
+        // deferred until no thread can hold a protected reference, and
+        // running inside the deferral satisfies the free-list push
+        // contract, so the skeleton can go to the cache directly.
         unsafe {
-            guard.defer_unchecked(move || {
-                SNode::release(raw as *const SNode<T>, |p| cache.push(p));
+            guard.defer_retire(raw, move || {
+                SNode::release(raw as *const SNode<T, R>, |p| cache.push(p));
             });
         }
     }
@@ -308,11 +379,11 @@ impl<T: Send> SyncDualStack<T> {
     /// our CAS wins.
     fn try_match<'g>(
         &self,
-        m: Shared<'g, SNode<T>>,
-        f: Shared<'g, SNode<T>>,
-        _guard: &'g Guard,
+        m: Shared<'g, SNode<T, R>>,
+        f: Shared<'g, SNode<T, R>>,
+        _guard: &'g R::Guard,
     ) -> bool {
-        // SAFETY: both protected by the guard.
+        // SAFETY: both protected by the guard (callers validate `m`).
         let m_ref = unsafe { m.deref() };
         let f_ref = unsafe { f.deref() };
         // Speculative reference for m's waiter; revoked if the CAS fails.
@@ -333,7 +404,7 @@ impl<T: Send> SyncDualStack<T> {
     }
 
     /// Pops cancelled nodes off the top. The stack-side cleaning strategy.
-    fn absorb_cancelled(&self, guard: &Guard) {
+    fn absorb_cancelled(&self, guard: &R::Guard) {
         loop {
             let h = self.head.load(Ordering::Acquire, guard);
             let Some(h_ref) = (unsafe { h.as_ref() }) else {
@@ -342,8 +413,12 @@ impl<T: Send> SyncDualStack<T> {
             if !h_ref.slot.is_cancelled() {
                 return;
             }
+            // `next` is only installed as the new head, never dereferenced:
+            // while `h` is still the head (the CAS below certifies it), a
+            // node beneath a cancelled — non-fulfilling — top cannot be
+            // removed, so its structure reference is intact.
             let next = h_ref.next.load(Ordering::Acquire, guard);
-            let _ = self.pop_head(h, next, None, guard);
+            let _ = self.pop_head(h, next, guard);
         }
     }
 
@@ -356,7 +431,7 @@ impl<T: Send> SyncDualStack<T> {
         let is_data = item.is_some();
         match self.start_impl(item, deadline, token) {
             RawStart::Done(outcome) => outcome,
-            // Wait without holding an epoch pin.
+            // Wait without holding a reclaimer guard.
             RawStart::Published(node_raw) => self.await_fulfill(node_raw, is_data, deadline, token),
         }
     }
@@ -371,13 +446,13 @@ impl<T: Send> SyncDualStack<T> {
         mut item: Option<T>,
         deadline: Deadline,
         token: Option<&CancelToken>,
-    ) -> RawStart<T> {
+    ) -> RawStart<T, R> {
         let is_data = item.is_some();
         let mode = if is_data { DATA } else { REQUEST };
-        let mut node: Option<Owned<SNode<T>>> = None;
+        let mut node: Option<Owned<SNode<T, R>>> = None;
 
         loop {
-            let guard = epoch::pin();
+            let guard = R::pin();
             self.absorb_cancelled(&guard);
 
             let h = self.head.load(Ordering::Acquire, &guard);
@@ -473,11 +548,17 @@ impl<T: Send> SyncDualStack<T> {
                 // reference.
                 let f_ref = unsafe { f.deref() };
                 loop {
+                    // `m` is safe to dereference under every backend:
+                    // `protect` re-checks `f.next` after publishing, so a
+                    // skip victim (link rewritten before its retirement)
+                    // is never returned; and a *matched* `m` can only be
+                    // retired by us, below — its structure reference is
+                    // the fulfiller's to release.
                     let m = f_ref.next.load(Ordering::Acquire, &guard);
                     let Some(m_ref) = (unsafe { m.as_ref() }) else {
                         // Everything beneath us was cancelled and skipped:
                         // back out, reclaim our item, retry from scratch.
-                        let _ = self.pop_head(f, Shared::null(), None, &guard);
+                        let _ = self.pop_head(f, Shared::null(), &guard);
                         if is_data {
                             // SAFETY: no match happened (next never null
                             // after a successful match), so the item is
@@ -492,14 +573,22 @@ impl<T: Send> SyncDualStack<T> {
                     };
                     let mn = m_ref.next.load(Ordering::Acquire, &guard);
                     if self.try_match(m, f, &guard) {
-                        let _ = self.pop_head(f, mn, Some(m), &guard);
+                        let _ = self.pop_head(f, mn, &guard);
                         let out = if is_data {
                             TransferOutcome::Transferred(None)
                         } else {
                             // SAFETY: m matched to f grants us (f's owner)
-                            // unique read access to m's item.
+                            // unique read access to m's item; m is
+                            // refcount-live because its structure
+                            // reference is released only below.
                             TransferOutcome::Transferred(Some(unsafe { m_ref.slot.take_item() }))
                         };
+                        // The matched node's structure reference is the
+                        // fulfiller's alone to release (helpers and the
+                        // waiter's help-pop pop the pair without touching
+                        // it). That keeps `m` alive for the item read
+                        // above even when a helper popped the pair first.
+                        self.release_structure_ref(m, &guard);
                         // Our owner reference on f.
                         self.release_direct(f.as_raw());
                         return RawStart::Done(out);
@@ -518,15 +607,27 @@ impl<T: Send> SyncDualStack<T> {
 
             // Case 3: someone else's fulfilling node on top — help it.
             let m = h_ref.next.load(Ordering::Acquire, &guard);
+            // Re-validate the root before touching `m`: if `h` was popped,
+            // its fulfiller may retire the matched node without `h.next`
+            // ever changing. Seeing `head == h` *after* the protecting
+            // load above is conclusive — popped nodes are never re-pushed
+            // and the slot keeps `h`'s address from being recycled — and
+            // the fulfiller's release only happens once `h` is off the
+            // head, so `m` is not yet retired and our protection holds.
+            if !self.head.load(Ordering::Acquire, &guard).ptr_eq(&h) {
+                continue;
+            }
             match unsafe { m.as_ref() } {
                 None => {
-                    let _ = self.pop_head(h, Shared::null(), None, &guard);
+                    let _ = self.pop_head(h, Shared::null(), &guard);
                 }
                 Some(m_ref) => {
                     let mn = m_ref.next.load(Ordering::Acquire, &guard);
                     if self.try_match(m, h, &guard) {
                         synq_obs::probe!(StackHelped);
-                        let _ = self.pop_head(h, mn, Some(m), &guard);
+                        // Pop the pair; the matched node's structure
+                        // reference is left for its fulfiller.
+                        let _ = self.pop_head(h, mn, &guard);
                     } else if h_ref
                         .next
                         .compare_exchange(m, mn, Ordering::AcqRel, Ordering::Acquire, &guard)
@@ -540,12 +641,12 @@ impl<T: Send> SyncDualStack<T> {
     }
 
     /// Waits on our freshly pushed node; touches only refcount-held nodes,
-    /// so no pin is held while waiting. The spin-then-park loop and the
-    /// cancel arbitration are the shared [`WaitSlot`] engine's; the match
-    /// token it reports back is the fulfilling node's address.
+    /// so no reclaimer guard is held while waiting. The spin-then-park loop
+    /// and the cancel arbitration are the shared [`WaitSlot`] engine's; the
+    /// match token it reports back is the fulfilling node's address.
     fn await_fulfill(
         &self,
-        node_raw: *const SNode<T>,
+        node_raw: *const SNode<T, R>,
         is_data: bool,
         deadline: Deadline,
         token: Option<&CancelToken>,
@@ -561,7 +662,7 @@ impl<T: Send> SyncDualStack<T> {
     /// helps pop the fulfilling pair, and drops the references we hold.
     fn finish_wait(
         &self,
-        node_raw: *const SNode<T>,
+        node_raw: *const SNode<T, R>,
         is_data: bool,
         verdict: WaitOutcome,
     ) -> TransferOutcome<T> {
@@ -569,16 +670,18 @@ impl<T: Send> SyncDualStack<T> {
         let node = unsafe { &*node_raw };
         match verdict {
             WaitOutcome::Matched(m_token) => {
-                let m = m_token as *const SNode<T>;
+                let m = m_token as *const SNode<T, R>;
                 // Matched. Help pop the fulfilling pair if still on top.
+                // Our own structure reference is NOT ours to release here:
+                // the fulfiller keeps it alive until it has read our item
+                // (or confirmed it need not), then releases it.
                 {
-                    let guard = epoch::pin();
+                    let guard = R::pin();
                     let h = self.head.load(Ordering::Acquire, &guard);
                     if std::ptr::eq(h.as_raw(), m) {
                         // SAFETY: we hold a reference on our own node.
                         let our_next = node.next.load(Ordering::Acquire, &guard);
-                        let node_shared = shared_from_raw(node_raw);
-                        let _ = self.pop_head(h, our_next, Some(node_shared), &guard);
+                        let _ = self.pop_head(h, our_next, &guard);
                     }
                 }
                 // SAFETY: the matcher took a reference on `m` for us.
@@ -599,7 +702,7 @@ impl<T: Send> SyncDualStack<T> {
             }
             verdict => {
                 // We won the cancel CAS.
-                let guard = epoch::pin();
+                let guard = R::pin();
                 self.absorb_cancelled(&guard);
                 drop(guard);
                 let item = if is_data {
@@ -629,45 +732,57 @@ impl<T: Send> SyncDualStack<T> {
     /// nodes automatically.)
     pub(crate) fn has_waiting(&self, is_data: bool) -> bool {
         let mode = if is_data { DATA } else { REQUEST };
-        let guard = epoch::pin();
-        let mut p = self.head.load(Ordering::Acquire, &guard);
-        // SAFETY: the chain is protected by the pin.
-        while let Some(n) = unsafe { p.as_ref() } {
-            if n.mode == mode && n.slot.is_waiting() {
-                return true;
+        let guard = R::pin();
+        'restart: loop {
+            let root = self.head.load(Ordering::Acquire, &guard);
+            let mut p = root;
+            // SAFETY: every hop below re-anchors on `head`: while the head
+            // is unchanged (popped nodes are never re-pushed; the slot
+            // protecting `root` prevents address reuse), all link-validated
+            // nodes reached from it are unpopped and unskipped, hence
+            // structure-referenced and alive.
+            while let Some(n) = unsafe { p.as_ref() } {
+                if n.mode == mode && n.slot.is_waiting() {
+                    return true;
+                }
+                let next = n.next.load(Ordering::Acquire, &guard);
+                if !self.head.load(Ordering::Acquire, &guard).ptr_eq(&root) {
+                    continue 'restart;
+                }
+                p = next;
             }
-            p = n.next.load(Ordering::Acquire, &guard);
+            return false;
         }
-        false
     }
 
     /// Diagnostic: number of linked nodes. O(n), test/ablation use only.
     pub fn linked_nodes(&self) -> usize {
-        let guard = epoch::pin();
-        let mut n = 0;
-        let mut p = self.head.load(Ordering::Acquire, &guard);
-        while !p.is_null() {
-            n += 1;
-            // SAFETY: chain protected by the pin.
-            p = unsafe { p.deref() }.next.load(Ordering::Acquire, &guard);
+        let guard = R::pin();
+        'restart: loop {
+            let root = self.head.load(Ordering::Acquire, &guard);
+            let mut n = 0;
+            let mut p = root;
+            while !p.is_null() {
+                n += 1;
+                // SAFETY: as in `has_waiting` — the head re-read below
+                // keeps the chain anchored.
+                let next = unsafe { p.deref() }.next.load(Ordering::Acquire, &guard);
+                if !self.head.load(Ordering::Acquire, &guard).ptr_eq(&root) {
+                    continue 'restart;
+                }
+                p = next;
+            }
+            return n;
         }
-        n
     }
 }
 
-/// Builds a `Shared` from a raw pointer we know is protected (we hold a
-/// reference and/or a pin).
-fn shared_from_raw<'g, T>(raw: *const SNode<T>) -> Shared<'g, SNode<T>> {
-    // SAFETY: Pointer::from_usize with an untagged, valid node address.
-    unsafe { <Shared<'_, SNode<T>> as synq_reclaim::Pointer<SNode<T>>>::from_usize(raw as usize) }
-}
-
 /// Small extension so case-1 detection reads naturally.
-trait HeadCase<T> {
+trait HeadCase {
     fn is_none_or_mode(&self, mode: usize) -> bool;
 }
 
-impl<T> HeadCase<T> for Option<&SNode<T>> {
+impl<T, R: Reclaimer> HeadCase for Option<&SNode<T, R>> {
     fn is_none_or_mode(&self, mode: usize) -> bool {
         match self {
             None => true,
@@ -676,7 +791,7 @@ impl<T> HeadCase<T> for Option<&SNode<T>> {
     }
 }
 
-impl<T: Send> Transferer<T> for SyncDualStack<T> {
+impl<T: Send, R: Reclaimer> Transferer<T> for SyncDualStack<T, R> {
     fn transfer(
         &self,
         item: Option<T>,
@@ -696,9 +811,9 @@ impl<T: Send> Transferer<T> for SyncDualStack<T> {
 /// the drop also releases the reference the fulfiller took on its own node
 /// on our behalf, and any item it deposited there for us is dropped exactly
 /// once by that node's final reference release.
-pub struct StackPermit<T: Send> {
-    stack: Arc<SyncDualStack<T>>,
-    node: *const SNode<T>,
+pub struct StackPermit<T: Send, R: Reclaimer = Epoch> {
+    stack: Arc<SyncDualStack<T, R>>,
+    node: *const SNode<T, R>,
     is_data: bool,
     /// Set when `poll_transfer` returned `Ready`: the references have been
     /// released and `node` must not be touched again.
@@ -708,9 +823,9 @@ pub struct StackPermit<T: Send> {
 // SAFETY: the permit is a waiter's handle on its own node — the same
 // references a blocking waiter thread holds — and the stack is `Sync`; the
 // raw pointer is kept alive by the reference count.
-unsafe impl<T: Send> Send for StackPermit<T> {}
+unsafe impl<T: Send, R: Reclaimer> Send for StackPermit<T, R> {}
 
-impl<T: Send> StackPermit<T> {
+impl<T: Send, R: Reclaimer> StackPermit<T, R> {
     /// Resolves the permit by blocking — the same spin-then-park wait a
     /// blocking `transfer` performs, on the already-pushed node. The
     /// striped router uses this to downgrade a poll-mode publication into a
@@ -728,7 +843,7 @@ impl<T: Send> StackPermit<T> {
     }
 }
 
-impl<T: Send> PendingTransfer<T> for StackPermit<T> {
+impl<T: Send, R: Reclaimer> PendingTransfer<T> for StackPermit<T, R> {
     fn poll_transfer(
         &mut self,
         waker: &Waker,
@@ -748,7 +863,7 @@ impl<T: Send> PendingTransfer<T> for StackPermit<T> {
     }
 }
 
-impl<T: Send> Drop for StackPermit<T> {
+impl<T: Send, R: Reclaimer> Drop for StackPermit<T, R> {
     fn drop(&mut self) {
         if self.done {
             return;
@@ -763,7 +878,7 @@ impl<T: Send> Drop for StackPermit<T> {
                 // SAFETY: cancellation wins back item ownership.
                 drop(unsafe { node.slot.take_item() });
             }
-            let guard = epoch::pin();
+            let guard = R::pin();
             self.stack.absorb_cancelled(&guard);
             drop(guard);
         } else if let Some(m_token) = node.slot.matched_token() {
@@ -771,14 +886,14 @@ impl<T: Send> Drop for StackPermit<T> {
             // its own node (the token) on our behalf. Release it without
             // reading the item — if it deposited one for us, that node's
             // final release drops it exactly once.
-            self.stack.release_direct(m_token as *const SNode<T>);
+            self.stack.release_direct(m_token as *const SNode<T, R>);
         }
         // Our owner reference, in every case.
         self.stack.release_direct(self.node);
     }
 }
 
-impl<T: Send> std::fmt::Debug for StackPermit<T> {
+impl<T: Send, R: Reclaimer> std::fmt::Debug for StackPermit<T, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StackPermit")
             .field("is_data", &self.is_data)
@@ -787,10 +902,10 @@ impl<T: Send> std::fmt::Debug for StackPermit<T> {
     }
 }
 
-impl<T: Send> PollTransferer<T> for SyncDualStack<T> {
-    type Permit = StackPermit<T>;
+impl<T: Send, R: Reclaimer> PollTransferer<T> for SyncDualStack<T, R> {
+    type Permit = StackPermit<T, R>;
 
-    fn start_transfer(this: &Arc<Self>, item: Option<T>) -> StartTransfer<T, StackPermit<T>> {
+    fn start_transfer(this: &Arc<Self>, item: Option<T>) -> StartTransfer<T, StackPermit<T, R>> {
         let is_data = item.is_some();
         // Never/None: poll-mode callers apply deadline and cancellation on
         // each poll; the lock-free phase must always publish.
@@ -806,9 +921,10 @@ impl<T: Send> PollTransferer<T> for SyncDualStack<T> {
     }
 }
 
-impl<T> Drop for SyncDualStack<T> {
+impl<T, R: Reclaimer> Drop for SyncDualStack<T, R> {
     fn drop(&mut self) {
-        let guard = unsafe { epoch::unprotected() };
+        // SAFETY: exclusive access — no protection needed.
+        let guard = unsafe { R::unprotected() };
         let mut p = self.head.load(Ordering::Relaxed, &guard);
         while !p.is_null() {
             // SAFETY: exclusive access; remaining references are the
@@ -821,7 +937,7 @@ impl<T> Drop for SyncDualStack<T> {
     }
 }
 
-impl<T> std::fmt::Debug for SyncDualStack<T> {
+impl<T, R: Reclaimer> std::fmt::Debug for SyncDualStack<T, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.pad("SyncDualStack { .. }")
     }
@@ -850,6 +966,30 @@ mod tests {
         let t = thread::spawn(move || s2.take());
         s.put(31u32);
         assert_eq!(t.join().unwrap(), 31);
+    }
+
+    #[test]
+    fn hazard_backend_put_take_pair() {
+        let s: Arc<SyncDualStack<u32, synq_reclaim::Hazard>> = Arc::new(SyncDualStack::new_in());
+        let s2 = Arc::clone(&s);
+        let t = thread::spawn(move || s2.take());
+        s.put(47u32);
+        assert_eq!(t.join().unwrap(), 47);
+        assert_eq!(s.linked_nodes(), 0);
+    }
+
+    #[test]
+    fn hazard_backend_timeout_storm_is_absorbed() {
+        let s: SyncDualStack<u32, synq_reclaim::Hazard> = SyncDualStack::new_in();
+        for i in 0..200 {
+            let _ = s.offer_timeout(i, Duration::from_micros(1));
+        }
+        let _ = s.poll();
+        assert!(
+            s.linked_nodes() <= 2,
+            "cancelled nodes built up: {}",
+            s.linked_nodes()
+        );
     }
 
     #[test]
@@ -936,6 +1076,41 @@ mod tests {
         const CONSUMERS: usize = 4;
         const PER: usize = 500;
         let s = Arc::new(SyncDualStack::new());
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let s = Arc::clone(&s);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    s.put(p * PER + i);
+                }
+            }));
+        }
+        let sums: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                thread::spawn(move || {
+                    let mut sum = 0usize;
+                    for _ in 0..(PRODUCERS * PER / CONSUMERS) {
+                        sum += s.take();
+                    }
+                    sum
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: usize = sums.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, (0..PRODUCERS * PER).sum::<usize>());
+        assert_eq!(s.linked_nodes(), 0);
+    }
+
+    #[test]
+    fn hazard_backend_values_conserved_under_stress() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER: usize = 250;
+        let s: Arc<SyncDualStack<usize, synq_reclaim::Hazard>> = Arc::new(SyncDualStack::new_in());
         let mut handles = Vec::new();
         for p in 0..PRODUCERS {
             let s = Arc::clone(&s);

@@ -14,29 +14,36 @@
 //! its CAS, `A` could be popped by another thread, recycled through the
 //! structure, freed again, and re-pushed — with a different successor — and
 //! the stale CAS would corrupt the list. We rule this out with the same
-//! epoch machinery that protects the structures themselves:
+//! reclamation machinery that protects the structures themselves:
 //!
-//! * **Pops happen only under an epoch pin** ([`NodeCache::pop`]'s safety
-//!   contract; `transfer_impl` holds its guard across the pop).
-//! * **Pushes happen only from epoch-deferred closures** (or with exclusive
-//!   access during teardown). A node's return to the free list therefore
-//!   waits out a full grace period.
+//! * **Pops happen only under a reclaimer guard** ([`NodeCache::pop`] takes
+//!   the guard and routes the head read through [`Shield::protect`];
+//!   `transfer_impl` holds its guard across the pop).
+//! * **Pushes happen only from retire closures** (`Shield::defer_retire`
+//!   keyed on the node's address, or with exclusive access during
+//!   teardown). A node's return to the free list therefore waits until no
+//!   guard protects it.
 //!
-//! With both rules, the ABA interleaving above is impossible: a popper
-//! pinned at epoch `E` observed `A` on the list *during* its pin, so `A`'s
-//! next re-push sits in a bag sealed at epoch ≥ `E`, which cannot expire
-//! until the global epoch reaches `E + 2` — and the popper's own published
-//! pin prevents the epoch from advancing past `E + 1`. The same argument
-//! covers reading `A.next` (the node cannot be freed mid-pop) and the
-//! overflow `dealloc` in [`NodeCache::push`].
+//! With both rules, the ABA interleaving above is impossible under either
+//! backend. Epoch: a popper pinned at epoch `E` observed `A` on the list
+//! *during* its pin, so `A`'s next re-push sits in a bag sealed at epoch ≥
+//! `E`, which cannot expire until the global epoch reaches `E + 2` — and
+//! the popper's own published pin prevents the epoch from advancing past
+//! `E + 1`. Hazard: `protect` publishes `A`'s address in a slot before the
+//! CAS, and the re-push *is* `A`'s retire closure, which the scan cannot
+//! run while the slot holds `A` — so if the CAS succeeds, `A` was never
+//! re-pushed in between. The same argument covers reading `A.next` (the
+//! node cannot be freed mid-pop) and the overflow `dealloc` in
+//! [`NodeCache::push`].
 //!
 //! The cache is bounded ([`NODE_CACHE_CAP`]): a push that would exceed the
 //! bound frees the node instead, so a burst of timed-out waiters cannot pin
 //! memory forever. Dropping the cache (when the owning structure and every
 //! pending deferral are gone) frees whatever is left.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use synq_primitives::CachePadded;
+use synq_reclaim::Shield;
 
 /// Default bound on the number of skeletons a cache retains; overflow is
 /// freed. [`NodeCache::with_capacity`] lets a structure size this down —
@@ -75,10 +82,11 @@ pub(crate) trait Recyclable: Sized {
 /// diagnostics. Shared (via `Arc`) between the structure and the deferred
 /// closures that return nodes to it.
 pub(crate) struct NodeCache<N: Recyclable> {
-    /// Treiber-stack head. Padded: pushes and pops hammer this word while
-    /// the owning structure's own hot words live nearby in the same arc'd
-    /// allocation graph.
-    head: CachePadded<AtomicPtr<N>>,
+    /// Treiber-stack head, stored as a bare pointer word so pops can route
+    /// it through [`Shield::protect`]. Padded: pushes and pops hammer this
+    /// word while the owning structure's own hot words live nearby in the
+    /// same arc'd allocation graph.
+    head: CachePadded<AtomicUsize>,
     /// Upper bound on the list length (reserved at push time).
     len: AtomicUsize,
     /// Retention bound: a push that would exceed this frees the node.
@@ -87,6 +95,7 @@ pub(crate) struct NodeCache<N: Recyclable> {
     allocs: AtomicUsize,
     /// Pops served from the cache instead of the allocator (diagnostic).
     reuses: AtomicUsize,
+    _marker: std::marker::PhantomData<*mut N>,
 }
 
 // SAFETY: the raw node pointers are owned by the cache (list members) and
@@ -100,11 +109,12 @@ impl<N: Recyclable> NodeCache<N> {
     /// bound for unstriped structures.
     pub(crate) fn with_capacity(cap: usize) -> Self {
         NodeCache {
-            head: CachePadded::new(AtomicPtr::new(std::ptr::null_mut())),
+            head: CachePadded::new(AtomicUsize::new(0)),
             len: AtomicUsize::new(0),
             cap,
             allocs: AtomicUsize::new(0),
             reuses: AtomicUsize::new(0),
+            _marker: std::marker::PhantomData,
         }
     }
 
@@ -112,28 +122,33 @@ impl<N: Recyclable> NodeCache<N> {
     ///
     /// # Safety
     ///
-    /// The caller must hold an epoch pin (of the global collector the
-    /// owning structure defers through) for the duration of the call.
-    pub(crate) unsafe fn pop(&self) -> Option<*mut N> {
-        let mut head = self.head.load(Ordering::Acquire);
+    /// `guard` must be an active guard of the backend the owning structure
+    /// retires through, held for the duration of the call (an unprotected
+    /// guard requires exclusive access to the structure).
+    pub(crate) unsafe fn pop<G: Shield>(&self, guard: &G) -> Option<*mut N> {
         loop {
+            let head = guard.protect::<N>(&self.head, Ordering::Acquire) as *mut N;
             if head.is_null() {
                 return None;
             }
-            // SAFETY: `head` stays allocated while we are pinned (pushes,
-            // and hence frees, are grace-period-deferred — module docs).
+            // SAFETY: `head` stays allocated and off-list while protected
+            // (pushes, and hence frees, are its retire closure — module
+            // docs), so its link is stable until our CAS.
             let next = unsafe { N::free_next(head) };
-            match self
+            if self
                 .head
-                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange_weak(
+                    head as usize,
+                    next as usize,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
             {
-                Ok(_) => {
-                    self.len.fetch_sub(1, Ordering::Relaxed);
-                    self.reuses.fetch_add(1, Ordering::Relaxed);
-                    synq_obs::probe!(NodeCacheHits);
-                    return Some(head);
-                }
-                Err(h) => head = h,
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                synq_obs::probe!(NodeCacheHits);
+                return Some(head);
             }
         }
     }
@@ -143,9 +158,10 @@ impl<N: Recyclable> NodeCache<N> {
     ///
     /// # Safety
     ///
-    /// The caller must own `ptr` exclusively, and must be running inside an
-    /// epoch-deferred closure (a grace period after the node became
-    /// unreachable) — or hold exclusive access to the whole structure.
+    /// The caller must own `ptr` exclusively, and must be running inside a
+    /// retire closure (`Shield::defer_retire` keyed on `ptr`'s address, so
+    /// the node is unprotected and unreachable) — or hold exclusive access
+    /// to the whole structure.
     pub(crate) unsafe fn push(&self, ptr: *mut N) {
         // Reserve a slot first so `len` never undercounts the list.
         if self.len.fetch_add(1, Ordering::Relaxed) >= self.cap {
@@ -158,11 +174,13 @@ impl<N: Recyclable> NodeCache<N> {
         let mut head = self.head.load(Ordering::Relaxed);
         loop {
             // SAFETY: we own `ptr` until the CAS publishes it.
-            unsafe { N::set_free_next(ptr, head) };
-            match self
-                .head
-                .compare_exchange_weak(head, ptr, Ordering::Release, Ordering::Relaxed)
-            {
+            unsafe { N::set_free_next(ptr, head as *mut N) };
+            match self.head.compare_exchange_weak(
+                head,
+                ptr as usize,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
                 Ok(_) => return,
                 Err(h) => head = h,
             }
@@ -190,7 +208,7 @@ impl<N: Recyclable> Drop for NodeCache<N> {
     fn drop(&mut self) {
         // Last reference: the structure and every deferred closure are
         // gone, so nothing can push or pop concurrently.
-        let mut p = *self.head.get_mut();
+        let mut p = *self.head.get_mut() as *mut N;
         while !p.is_null() {
             // SAFETY: exclusive access; list members have empty item slots.
             let next = unsafe { N::free_next(p) };
@@ -204,6 +222,12 @@ impl<N: Recyclable> Drop for NodeCache<N> {
 mod tests {
     use super::*;
     use std::cell::Cell;
+    use synq_reclaim::Guard;
+
+    fn unprot() -> Guard {
+        // SAFETY: every test here is single-threaded over its own cache.
+        unsafe { synq_reclaim::unprotected() }
+    }
 
     // Each test runs on its own thread, so a thread-local keeps the
     // counters independent under the parallel test runner.
@@ -242,7 +266,7 @@ mod tests {
     #[test]
     fn push_pop_roundtrip_and_counters() {
         let cache: NodeCache<TestNode> = NodeCache::with_capacity(NODE_CACHE_CAP);
-        assert!(unsafe { cache.pop() }.is_none());
+        assert!(unsafe { cache.pop(&unprot()) }.is_none());
         let a = alloc_node();
         let b = alloc_node();
         // SAFETY: single-threaded test — exclusivity is trivial.
@@ -251,9 +275,10 @@ mod tests {
             cache.push(b);
         }
         // LIFO order.
-        assert_eq!(unsafe { cache.pop() }, Some(b));
-        assert_eq!(unsafe { cache.pop() }, Some(a));
-        assert!(unsafe { cache.pop() }.is_none());
+        let g = unprot();
+        assert_eq!(unsafe { cache.pop(&g) }, Some(b));
+        assert_eq!(unsafe { cache.pop(&g) }, Some(a));
+        assert!(unsafe { cache.pop(&g) }.is_none());
         assert_eq!(cache.reuses(), 2);
         unsafe {
             TestNode::dealloc(a);
@@ -302,7 +327,7 @@ mod tests {
         // SAFETY: single-threaded test.
         unsafe { none.push(alloc_node()) };
         assert_eq!(live(), 0);
-        assert!(unsafe { none.pop() }.is_none());
+        assert!(unsafe { none.pop(&unprot()) }.is_none());
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Reclaimer feature-matrix conformance: the exactly-one-pairing and
+//! drop-conservation contracts of the dual structures must hold under
+//! every reclamation backend, not just the default epoch scheme. Runs the
+//! same timed producer/consumer proptest battery against
+//! `SyncDualQueue`/`SyncDualStack` instantiated with both `Epoch` and
+//! `Hazard`.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+use synq::{SyncDualQueue, SyncDualStack, TimedSyncChannel};
+use synq_reclaim::{Epoch, Hazard};
+
+/// A payload that tracks its own liveness: exactly one decrement per
+/// construction, however many times it is moved between threads.
+struct Payload {
+    id: usize,
+    live: Arc<AtomicIsize>,
+}
+
+impl Payload {
+    fn new(id: usize, live: &Arc<AtomicIsize>) -> Self {
+        live.fetch_add(1, Ordering::Relaxed);
+        Payload {
+            id,
+            live: Arc::clone(live),
+        }
+    }
+}
+
+impl Drop for Payload {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs `producers`×`per` timed sends against `consumers` timed receivers
+/// on `channel`, then checks the exactly-one-pairing contract: every id is
+/// either received once or refused (timed out) back to its producer once,
+/// never both, and every payload is dropped exactly once.
+fn check_conservation(
+    channel: Arc<dyn TimedSyncChannel<Payload>>,
+    producers: usize,
+    consumers: usize,
+    per: usize,
+) -> Result<(), TestCaseError> {
+    let live = Arc::new(AtomicIsize::new(0));
+    let stop = Arc::new(AtomicUsize::new(0));
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let refused = Arc::new(Mutex::new(Vec::new()));
+
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let channel = Arc::clone(&channel);
+        let live = Arc::clone(&live);
+        let refused = Arc::clone(&refused);
+        handles.push(thread::spawn(move || {
+            for i in 0..per {
+                let payload = Payload::new(p * per + i, &live);
+                if let Err(back) = channel.offer_timeout(payload, Duration::from_micros(200)) {
+                    refused.lock().unwrap().push(back.id);
+                }
+            }
+        }));
+    }
+    let mut takers = Vec::new();
+    for _ in 0..consumers {
+        let channel = Arc::clone(&channel);
+        let stop = Arc::clone(&stop);
+        let received = Arc::clone(&received);
+        takers.push(thread::spawn(move || {
+            while stop.load(Ordering::Relaxed) == 0 {
+                if let Some(p) = channel.poll_timeout(Duration::from_micros(100)) {
+                    received.lock().unwrap().push(p.id);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(1, Ordering::Relaxed);
+    for t in takers {
+        t.join().unwrap();
+    }
+    // A producer may have matched at the buzzer, after every consumer
+    // already left: drain the tail.
+    while let Some(p) = channel.poll_timeout(Duration::from_millis(2)) {
+        received.lock().unwrap().push(p.id);
+    }
+
+    let mut seen: Vec<usize> = received.lock().unwrap().clone();
+    seen.extend(refused.lock().unwrap().iter().copied());
+    seen.sort_unstable();
+    let expected: Vec<usize> = (0..producers * per).collect();
+    prop_assert_eq!(
+        seen,
+        expected,
+        "every send must be received once xor refused once"
+    );
+    prop_assert_eq!(live.load(Ordering::Relaxed), 0, "payload drop conservation");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Dual queue under the default epoch backend (the matrix baseline).
+    #[test]
+    fn queue_epoch_pairs_exactly_once(
+        producers in 1usize..=3,
+        consumers in 1usize..=3,
+        per in 1usize..=25,
+    ) {
+        let q: Arc<SyncDualQueue<Payload, Epoch>> = Arc::new(SyncDualQueue::new_in());
+        check_conservation(q, producers, consumers, per)?;
+    }
+
+    /// Dual queue under the hazard-pointer backend.
+    #[test]
+    fn queue_hazard_pairs_exactly_once(
+        producers in 1usize..=3,
+        consumers in 1usize..=3,
+        per in 1usize..=25,
+    ) {
+        let q: Arc<SyncDualQueue<Payload, Hazard>> = Arc::new(SyncDualQueue::new_in());
+        check_conservation(q, producers, consumers, per)?;
+    }
+
+    /// Dual stack under the default epoch backend.
+    #[test]
+    fn stack_epoch_pairs_exactly_once(
+        producers in 1usize..=3,
+        consumers in 1usize..=3,
+        per in 1usize..=25,
+    ) {
+        let s: Arc<SyncDualStack<Payload, Epoch>> = Arc::new(SyncDualStack::new_in());
+        check_conservation(s, producers, consumers, per)?;
+    }
+
+    /// Dual stack under the hazard-pointer backend.
+    #[test]
+    fn stack_hazard_pairs_exactly_once(
+        producers in 1usize..=3,
+        consumers in 1usize..=3,
+        per in 1usize..=25,
+    ) {
+        let s: Arc<SyncDualStack<Payload, Hazard>> = Arc::new(SyncDualStack::new_in());
+        check_conservation(s, producers, consumers, per)?;
+    }
+}

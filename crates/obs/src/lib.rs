@@ -203,6 +203,21 @@ probes! {
     /// Consumers that found the ring empty (and no linked transfers) and
     /// registered as item-waiters.
     RingEmptyWaits => "ring.empty_waits",
+    /// Nodes handed to a reclaimer backend (`Shield::defer_retire`), across
+    /// every backend — the inflow side of the garbage ledger.
+    ReclaimRetired => "reclaim.retired",
+    /// Retire closures actually executed (node freed or recycled) — the
+    /// outflow side; `retired - freed` is the live garbage population.
+    ReclaimFreed => "reclaim.freed",
+    /// Hazard-pointer scans: one per pass over the slot registry when a
+    /// retire list reaches its threshold (or an explicit `collect`).
+    ReclaimHazardScans => "reclaim.hazard_scans",
+    /// Retired nodes kept across a hazard scan because an active slot still
+    /// protected them — retire-list length pressure under load.
+    ReclaimHazardHeld => "reclaim.hazard_held",
+    /// Scans (hazard) that freed nothing at all: every candidate was pinned
+    /// by a slot. A growing count flags a stalled or wedged reader.
+    ReclaimStalls => "reclaim.stalls",
 }
 
 impl Probe {

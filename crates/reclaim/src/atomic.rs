@@ -7,7 +7,7 @@
 //! synchronous queues use a mode word for fidelity to the paper, and the
 //! ablation benches exercise tags).
 
-use crate::guard::Guard;
+use crate::reclaimer::{Epoch, Reclaimer, Shield};
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem;
@@ -54,16 +54,21 @@ pub struct Owned<T> {
     _marker: PhantomData<Box<T>>,
 }
 
-/// A tagged pointer valid for the lifetime of a [`Guard`] borrow.
+/// A tagged pointer valid for the lifetime of a guard borrow.
 pub struct Shared<'g, T> {
     data: usize,
     _marker: PhantomData<(&'g (), *const T)>,
 }
 
-/// A tagged atomic pointer to `T`.
-pub struct Atomic<T> {
+/// A tagged atomic pointer to `T`, reclaimed through the backend `R`
+/// (defaulted to [`Epoch`] so pre-trait code compiles unchanged).
+///
+/// `R` only matters for [`Atomic::load`], which routes the read through
+/// [`Shield::protect`] of `R`'s guard type — a plain load for the epoch
+/// backend, a publish-and-revalidate loop for hazard pointers.
+pub struct Atomic<T, R = Epoch> {
     data: AtomicUsize,
-    _marker: PhantomData<*mut T>,
+    _marker: PhantomData<(*mut T, R)>,
 }
 
 /// Error type of [`Atomic::compare_exchange`]: the actual current value and
@@ -110,9 +115,10 @@ impl<T> Owned<T> {
         }
     }
 
-    /// Converts into a [`Shared`] bound to `_guard`, relinquishing unique
-    /// ownership (the pointer is now managed by the caller's protocol).
-    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+    /// Converts into a [`Shared`] bound to `_guard` (any backend's guard
+    /// type), relinquishing unique ownership (the pointer is now managed by
+    /// the caller's protocol).
+    pub fn into_shared<'g, G>(self, _guard: &'g G) -> Shared<'g, T> {
         let data = self.data;
         mem::forget(self);
         Shared {
@@ -320,7 +326,7 @@ impl<T> Default for Shared<'_, T> {
 
 // --------------------------------------------------------------- Atomic --
 
-impl<T> Atomic<T> {
+impl<T, R> Atomic<T, R> {
     /// Heap-allocates `value` and points at it (tag 0).
     pub fn new(value: T) -> Self {
         Atomic {
@@ -345,10 +351,29 @@ impl<T> Atomic<T> {
         }
     }
 
+    /// Reclaims the pointee.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have exclusive access (`&mut`-like) and the pointer must
+    /// be non-null.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        // SAFETY: per caller contract.
+        unsafe { Owned::from_usize(self.data.into_inner()) }
+    }
+}
+
+impl<T, R: Reclaimer> Atomic<T, R> {
     /// Loads the pointer; the result is protected by `_guard`.
-    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
-        // SAFETY: Shared::from_usize on a word this Atomic holds.
-        unsafe { Shared::from_usize(self.data.load(ord)) }
+    ///
+    /// Under bounded-slot backends the protection is routed through
+    /// [`Shield::protect`]; see its contract for when the result may be
+    /// dereferenced (structure-field sources: directly; node-field sources:
+    /// only after re-validating a structure field).
+    pub fn load<'g>(&self, ord: Ordering, guard: &'g R::Guard) -> Shared<'g, T> {
+        // SAFETY: Shared::from_usize on a word this Atomic holds, protected
+        // per the Shield contract.
+        unsafe { Shared::from_usize(guard.protect::<T>(&self.data, ord)) }
     }
 
     /// Stores a new pointer, discarding (not freeing) the old one.
@@ -357,11 +382,15 @@ impl<T> Atomic<T> {
     }
 
     /// Atomically swaps the pointer, returning the previous value.
+    ///
+    /// The result is **not** routed through [`Shield::protect`]: under
+    /// bounded-slot backends it may only be compared or retired, never
+    /// dereferenced (the epoch pin covers it; a hazard slot does not).
     pub fn swap<'g, P: Pointer<T>>(
         &self,
         new: P,
         ord: Ordering,
-        _guard: &'g Guard,
+        _guard: &'g R::Guard,
     ) -> Shared<'g, T> {
         // SAFETY: previous word was held by this Atomic.
         unsafe { Shared::from_usize(self.data.swap(new.into_usize(), ord)) }
@@ -375,7 +404,7 @@ impl<T> Atomic<T> {
         new: P,
         success: Ordering,
         failure: Ordering,
-        _guard: &'g Guard,
+        _guard: &'g R::Guard,
     ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
         let new_data = new.into_usize();
         match self
@@ -401,7 +430,7 @@ impl<T> Atomic<T> {
         new: P,
         success: Ordering,
         failure: Ordering,
-        _guard: &'g Guard,
+        _guard: &'g R::Guard,
     ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
         let new_data = new.into_usize();
         match self
@@ -417,32 +446,23 @@ impl<T> Atomic<T> {
         }
     }
 
-    /// Bitwise OR on the tag bits; returns the previous value.
-    pub fn fetch_or<'g>(&self, tag: usize, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+    /// Bitwise OR on the tag bits; returns the previous value (subject to
+    /// the same no-deref caveat as [`Atomic::swap`] under bounded-slot
+    /// backends).
+    pub fn fetch_or<'g>(&self, tag: usize, ord: Ordering, _guard: &'g R::Guard) -> Shared<'g, T> {
         let prev = self.data.fetch_or(tag & low_bits::<T>(), ord);
         // SAFETY: word held by this Atomic.
         unsafe { Shared::from_usize(prev) }
     }
-
-    /// Reclaims the pointee.
-    ///
-    /// # Safety
-    ///
-    /// Caller must have exclusive access (`&mut`-like) and the pointer must
-    /// be non-null.
-    pub unsafe fn into_owned(self) -> Owned<T> {
-        // SAFETY: per caller contract.
-        unsafe { Owned::from_usize(self.data.into_inner()) }
-    }
 }
 
-impl<T> Default for Atomic<T> {
+impl<T, R> Default for Atomic<T, R> {
     fn default() -> Self {
         Atomic::null()
     }
 }
 
-impl<T> fmt::Debug for Atomic<T> {
+impl<T, R> fmt::Debug for Atomic<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let data = self.data.load(Ordering::Relaxed);
         let (raw, tag) = decompose::<T>(data);
@@ -454,9 +474,10 @@ impl<T> fmt::Debug for Atomic<T> {
 }
 
 // SAFETY: an Atomic hands out &T across threads (via Shared::deref), so it
-// requires T: Send + Sync, matching crossbeam-epoch.
-unsafe impl<T: Send + Sync> Send for Atomic<T> {}
-unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+// requires T: Send + Sync, matching crossbeam-epoch. `R` is a phantom
+// marker and imposes nothing.
+unsafe impl<T: Send + Sync, R> Send for Atomic<T, R> {}
+unsafe impl<T: Send + Sync, R> Sync for Atomic<T, R> {}
 unsafe impl<T: Send> Send for Owned<T> {}
 
 #[cfg(test)]
@@ -486,7 +507,7 @@ mod tests {
     #[test]
     fn atomic_load_store_swap() {
         let g = unsafe { unprotected() };
-        let a = Atomic::new(10u64);
+        let a: Atomic<u64> = Atomic::new(10);
         let p = a.load(Ordering::Acquire, &g);
         assert_eq!(unsafe { *p.deref() }, 10);
 
@@ -502,7 +523,7 @@ mod tests {
     #[test]
     fn compare_exchange_success_and_failure() {
         let g = unsafe { unprotected() };
-        let a = Atomic::new(1u64);
+        let a: Atomic<u64> = Atomic::new(1);
         let cur = a.load(Ordering::Acquire, &g);
 
         // Failure path returns the Owned for reuse.
@@ -542,7 +563,7 @@ mod tests {
     #[test]
     fn fetch_or_sets_tag() {
         let g = unsafe { unprotected() };
-        let a = Atomic::new(5u64);
+        let a: Atomic<u64> = Atomic::new(5);
         let before = a.fetch_or(1, Ordering::AcqRel, &g);
         assert_eq!(before.tag(), 0);
         let after = a.load(Ordering::Acquire, &g);
@@ -554,7 +575,7 @@ mod tests {
     #[test]
     fn compare_exchange_weak_eventually_succeeds() {
         let g = unsafe { unprotected() };
-        let a = Atomic::new(1u64);
+        let a: Atomic<u64> = Atomic::new(1);
         let cur = a.load(Ordering::Acquire, &g);
         let mut new = Owned::new(2u64);
         loop {
@@ -579,7 +600,7 @@ mod tests {
         let g = unsafe { unprotected() };
         let o = Owned::from_box(Box::new(9u64));
         let raw = &*o as *const u64;
-        let a = Atomic::from_owned(o);
+        let a: Atomic<u64> = Atomic::from_owned(o);
         let s = unsafe { Shared::from_raw(raw) };
         assert!(a.load(Ordering::Acquire, &g).ptr_eq(&s));
         unsafe { drop(a.into_owned()) };

@@ -22,19 +22,52 @@
 //! for in Java ("Java does not allow us to set flag bits in pointers") and
 //! worked around with an extra mode word per node.
 //!
-//! # Example
+//! # Pluggable backends
+//!
+//! The epoch scheme above is now one implementation of the [`Reclaimer`]
+//! trait family ([`Reclaimer`] + [`Shield`], see [`reclaimer`]); the
+//! [`Hazard`] backend trades slower protected loads for a **bounded**
+//! garbage population even when a reader stalls forever mid-critical
+//! section. Structures select a backend with a type parameter that
+//! defaults to [`Epoch`], so `Atomic<T>` and every pre-trait caller
+//! compile unchanged.
+//!
+//! # Example (default epoch backend)
 //!
 //! ```
 //! use synq_reclaim::{self as epoch, Atomic, Owned};
 //! use std::sync::atomic::Ordering;
 //!
-//! let a = Atomic::new(1234);
+//! let a: Atomic<i32> = Atomic::new(1234);
 //! let guard = epoch::pin();
 //! let p = a.load(Ordering::Acquire, &guard);
 //! assert_eq!(unsafe { p.as_ref() }, Some(&1234));
 //! // Replace and defer destruction of the old value:
 //! let old = a.swap(Owned::new(5678), Ordering::AcqRel, &guard);
 //! unsafe { guard.defer_destroy(old) };
+//! # drop(guard);
+//! # unsafe { drop(a.into_owned()) };
+//! ```
+//!
+//! # Example (trait-generic code, hazard backend)
+//!
+//! ```
+//! use synq_reclaim::{Atomic, Hazard, Owned, Reclaimer, Shield};
+//! use std::sync::atomic::Ordering;
+//!
+//! fn replace<R: Reclaimer>(a: &Atomic<i32, R>, value: i32) {
+//!     let guard = R::pin();
+//!     let old = a.swap(Owned::new(value), Ordering::AcqRel, &guard);
+//!     // Retire through the trait: hazard keys its scan on the address.
+//!     let raw = old.as_raw() as usize;
+//!     unsafe { guard.defer_retire(raw, move || drop(Box::from_raw(raw as *mut i32))) };
+//! }
+//!
+//! let a: Atomic<i32, Hazard> = Atomic::new(1);
+//! replace(&a, 2);
+//! let guard = Hazard::pin();
+//! let p = a.load(Ordering::Acquire, &guard);
+//! assert_eq!(unsafe { p.as_ref() }, Some(&2));
 //! # drop(guard);
 //! # unsafe { drop(a.into_owned()) };
 //! ```
@@ -48,9 +81,13 @@ mod collector;
 mod default;
 mod deferred;
 mod guard;
+mod hazard;
 mod internal;
+pub mod reclaimer;
 
 pub use atomic::{Atomic, CompareExchangeError, Owned, Pointer, Shared};
 pub use collector::{Collector, LocalHandle};
 pub use default::{default_collector, pin};
 pub use guard::{unprotected, Guard};
+pub use hazard::{Hazard, HazardGuard, SCAN_THRESHOLD, SLOTS_PER_RECORD};
+pub use reclaimer::{Epoch, Reclaimer, Shield, SLOT_WINDOW};

@@ -1,0 +1,317 @@
+//! The backend-agnostic reclamation vocabulary: [`Reclaimer`] and
+//! [`Shield`].
+//!
+//! Every lock-free structure in the workspace used to be hard-wired to this
+//! crate's epoch collector. Brown's "Reclaiming memory for lock-free data
+//! structures: there has to be a better way" (PAPERS.md) spells out why that
+//! is a liability for long-running processes: one stalled thread holding a
+//! pin blocks *every* epoch advance, so the retire lists of all other
+//! threads grow without bound. Hazard pointers bound garbage per thread but
+//! tax every pointer load with a store + fence. Neither dominates — so the
+//! choice becomes a type parameter.
+//!
+//! The split mirrors the two roles of the epoch API:
+//!
+//! * [`Reclaimer`] is the *scheme* — a zero-sized marker type ([`Epoch`],
+//!   [`crate::Hazard`]) with associated entry points (`pin`, `unprotected`)
+//!   and a process-wide garbage ledger (`pending`, `peak_pending`) that the
+//!   stalled-thread bench reads.
+//! * [`Shield`] is the *critical-section witness* — what a concrete guard
+//!   type implements so [`crate::Atomic::load`] can route pointer
+//!   protection through it. For the epoch backend `protect` is a plain
+//!   load (the pin already protects everything); for hazard pointers it is
+//!   the publish-and-revalidate loop.
+//!
+//! # Ordering and validation contract
+//!
+//! `protect` guarantees: *at some instant during the call, `src` held the
+//! returned word while the protection for its (untagged) address was
+//! globally visible*. For a `src` that is a **structure field** (a queue's
+//! `head`/`tail`), that instant proves the pointee was not yet retired —
+//! retirement always follows the CAS that unlinks it — so the result may be
+//! dereferenced directly.
+//!
+//! For a `src` that is a **node field** (`node.next`), the instant proves
+//! nothing by itself: the node chain beyond a retired-but-protected node is
+//! frozen, so the re-read can succeed long after the successor was retired
+//! and even freed. Callers must therefore re-validate a structure field
+//! (re-load `head`/`tail` and compare, or succeed a CAS on it) *after* the
+//! `protect` call and *before* dereferencing — exactly the Michael&Scott
+//! consistency checks the synchronous-queue loops already perform. The
+//! publish side of `protect` ends in a `SeqCst` fence and the hazard scan
+//! begins with one, so the classic two-fence (Dekker) argument applies to
+//! that later validating load as well.
+//!
+//! Values obtained *without* `protect` — `swap` results and
+//! [`crate::CompareExchangeError::current`] — are never protected by a
+//! hazard slot. Under the epoch backend the pin covers them; generic code
+//! must treat them as compare-only (pointer equality, CAS operands) and
+//! re-`load` before dereferencing.
+
+use crate::guard::Guard;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A memory-reclamation scheme, selectable per structure via a type
+/// parameter (`SyncDualQueue<T, R>`); defaults to [`Epoch`] everywhere.
+///
+/// Implementations are zero-sized markers; all state lives in per-thread
+/// records and process-wide registries owned by the backend.
+pub trait Reclaimer: Sized + Send + Sync + 'static {
+    /// The critical-section witness handed out by [`Reclaimer::pin`].
+    type Guard: Shield;
+
+    /// Short lowercase backend name (`"epoch"`, `"hazard"`) — used as the
+    /// series label in `BENCH_reclaim.json`.
+    const NAME: &'static str;
+
+    /// Enters a critical section: loads made through the returned guard
+    /// stay valid until the guard drops.
+    fn pin() -> Self::Guard;
+
+    /// Returns a no-op guard that performs no protection and runs retired
+    /// closures immediately.
+    ///
+    /// # Safety
+    ///
+    /// Callable only with exclusive access to every structure touched
+    /// through it (`Drop`, `&mut self`, single-threaded construction).
+    unsafe fn unprotected() -> Self::Guard;
+
+    /// Retired-but-not-yet-reclaimed closures currently outstanding across
+    /// the process for this backend (the live garbage population).
+    fn pending() -> usize;
+
+    /// High-water mark of [`Reclaimer::pending`] since process start or the
+    /// last [`Reclaimer::reset_peak`].
+    fn peak_pending() -> usize;
+
+    /// Resets the [`Reclaimer::peak_pending`] high-water mark to the
+    /// current pending count (benchmark bookkeeping).
+    fn reset_peak();
+
+    /// Best-effort reclamation pass on the calling thread (seal + collect
+    /// for epoch, a registry scan for hazard). Never blocks.
+    fn collect();
+}
+
+/// A critical-section witness: the trait face of a backend's guard.
+///
+/// See the module docs for the `protect` validation contract that generic
+/// structure code must uphold.
+pub trait Shield {
+    /// Loads the pointer word in `src` such that the allocation behind its
+    /// untagged address cannot be reclaimed while this shield lives (or,
+    /// for bounded-slot backends, until the protection is recycled —
+    /// see [`SLOT_WINDOW`]).
+    ///
+    /// `T` only supplies the alignment used to strip tag bits before the
+    /// address is published to a hazard slot.
+    fn protect<T>(&self, src: &AtomicUsize, ord: Ordering) -> usize;
+
+    /// Defers `f` until no thread can hold a protected reference to the
+    /// allocation at `addr` (untagged). Epoch ignores `addr` (the grace
+    /// period covers everything); hazard keys its scan on it.
+    ///
+    /// # Safety
+    ///
+    /// As for [`Guard::defer_unchecked`]: `f` must be safe to run on any
+    /// thread at any later time, and `addr` must be the untagged address of
+    /// the unlinked allocation `f` reclaims (it must not be retired twice).
+    /// On an unprotected shield `f` runs immediately.
+    unsafe fn defer_retire<F: FnOnce()>(&self, addr: usize, f: F);
+
+    /// Hurries reclamation along (seal the bag / scan the registry).
+    /// No-op on an unprotected shield.
+    fn flush(&self);
+}
+
+/// The number of *subsequent* `protect` calls on the same thread for which
+/// a previously protected pointer is guaranteed to stay protected under
+/// bounded-slot backends (hazard). The epoch backend protects for the whole
+/// guard lifetime regardless.
+///
+/// Structure loops re-load every pointer they touch on each iteration, so
+/// their live window is 4–5 protections; this bound leaves headroom.
+pub const SLOT_WINDOW: usize = 15;
+
+// ------------------------------------------------------- garbage ledger --
+
+/// One backend's process-wide retired/reclaimed ledger. `pending` is exact
+/// (every retire increments, every executed closure decrements); `peak` is
+/// a CAS-maintained high-water mark.
+pub(crate) struct GarbageLedger {
+    pending: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl GarbageLedger {
+    pub(crate) const fn new() -> Self {
+        GarbageLedger {
+            pending: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records one retirement and pushes the peak if needed.
+    pub(crate) fn retire(&self) {
+        synq_obs::probe!(ReclaimRetired);
+        let now = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut peak = self.peak.load(Ordering::Relaxed);
+        while now > peak {
+            match self
+                .peak
+                .compare_exchange_weak(peak, now, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => peak = actual,
+            }
+        }
+    }
+
+    /// Records one executed retire closure.
+    pub(crate) fn reclaimed(&self) {
+        synq_obs::probe!(ReclaimFreed);
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn pending(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset_peak(&self) {
+        self.peak
+            .store(self.pending.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+pub(crate) static EPOCH_LEDGER: GarbageLedger = GarbageLedger::new();
+
+// ------------------------------------------------------- epoch backend --
+
+/// The epoch-based backend (this crate's original scheme): fastest loads
+/// (`protect` is a plain atomic load), but a single stalled pinned thread
+/// stops every epoch advance and lets garbage grow without bound.
+pub struct Epoch;
+
+impl Reclaimer for Epoch {
+    type Guard = Guard;
+    const NAME: &'static str = "epoch";
+
+    #[inline]
+    fn pin() -> Guard {
+        crate::default::pin()
+    }
+
+    #[inline]
+    unsafe fn unprotected() -> Guard {
+        // SAFETY: forwarded caller contract.
+        unsafe { crate::guard::unprotected() }
+    }
+
+    fn pending() -> usize {
+        EPOCH_LEDGER.pending()
+    }
+
+    fn peak_pending() -> usize {
+        EPOCH_LEDGER.peak()
+    }
+
+    fn reset_peak() {
+        EPOCH_LEDGER.reset_peak()
+    }
+
+    fn collect() {
+        crate::default::pin().flush();
+    }
+}
+
+impl Shield for Guard {
+    #[inline]
+    fn protect<T>(&self, src: &AtomicUsize, ord: Ordering) -> usize {
+        // The pin already protects every reachable node; no per-pointer
+        // publication is needed.
+        src.load(ord)
+    }
+
+    #[inline]
+    unsafe fn defer_retire<F: FnOnce()>(&self, _addr: usize, f: F) {
+        EPOCH_LEDGER.retire();
+        let f = move || {
+            EPOCH_LEDGER.reclaimed();
+            f();
+        };
+        // SAFETY: forwarded caller contract.
+        unsafe { self.defer_unchecked(f) }
+    }
+
+    #[inline]
+    fn flush(&self) {
+        Guard::flush(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_tracks_pending_and_peak() {
+        let ledger = GarbageLedger::new();
+        assert_eq!(ledger.pending(), 0);
+        ledger.retire();
+        ledger.retire();
+        ledger.retire();
+        assert_eq!(ledger.pending(), 3);
+        assert_eq!(ledger.peak(), 3);
+        ledger.reclaimed();
+        ledger.reclaimed();
+        assert_eq!(ledger.pending(), 1);
+        assert_eq!(ledger.peak(), 3, "peak survives reclamation");
+        ledger.reset_peak();
+        assert_eq!(ledger.peak(), 1, "reset snaps peak to current pending");
+    }
+
+    #[test]
+    fn epoch_defer_retire_flows_through_ledger() {
+        let before = Epoch::pending();
+        {
+            let g = Epoch::pin();
+            // SAFETY: the closure owns nothing and can run any time.
+            unsafe { g.defer_retire(0x1000, || {}) };
+            assert!(Epoch::pending() > before, "retire counted while pending");
+            g.flush();
+        }
+        for _ in 0..64 {
+            Epoch::collect();
+            if Epoch::pending() <= before {
+                break;
+            }
+        }
+        assert!(
+            Epoch::pending() <= before,
+            "closure ran and was decremented"
+        );
+        assert!(Epoch::peak_pending() > before);
+    }
+
+    #[test]
+    fn epoch_protect_matches_plain_load() {
+        let word = AtomicUsize::new(0xbeef0);
+        let g = Epoch::pin();
+        assert_eq!(g.protect::<u64>(&word, Ordering::Acquire), 0xbeef0);
+    }
+
+    #[test]
+    fn unprotected_shield_runs_retire_immediately() {
+        use std::sync::atomic::AtomicBool;
+        let ran = AtomicBool::new(false);
+        // SAFETY: nothing shared is touched.
+        let g = unsafe { Epoch::unprotected() };
+        unsafe { g.defer_retire(0, || ran.store(true, Ordering::SeqCst)) };
+        assert!(ran.load(Ordering::SeqCst));
+    }
+}

@@ -26,7 +26,7 @@ fn swap_storm_drops_each_value_exactly_once() {
 
     let collector = Collector::new();
     let drops = Arc::new(AtomicUsize::new(0));
-    let slot = Arc::new(Atomic::new(Tracked {
+    let slot: Arc<Atomic<Tracked>> = Arc::new(Atomic::new(Tracked {
         value: u64::MAX,
         drops: Arc::clone(&drops),
     }));
@@ -86,7 +86,7 @@ fn readers_never_observe_freed_memory() {
 
     let collector = Collector::new();
     let drops = Arc::new(AtomicUsize::new(0));
-    let slot = Arc::new(Atomic::new(Tracked {
+    let slot: Arc<Atomic<Tracked>> = Arc::new(Atomic::new(Tracked {
         value: CANARY,
         drops: Arc::clone(&drops),
     }));

@@ -53,26 +53,26 @@ use synq::{
 };
 use synq_obs::probe;
 use synq_primitives::{CachePadded, WaitOutcome, WaitSlot};
-use synq_reclaim::{self as epoch, Atomic, Guard, Owned, Shared};
+use synq_reclaim::{Atomic, Epoch, Owned, Reclaimer, Shared, Shield};
 use waiters::WaiterQueue;
 
-struct TNode<T> {
+struct TNode<T, R: Reclaimer> {
     /// The wait-node protocol. Async data nodes never wait on it: the
     /// producer has already returned and only the state machine is used.
     slot: WaitSlot<T>,
-    next: Atomic<TNode<T>>,
+    next: Atomic<TNode<T, R>, R>,
     is_data: bool,
     /// Bounded mode tallies linked sync transfers in
-    /// `TransferQueue::sync_transfers` so consumers can skip the epoch-
-    /// pinned linked path entirely when none exist; a counted node must
-    /// decrement on claim or cancellation.
+    /// `TransferQueue::sync_transfers` so consumers can skip the
+    /// reclaimer-guarded linked path entirely when none exist; a counted
+    /// node must decrement on claim or cancellation.
     counted: bool,
     refs: AtomicUsize,
     unlinked: AtomicBool,
 }
 
-impl<T> TNode<T> {
-    fn new(is_data: bool, counted: bool, refs: usize) -> Owned<TNode<T>> {
+impl<T, R: Reclaimer> TNode<T, R> {
+    fn new(is_data: bool, counted: bool, refs: usize) -> Owned<TNode<T, R>> {
         Owned::new(TNode {
             slot: WaitSlot::new(),
             next: Atomic::null(),
@@ -83,7 +83,7 @@ impl<T> TNode<T> {
         })
     }
 
-    unsafe fn release(ptr: *const TNode<T>) {
+    unsafe fn release(ptr: *const TNode<T, R>) {
         // SAFETY: caller owns one reference.
         let node = unsafe { &*ptr };
         if node.refs.fetch_sub(1, Ordering::Release) == 1 {
@@ -91,7 +91,7 @@ impl<T> TNode<T> {
             // SAFETY: last reference (see synq::dual_queue for the
             // reclamation argument). The slot's Drop releases any item
             // still pending in the cell.
-            drop(unsafe { Box::from_raw(ptr as *mut TNode<T>) });
+            drop(unsafe { Box::from_raw(ptr as *mut TNode<T, R>) });
         }
     }
 }
@@ -133,16 +133,28 @@ enum PutMode {
 /// assert_eq!(q.poll(), Some(1));
 /// assert_eq!(q.poll(), Some(2));
 /// ```
-pub struct TransferQueue<T> {
-    head: Atomic<TNode<T>>,
-    tail: Atomic<TNode<T>>,
+///
+/// The memory-reclamation backend is pluggable (`R`, default
+/// [`Epoch`]) — see `synq_reclaim` for the trade-offs:
+///
+/// ```
+/// use synq_reclaim::Hazard;
+/// use synq_transfer::TransferQueue;
+///
+/// let q: TransferQueue<u32, Hazard> = TransferQueue::new_in();
+/// q.put(7);
+/// assert_eq!(q.take(), 7);
+/// ```
+pub struct TransferQueue<T, R: Reclaimer = Epoch> {
+    head: Atomic<TNode<T, R>, R>,
+    tail: Atomic<TNode<T, R>, R>,
     spin: SpinPolicy,
     /// Bounded mode: the array fast path in front of the linked protocol.
     ring: Option<RingBuffer<T>>,
     /// Bounded mode: linked *sync* data nodes currently published (put
     /// after the publish CAS, taken back on claim or cancellation).
-    /// Consumers touch the epoch-pinned linked path only when this is
-    /// non-zero, which is what makes the pure buffered path epoch-free.
+    /// Consumers touch the reclaimer-guarded linked path only when this is
+    /// non-zero, which is what makes the pure buffered path guard-free.
     sync_transfers: CachePadded<AtomicUsize>,
     /// Bounded mode: producers waiting for ring space.
     space_waiters: WaiterQueue,
@@ -152,24 +164,25 @@ pub struct TransferQueue<T> {
 }
 
 // SAFETY: as for synq::SyncDualQueue; the ring imposes only T: Send.
-unsafe impl<T: Send> Send for TransferQueue<T> {}
-unsafe impl<T: Send> Sync for TransferQueue<T> {}
+unsafe impl<T: Send, R: Reclaimer> Send for TransferQueue<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for TransferQueue<T, R> {}
 
-impl<T: Send> Default for TransferQueue<T> {
+impl<T: Send, R: Reclaimer> Default for TransferQueue<T, R> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl<T: Send> TransferQueue<T> {
-    /// Creates an empty unbounded queue.
+    /// Creates an empty unbounded queue (under the default [`Epoch`]
+    /// reclaimer — see [`TransferQueue::new_in`] for other backends).
     pub fn new() -> Self {
         Self::with_spin(SpinPolicy::adaptive())
     }
 
     /// Creates an empty unbounded queue with an explicit spin policy.
     pub fn with_spin(spin: SpinPolicy) -> Self {
-        Self::build(spin, None)
+        Self::with_spin_in(spin)
     }
 
     /// Creates a bounded queue: buffered `put`/`poll` ride a
@@ -182,12 +195,36 @@ impl<T: Send> TransferQueue<T> {
 
     /// [`Self::bounded`] with an explicit spin policy.
     pub fn bounded_with_spin(capacity: usize, spin: SpinPolicy) -> Self {
+        Self::bounded_with_spin_in(capacity, spin)
+    }
+}
+
+impl<T: Send, R: Reclaimer> TransferQueue<T, R> {
+    /// Creates an empty unbounded queue under the reclamation backend
+    /// `R`: `TransferQueue::<T, Hazard>::new_in()`.
+    pub fn new_in() -> Self {
+        Self::with_spin_in(SpinPolicy::adaptive())
+    }
+
+    /// [`Self::new_in`] with an explicit spin policy.
+    pub fn with_spin_in(spin: SpinPolicy) -> Self {
+        Self::build(spin, None)
+    }
+
+    /// [`Self::bounded`] under the reclamation backend `R`.
+    pub fn bounded_in(capacity: usize) -> Self {
+        Self::bounded_with_spin_in(capacity, SpinPolicy::adaptive())
+    }
+
+    /// [`Self::bounded_in`] with an explicit spin policy.
+    pub fn bounded_with_spin_in(capacity: usize, spin: SpinPolicy) -> Self {
         Self::build(spin, Some(RingBuffer::new(capacity)))
     }
 
     fn build(spin: SpinPolicy, ring: Option<RingBuffer<T>>) -> Self {
         let dummy = TNode::new(false, false, 1);
-        let guard = unsafe { epoch::unprotected() };
+        // SAFETY: single-threaded construction.
+        let guard = unsafe { R::unprotected() };
         let dummy = dummy.into_shared(&guard);
         let head = Atomic::null();
         let tail = Atomic::null();
@@ -449,26 +486,35 @@ impl<T: Send> TransferQueue<T> {
     /// Number of buffered (unmatched, uncancelled) data items: ring
     /// occupancy plus published-but-unclaimed synchronous transfers.
     ///
-    /// Bounded mode is O(1) and epoch-free (two atomic loads); unbounded
-    /// mode walks the linked chain under an epoch pin, O(n).
+    /// Bounded mode is O(1) and guard-free (two atomic loads); unbounded
+    /// mode walks the linked chain under a reclaimer guard, O(n).
     pub fn len(&self) -> usize {
         if let Some(ring) = &self.ring {
             return ring.len() + self.sync_transfers.load(Ordering::SeqCst);
         }
-        let guard = epoch::pin();
-        let mut n = 0;
-        let mut p = self.head.load(Ordering::Acquire, &guard);
-        loop {
-            // SAFETY: chain protected by the pin.
-            let node = unsafe { p.deref() };
-            let next = node.next.load(Ordering::Acquire, &guard);
-            let Some(next_ref) = (unsafe { next.as_ref() }) else {
-                return n;
-            };
-            if next_ref.is_data && next_ref.slot.is_waiting() {
-                n += 1;
+        let guard = R::pin();
+        'restart: loop {
+            let h = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: head never null; structure-field protection.
+            let mut prev = unsafe { h.deref() };
+            let mut n = 0;
+            loop {
+                let next = prev.next.load(Ordering::Acquire, &guard);
+                // Head re-anchor (see synq::dual_queue): nodes retire only
+                // as the head advances past them, so an unchanged head
+                // proves everything reached from it is still alive.
+                if !self.head.load(Ordering::Acquire, &guard).ptr_eq(&h) {
+                    continue 'restart;
+                }
+                // SAFETY: protected, and validated live just above.
+                let Some(next_ref) = (unsafe { next.as_ref() }) else {
+                    return n;
+                };
+                if next_ref.is_data && next_ref.slot.is_waiting() {
+                    n += 1;
+                }
+                prev = next_ref;
             }
-            p = next;
         }
     }
 
@@ -493,20 +539,27 @@ impl<T: Send> TransferQueue<T> {
         if self.ring.is_some() {
             return self.item_waiters.hint();
         }
-        let guard = epoch::pin();
-        let mut n = 0;
-        let mut p = self.head.load(Ordering::Acquire, &guard);
-        loop {
-            // SAFETY: chain protected by the pin.
-            let node = unsafe { p.deref() };
-            let next = node.next.load(Ordering::Acquire, &guard);
-            let Some(next_ref) = (unsafe { next.as_ref() }) else {
-                return n;
-            };
-            if !next_ref.is_data && next_ref.slot.is_waiting() {
-                n += 1;
+        let guard = R::pin();
+        'restart: loop {
+            let h = self.head.load(Ordering::Acquire, &guard);
+            // SAFETY: head never null; structure-field protection.
+            let mut prev = unsafe { h.deref() };
+            let mut n = 0;
+            loop {
+                let next = prev.next.load(Ordering::Acquire, &guard);
+                // Head re-anchor (see `len`).
+                if !self.head.load(Ordering::Acquire, &guard).ptr_eq(&h) {
+                    continue 'restart;
+                }
+                // SAFETY: protected, and validated live just above.
+                let Some(next_ref) = (unsafe { next.as_ref() }) else {
+                    return n;
+                };
+                if !next_ref.is_data && next_ref.slot.is_waiting() {
+                    n += 1;
+                }
+                prev = next_ref;
             }
-            p = next;
         }
     }
 
@@ -617,23 +670,35 @@ impl<T: Send> TransferQueue<T> {
 
     fn advance_head<'g>(
         &self,
-        h: Shared<'g, TNode<T>>,
-        nh: Shared<'g, TNode<T>>,
-        guard: &'g Guard,
+        h: Shared<'g, TNode<T, R>>,
+        nh: Shared<'g, TNode<T, R>>,
+        guard: &'g R::Guard,
     ) -> bool {
         if self
             .head
             .compare_exchange(h, nh, Ordering::AcqRel, Ordering::Acquire, guard)
             .is_ok()
         {
+            // Help a lagging tail off `h` before retiring it, so `tail`
+            // never references a retired node (Michael's rule). Without
+            // this a bounded-slot backend could free `h` while `tail`
+            // still points at it, and a later tail-load's source
+            // re-validation would wrongly pass. Tail moves only forward
+            // along the chain, so once past `h` it can never return.
+            let t = self.tail.load(Ordering::Acquire, guard);
+            if t.ptr_eq(&h) {
+                let _ =
+                    self.tail
+                        .compare_exchange(t, nh, Ordering::Release, Ordering::Relaxed, guard);
+            }
             // SAFETY: unlinked by our CAS; release the structure reference.
             let node_ref = unsafe { h.deref() };
             let was = node_ref.unlinked.swap(true, Ordering::AcqRel);
             debug_assert!(!was);
             let raw = h.as_raw() as usize;
-            // SAFETY: deferred past the grace period.
+            // SAFETY: deferred past the backend's grace period.
             unsafe {
-                guard.defer_unchecked(move || TNode::release(raw as *const TNode<T>));
+                guard.defer_retire(raw, move || TNode::release(raw as *const TNode<T, R>));
             }
             true
         } else {
@@ -641,11 +706,19 @@ impl<T: Send> TransferQueue<T> {
         }
     }
 
-    fn absorb_cancelled(&self, guard: &Guard) {
+    fn absorb_cancelled(&self, guard: &R::Guard) {
         loop {
             let h = self.head.load(Ordering::Acquire, guard);
             // SAFETY: head never null.
             let hn = unsafe { h.deref() }.next.load(Ordering::Acquire, guard);
+            // Snapshot re-check (see synq::dual_queue): `hn` came through a
+            // node field, so prove `h` was still the head — hence
+            // unretired, hence `hn` unretired — after `hn`'s protection
+            // published.
+            if !self.head.load(Ordering::Acquire, guard).ptr_eq(&h) {
+                continue;
+            }
+            // SAFETY: validated just above.
             let Some(hn_ref) = (unsafe { hn.as_ref() }) else {
                 return;
             };
@@ -665,9 +738,9 @@ impl<T: Send> TransferQueue<T> {
     ) -> TransferOutcome<T> {
         // Bounded mode tallies linked sync transfers (see `sync_transfers`).
         let counted = mode == PutMode::Sync && self.ring.is_some();
-        let mut node: Option<Owned<TNode<T>>> = None;
+        let mut node: Option<Owned<TNode<T, R>>> = None;
         loop {
-            let guard = epoch::pin();
+            let guard = R::pin();
             self.absorb_cancelled(&guard);
 
             let h = self.head.load(Ordering::Acquire, &guard);
@@ -774,9 +847,9 @@ impl<T: Send> TransferQueue<T> {
     }
 
     fn consumer(&self, deadline: Deadline, token: Option<&CancelToken>) -> TransferOutcome<T> {
-        let mut node: Option<Owned<TNode<T>>> = None;
+        let mut node: Option<Owned<TNode<T, R>>> = None;
         loop {
-            let guard = epoch::pin();
+            let guard = R::pin();
             self.absorb_cancelled(&guard);
 
             let h = self.head.load(Ordering::Acquire, &guard);
@@ -866,7 +939,7 @@ impl<T: Send> TransferQueue<T> {
 
     fn await_fulfill(
         &self,
-        node_raw: *const TNode<T>,
+        node_raw: *const TNode<T, R>,
         is_data: bool,
         deadline: Deadline,
         token: Option<&CancelToken>,
@@ -888,7 +961,7 @@ impl<T: Send> TransferQueue<T> {
                 if node.counted {
                     self.sync_transfers.fetch_sub(1, Ordering::SeqCst);
                 }
-                let guard = epoch::pin();
+                let guard = R::pin();
                 self.absorb_cancelled(&guard);
                 drop(guard);
                 let item = if is_data {
@@ -917,7 +990,7 @@ impl<T: Send> TransferQueue<T> {
 /// directly into anything built over the channel traits — including the
 /// `ThreadPoolExecutor` — while still offering `put` for asynchronous use.
 /// (For *buffered* channel-trait semantics, wrap in [`BufferedChannel`].)
-impl<T: Send> Transferer<T> for TransferQueue<T> {
+impl<T: Send, R: Reclaimer> Transferer<T> for TransferQueue<T, R> {
     fn transfer(
         &self,
         item: Option<T>,
@@ -931,11 +1004,12 @@ impl<T: Send> Transferer<T> for TransferQueue<T> {
     }
 }
 
-impl_channels_via_transferer!(TransferQueue);
+impl_channels_via_transferer!(TransferQueue<R: synq_reclaim::Reclaimer>);
 
-impl<T> Drop for TransferQueue<T> {
+impl<T, R: Reclaimer> Drop for TransferQueue<T, R> {
     fn drop(&mut self) {
-        let guard = unsafe { epoch::unprotected() };
+        // SAFETY: exclusive access in Drop.
+        let guard = unsafe { R::unprotected() };
         let mut p = self.head.load(Ordering::Relaxed, &guard);
         while !p.is_null() {
             // SAFETY: exclusive access in Drop.
@@ -947,7 +1021,7 @@ impl<T> Drop for TransferQueue<T> {
     }
 }
 
-impl<T> std::fmt::Debug for TransferQueue<T> {
+impl<T, R: Reclaimer> std::fmt::Debug for TransferQueue<T, R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.ring {
             Some(ring) => write!(f, "TransferQueue {{ capacity: {} }}", ring.capacity()),
@@ -1738,6 +1812,86 @@ mod tests {
             c.join().unwrap();
         }
         assert_eq!(sum.load(Ordering::Relaxed), (0..PRODUCERS * PER).sum());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn hazard_backend_async_fifo() {
+        use synq_reclaim::Hazard;
+        let q: TransferQueue<u32, Hazard> = TransferQueue::new_in();
+        q.put(1);
+        q.put(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.take(), 1);
+        assert_eq!(q.take(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn hazard_backend_sync_rendezvous() {
+        use synq_reclaim::Hazard;
+        let q: Arc<TransferQueue<u32, Hazard>> = Arc::new(TransferQueue::new_in());
+        let p = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.transfer(42))
+        };
+        assert_eq!(q.take(), 42);
+        p.join().unwrap();
+    }
+
+    #[test]
+    fn hazard_backend_values_conserved_under_stress() {
+        use synq_reclaim::Hazard;
+        const PRODUCERS: usize = 4;
+        const PER: usize = 250;
+        let q: Arc<TransferQueue<usize, Hazard>> = Arc::new(TransferQueue::new_in());
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..PER {
+                    let v = p * PER + i;
+                    if i % 3 == 0 {
+                        q.transfer(v);
+                    } else {
+                        q.put(v);
+                    }
+                }
+            }));
+        }
+        let sum = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let sum = Arc::clone(&sum);
+                thread::spawn(move || {
+                    for _ in 0..PER {
+                        sum.fetch_add(q.take(), Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), (0..PRODUCERS * PER).sum());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn hazard_backend_timeout_storm_absorbs_cancelled() {
+        use std::time::Duration;
+        use synq_reclaim::Hazard;
+        let q: TransferQueue<u32, Hazard> = TransferQueue::new_in();
+        for _ in 0..64 {
+            assert!(q.poll_timeout(Duration::from_micros(1)).is_none());
+        }
+        // Cancelled reservations must not wedge the queue.
+        q.put(9);
+        assert_eq!(q.take(), 9);
         assert!(q.is_empty());
     }
 }

@@ -16,7 +16,9 @@
 //!   queue (fair) and synchronous dual stack (unfair).
 //! * [`baselines`] — the comparators: naive monitor queue, Hanson's
 //!   semaphore queue, Java SE 5.0-style fair/unfair queues.
-//! * [`reclaim`] — epoch-based memory reclamation (the GC substitute).
+//! * [`reclaim`] — pluggable memory reclamation (the GC substitute): the
+//!   `Reclaimer`/`Shield` trait family with an epoch backend (default) and
+//!   a hazard-pointer backend whose stalled-thread garbage is bounded.
 //! * [`primitives`] — parker, semaphore, ticket lock, backoff, spin policy.
 //! * [`classic`] — Treiber stack, M&S queue, nonsynchronous dual structures.
 //! * [`exchanger`] — elimination arena and elimination-backoff queue.
