@@ -53,7 +53,8 @@ pub use future::{RecvFuture, RecvTimedFuture, SendFuture, SendTimedFuture};
 use std::sync::Arc;
 use std::time::Duration;
 use synq::{
-    Deadline, StripedSyncQueue, StripedSyncStack, SyncDualQueue, SyncDualStack, TimedSyncChannel,
+    CombinerSyncQueue, Deadline, StripedSyncQueue, StripedSyncStack, SyncDualQueue, SyncDualStack,
+    TimedSyncChannel,
 };
 use synq_transfer::BufferedChannel;
 
@@ -242,6 +243,32 @@ async_wrapper! {
     AsyncStripedStack, StripedSyncStack, "synq::StripedSyncStack"
 }
 
+async_wrapper! {
+    /// The **flat-combining** async handoff point: delegation-based
+    /// pairing on a [`CombinerSyncQueue`] (FIFO within each combiner
+    /// sweep; see `synq::combiner`). Built for oversubscription — a
+    /// polled task that finds the structure quiet briefly combines on
+    /// behalf of every published request, so single-threaded executors
+    /// never stall waiting for a third-party combiner.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use synq_async::{block_on, AsyncCombinerQueue};
+    /// use synq::SyncChannel;
+    /// use std::thread;
+    ///
+    /// let q = AsyncCombinerQueue::new();
+    /// let q2 = q.clone();
+    /// // A *blocking* producer pairs with an *async* consumer through
+    /// // whichever side ends up sweeping.
+    /// let t = thread::spawn(move || q2.inner().put(5u32));
+    /// assert_eq!(block_on(q.recv()), 5);
+    /// t.join().unwrap();
+    /// ```
+    AsyncCombinerQueue, CombinerSyncQueue, "synq::CombinerSyncQueue"
+}
+
 /// The **buffered** async channel: a
 /// [`TransferQueue`](synq_transfer::TransferQueue) behind its
 /// [`BufferedChannel`] adapter. Unlike the rendezvous wrappers above,
@@ -418,6 +445,43 @@ mod tests {
         let t = std::thread::spawn(move || q2.inner().take());
         block_on(q.send(9u64));
         assert_eq!(t.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn combiner_async_send_pairs_with_blocking_take() {
+        let q = AsyncCombinerQueue::new();
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.inner().take());
+        block_on(q.send(9u64));
+        assert_eq!(t.join().unwrap(), 9);
+    }
+
+    #[test]
+    fn combiner_async_pingpong_single_executor() {
+        // Two tasks on one executor: resolution relies entirely on the
+        // permits' help-combine path (no third thread ever sweeps).
+        let q = AsyncCombinerQueue::new();
+        let (a, b) = (q.clone(), q);
+        let outs = block_on_all(vec![
+            Box::pin(async move {
+                a.send(1u32).await;
+                a.recv().await
+            }) as std::pin::Pin<Box<dyn std::future::Future<Output = u32>>>,
+            Box::pin(async move {
+                let v = b.recv().await;
+                b.send(v + 1).await;
+                v
+            }),
+        ]);
+        assert_eq!(outs, vec![2, 1]);
+    }
+
+    #[test]
+    fn combiner_try_ops_and_timed_recv() {
+        let q: AsyncCombinerQueue<u32> = AsyncCombinerQueue::new();
+        assert_eq!(q.try_recv(), None);
+        assert_eq!(q.try_send(1), Err(1));
+        assert_eq!(block_on(q.recv_timed(Duration::from_millis(10))), None);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 use synq::{
-    SpinPolicy, StripedSyncQueue, StripedSyncStack, SyncChannel, SyncDualQueue, SyncDualStack,
-    TimedSyncChannel,
+    CombinerSyncQueue, CombinerSyncStack, SpinPolicy, StripedSyncQueue, StripedSyncStack,
+    SyncChannel, SyncDualQueue, SyncDualStack, TimedSyncChannel,
 };
 use synq_baselines::{HansonFastSQ, HansonSQ, Java5SQ, NaiveSQ};
 use synq_exchanger::EliminationSyncStack;
@@ -59,6 +59,10 @@ pub enum Algo {
     NewFairStriped(usize),
     /// Striped dual stack with the given lane count (scalability sweep).
     NewUnfairStriped(usize),
+    /// Flat-combining queue (delegation; FIFO within each sweep).
+    NewCombiner,
+    /// Flat-combining stack (delegation; LIFO within each sweep).
+    NewCombinerStack,
 }
 
 impl Algo {
@@ -78,6 +82,8 @@ impl Algo {
             Algo::NewElim(n) => format!("new-unfair-elim{n}"),
             Algo::NewFairStriped(n) => format!("new-fair-striped{n}"),
             Algo::NewUnfairStriped(n) => format!("new-unfair-striped{n}"),
+            Algo::NewCombiner => "new-combiner".into(),
+            Algo::NewCombinerStack => "new-combiner-stack".into(),
         }
     }
 }
@@ -98,6 +104,8 @@ pub fn make_blocking(algo: Algo) -> Arc<dyn SyncChannel<u64>> {
         Algo::NewElim(slots) => Arc::new(EliminationSyncStack::new(slots)),
         Algo::NewFairStriped(lanes) => Arc::new(StripedSyncQueue::with_lanes(lanes)),
         Algo::NewUnfairStriped(lanes) => Arc::new(StripedSyncStack::with_lanes(lanes)),
+        Algo::NewCombiner => Arc::new(CombinerSyncQueue::new()),
+        Algo::NewCombinerStack => Arc::new(CombinerSyncStack::new()),
     }
 }
 
@@ -116,6 +124,8 @@ pub fn make_timed_job(algo: Algo) -> Option<Arc<dyn TimedSyncChannel<Job>>> {
         Algo::NewElim(slots) => Arc::new(EliminationSyncStack::new(slots)),
         Algo::NewFairStriped(lanes) => Arc::new(StripedSyncQueue::with_lanes(lanes)),
         Algo::NewUnfairStriped(lanes) => Arc::new(StripedSyncStack::with_lanes(lanes)),
+        Algo::NewCombiner => Arc::new(CombinerSyncQueue::new()),
+        Algo::NewCombinerStack => Arc::new(CombinerSyncStack::new()),
     })
 }
 

@@ -14,13 +14,14 @@
 use std::process::ExitCode;
 use synq_bench::json::Json;
 use synq_bench::report::{
-    async_path, check_bench_schema, headline_path, read_bench_file, reclaim_path, ring_path,
-    striped_path, wait_strategy_path, write_bench_async, write_bench_headline, write_bench_reclaim,
-    write_bench_ring, write_bench_striped, write_bench_wait_strategy, FigureReport,
+    async_path, check_bench_schema, combiner_path, headline_path, read_bench_file, reclaim_path,
+    ring_path, striped_path, wait_strategy_path, write_bench_async, write_bench_combiner,
+    write_bench_headline, write_bench_reclaim, write_bench_ring, write_bench_striped,
+    write_bench_wait_strategy, FigureReport,
 };
 
 /// The repo-root perf-trajectory files: (resolved path, schema family).
-fn bench_files() -> [(std::path::PathBuf, &'static str); 6] {
+fn bench_files() -> [(std::path::PathBuf, &'static str); 7] {
     [
         (headline_path(), "headline"),
         (wait_strategy_path(), "wait-strategy"),
@@ -28,6 +29,7 @@ fn bench_files() -> [(std::path::PathBuf, &'static str); 6] {
         (striped_path(), "striped"),
         (ring_path(), "ring"),
         (reclaim_path(), "reclaim"),
+        (combiner_path(), "combiner"),
     ]
 }
 
@@ -173,6 +175,12 @@ fn run() -> Result<(), String> {
         guard_overwrite(&reclaim_path(), "reclaim")?;
         let path = write_bench_reclaim(sweep)
             .map_err(|e| format!("failed to write BENCH_reclaim.json: {e}"))?;
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(sweep) = reports.iter().find(|r| r.id == "combiner") {
+        guard_overwrite(&combiner_path(), "combiner")?;
+        let path = write_bench_combiner(sweep)
+            .map_err(|e| format!("failed to write BENCH_combiner.json: {e}"))?;
         eprintln!("wrote {}", path.display());
     }
     Ok(())

@@ -34,20 +34,53 @@ pub const PAIR_LEVELS: &[usize] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
 /// Concurrency levels of Figures 4 and 5 (consumers / producers).
 pub const FAN_LEVELS: &[usize] = &[1, 2, 3, 5, 8, 12, 18, 27, 41, 62];
 
+/// Core count the oversubscription presets are computed against.
+pub fn bench_cores() -> usize {
+    synq_primitives::backoff::ncpus().max(1)
+}
+
+/// Explicit oversubscription factors `k` for the contended preset: each
+/// level fields `k × cores` *pairs* (so `2k × cores` threads). Recorded in
+/// every BENCH JSON's `config` block so a reader can reconstruct the
+/// thread counts from the host's core count instead of guessing.
+///
+/// Overridable with `SYNQ_BENCH_OVERSUB` (comma-separated factors, e.g.
+/// `SYNQ_BENCH_OVERSUB=4,32`); factors below 2 are dropped — the preset's
+/// contract is that every level oversubscribes — and the list is sorted
+/// and deduplicated. An override that leaves nothing falls back to the
+/// defaults.
+pub fn oversub_factors(quick: bool) -> Vec<usize> {
+    if let Ok(raw) = std::env::var("SYNQ_BENCH_OVERSUB") {
+        let mut ks: Vec<usize> = raw
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .filter(|&k| k >= 2)
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        if !ks.is_empty() {
+            return ks;
+        }
+        eprintln!("SYNQ_BENCH_OVERSUB={raw:?} has no usable factors >= 2; using defaults");
+    }
+    if quick {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4, 8, 16]
+    }
+}
+
 /// The **contended** preset: pair counts chosen to oversubscribe the host
 /// (threads ≫ cores), so transfers pile onto the structures faster than
 /// they drain and the CAS-retry paths actually execute. The plain
 /// [`PAIR_LEVELS`] sweep starts at one pair, where quick-mode runs on
 /// small machines never fail a CAS and the stats counters read zero
 /// (EXPERIMENTS.md P4's blind spot); every level here is already past the
-/// core count, even in quick mode.
+/// core count, even in quick mode. Levels are `k × cores` for each
+/// [`oversub_factors`] entry `k`.
 pub fn contended_pairs(quick: bool) -> Vec<usize> {
-    // Oversubscription multipliers relative to whatever the host has.
-    let cores = synq_primitives::backoff::ncpus().max(1);
-    let full: &[usize] = &[2, 4, 8, 16];
-    let quick_levels: &[usize] = &[2, 4, 8];
-    let mult = if quick { quick_levels } else { full };
-    mult.iter().map(|&m| (cores * m).max(m)).collect()
+    let cores = bench_cores();
+    oversub_factors(quick).iter().map(|&k| cores * k).collect()
 }
 
 /// Reads the harness scale from the environment: `SYNQ_BENCH_QUICK=1`
@@ -97,8 +130,33 @@ mod tests {
     }
 
     #[test]
+    fn oversub_factors_all_oversubscribe() {
+        for quick in [false, true] {
+            let ks = oversub_factors(quick);
+            assert!(!ks.is_empty());
+            assert!(ks.iter().all(|&k| k >= 2), "factors {ks:?}");
+            assert!(ks.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(oversub_factors(true).len() <= oversub_factors(false).len());
+    }
+
+    #[test]
+    fn contended_levels_are_factor_times_cores() {
+        let cores = bench_cores();
+        for quick in [false, true] {
+            assert_eq!(
+                contended_pairs(quick),
+                oversub_factors(quick)
+                    .iter()
+                    .map(|&k| k * cores)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
     fn contended_levels_oversubscribe_the_host() {
-        let cores = synq_primitives::backoff::ncpus().max(1);
+        let cores = bench_cores();
         for quick in [false, true] {
             let levels = contended_pairs(quick);
             assert!(!levels.is_empty());

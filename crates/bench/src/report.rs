@@ -33,6 +33,12 @@ pub struct FigureReport {
     pub levels: Vec<usize>,
     /// One series per algorithm.
     pub series: Vec<Series>,
+    /// Host/run configuration captured when the figure was generated
+    /// (see [`bench_config_json`]). Travels with the figure so a later
+    /// `summary` refresh re-emits the *originating run's* config instead
+    /// of stamping the refresher's environment onto old data. `None` for
+    /// figures read from pre-PR-8 files.
+    pub config: Option<Json>,
 }
 
 fn str_field(json: &Json, key: &str) -> Result<String, String> {
@@ -43,7 +49,7 @@ fn str_field(json: &Json, key: &str) -> Result<String, String> {
 }
 
 impl FigureReport {
-    /// Creates an empty report.
+    /// Creates an empty report, capturing the current host/run config.
     pub fn new(id: &str, title: &str, x_label: &str, unit: &str, levels: Vec<usize>) -> Self {
         FigureReport {
             id: id.into(),
@@ -52,6 +58,7 @@ impl FigureReport {
             unit: unit.into(),
             levels,
             series: Vec::new(),
+            config: Some(bench_config_json()),
         }
     }
 
@@ -100,7 +107,7 @@ impl FigureReport {
 
     /// Converts to the JSON document written by [`FigureReport::write_json`].
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("id".into(), Json::Str(self.id.clone())),
             ("title".into(), Json::Str(self.title.clone())),
             ("x_label".into(), Json::Str(self.x_label.clone())),
@@ -138,7 +145,11 @@ impl FigureReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(config) = &self.config {
+            fields.push(("config".into(), config.clone()));
+        }
+        Json::Obj(fields)
     }
 
     /// Parses a JSON document produced by [`FigureReport::to_json`].
@@ -190,6 +201,7 @@ impl FigureReport {
             unit: str_field(json, "unit")?,
             levels,
             series,
+            config: json.get("config").cloned(),
         })
     }
 
@@ -230,7 +242,7 @@ fn schema_string(family: &str) -> String {
 
 /// Validates the `schema` field of a `BENCH_*.json` document against a
 /// schema family (`"headline"`, `"wait-strategy"`, `"async"`,
-/// `"striped"`, `"ring"`, `"reclaim"`). Returns the
+/// `"striped"`, `"ring"`, `"reclaim"`, `"combiner"`). Returns the
 /// revision on success; a descriptive error for a missing field, a
 /// different family, or a revision outside
 /// [`BENCH_SCHEMA_OLDEST`]..=[`BENCH_SCHEMA_REV`].
@@ -311,6 +323,41 @@ pub fn reclaim_path() -> PathBuf {
     bench_path("SYNQ_RECLAIM_PATH", "BENCH_reclaim.json")
 }
 
+/// Resolved path of `BENCH_combiner.json` (`SYNQ_COMBINER_PATH` override).
+pub fn combiner_path() -> PathBuf {
+    bench_path("SYNQ_COMBINER_PATH", "BENCH_combiner.json")
+}
+
+/// The host/run configuration block recorded in every BENCH file (PR 8):
+/// the core count, the contended preset's explicit oversubscription
+/// factors `k` (each contended level fields `k × cores` pairs), and
+/// whether quick mode was active. Lets a reader reconstruct absolute
+/// thread counts instead of guessing what "contended" meant on the
+/// recording host.
+pub fn bench_config_json() -> Json {
+    let quick = crate::quick_mode();
+    Json::Obj(vec![
+        ("cores".into(), Json::Num(crate::bench_cores() as f64)),
+        (
+            "oversub_factors".into(),
+            Json::Arr(
+                crate::oversub_factors(quick)
+                    .into_iter()
+                    .map(|k| Json::Num(k as f64))
+                    .collect(),
+            ),
+        ),
+        ("quick".into(), Json::Bool(quick)),
+    ])
+}
+
+/// The config block to record for `report`: the one captured when the
+/// figure was generated, falling back to the current environment for
+/// pre-PR-8 figure files that carry none.
+fn report_config(report: &FigureReport) -> Json {
+    report.config.clone().unwrap_or_else(bench_config_json)
+}
+
 /// Probe-counter deltas since `before`, in the owned form
 /// [`Series::counters`] stores. Empty when stats are off (every delta is
 /// zero), so callers can pass the result straight to
@@ -335,6 +382,7 @@ pub fn write_bench_headline(
     let path = headline_path();
     let mut fields = vec![
         ("schema".into(), Json::Str(schema_string("headline"))),
+        ("config".into(), report_config(handoff)),
         ("handoff".into(), handoff.to_json()),
     ];
     if let Some(pool) = pool {
@@ -354,6 +402,7 @@ pub fn write_bench_wait_strategy(sweep: &FigureReport) -> std::io::Result<PathBu
     let path = wait_strategy_path();
     let fields = vec![
         ("schema".into(), Json::Str(schema_string("wait-strategy"))),
+        ("config".into(), report_config(sweep)),
         ("sweep".into(), sweep.to_json()),
     ];
     let mut f = std::fs::File::create(&path)?;
@@ -369,6 +418,7 @@ pub fn write_bench_async(sweep: &FigureReport) -> std::io::Result<PathBuf> {
     let path = async_path();
     let fields = vec![
         ("schema".into(), Json::Str(schema_string("async"))),
+        ("config".into(), report_config(sweep)),
         ("sweep".into(), sweep.to_json()),
     ];
     let mut f = std::fs::File::create(&path)?;
@@ -386,6 +436,7 @@ pub fn write_bench_striped(sweep: &FigureReport) -> std::io::Result<PathBuf> {
     let path = striped_path();
     let fields = vec![
         ("schema".into(), Json::Str(schema_string("striped"))),
+        ("config".into(), report_config(sweep)),
         ("sweep".into(), sweep.to_json()),
     ];
     let mut f = std::fs::File::create(&path)?;
@@ -404,6 +455,7 @@ pub fn write_bench_ring(sweep: &FigureReport) -> std::io::Result<PathBuf> {
     let path = ring_path();
     let fields = vec![
         ("schema".into(), Json::Str(schema_string("ring"))),
+        ("config".into(), report_config(sweep)),
         ("sweep".into(), sweep.to_json()),
     ];
     let mut f = std::fs::File::create(&path)?;
@@ -423,6 +475,27 @@ pub fn write_bench_reclaim(sweep: &FigureReport) -> std::io::Result<PathBuf> {
     let path = reclaim_path();
     let fields = vec![
         ("schema".into(), Json::Str(schema_string("reclaim"))),
+        ("config".into(), report_config(sweep)),
+        ("sweep".into(), sweep.to_json()),
+    ];
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(Json::Obj(fields).pretty().as_bytes())?;
+    Ok(path)
+}
+
+/// Writes the repo-root `BENCH_combiner.json` file: ns/transfer for the
+/// flat-combining structures against the classic, striped, and java5-fair
+/// variants under the oversubscribed (threads ≫ cores) preset — the
+/// scheduler-subversion scenario combining exists for. Each combiner
+/// series' `counters` section carries the always-on `combiner.sweeps` /
+/// `combiner.requests` totals plus a derived `combiner.requests_per_sweep`
+/// (floored mean batch size), alongside any stats-build probe deltas.
+/// Returns the path written (overridable with `SYNQ_COMBINER_PATH`).
+pub fn write_bench_combiner(sweep: &FigureReport) -> std::io::Result<PathBuf> {
+    let path = combiner_path();
+    let fields = vec![
+        ("schema".into(), Json::Str(schema_string("combiner"))),
+        ("config".into(), report_config(sweep)),
         ("sweep".into(), sweep.to_json()),
     ];
     let mut f = std::fs::File::create(&path)?;
@@ -479,6 +552,7 @@ mod tests {
         let handoff = FigureReport::from_json(doc.get("handoff").unwrap()).unwrap();
         assert_eq!(handoff.series.len(), 2);
         assert!(doc.get("executor").is_some());
+        assert!(doc.get("config").is_some(), "config block recorded");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -495,6 +569,7 @@ mod tests {
             doc.get("schema").and_then(Json::as_str).map(str::to_owned),
             Some(format!("synq-bench-wait-strategy/v{BENCH_SCHEMA_REV}"))
         );
+        assert!(doc.get("config").is_some(), "config block recorded");
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
@@ -513,6 +588,7 @@ mod tests {
             doc.get("schema").and_then(Json::as_str).map(str::to_owned),
             Some(format!("synq-bench-async/v{BENCH_SCHEMA_REV}"))
         );
+        assert!(doc.get("config").is_some(), "config block recorded");
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
@@ -532,6 +608,7 @@ mod tests {
             Some(format!("synq-bench-striped/v{BENCH_SCHEMA_REV}"))
         );
         assert!(read_bench_file(&written, "striped").is_ok());
+        assert!(doc.get("config").is_some(), "config block recorded");
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
@@ -551,6 +628,7 @@ mod tests {
             Some(format!("synq-bench-ring/v{BENCH_SCHEMA_REV}"))
         );
         assert!(read_bench_file(&written, "ring").is_ok());
+        assert!(doc.get("config").is_some(), "config block recorded");
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
@@ -570,9 +648,96 @@ mod tests {
             Some(format!("synq-bench-reclaim/v{BENCH_SCHEMA_REV}"))
         );
         assert!(read_bench_file(&written, "reclaim").is_ok());
+        assert!(doc.get("config").is_some(), "config block recorded");
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn combiner_file_roundtrips_with_config_block() {
+        let dir = std::env::temp_dir().join(format!("synq-combiner-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_combiner.json");
+        std::env::set_var("SYNQ_COMBINER_PATH", &path);
+        let written = write_bench_combiner(&sample()).unwrap();
+        std::env::remove_var("SYNQ_COMBINER_PATH");
+        let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str).map(str::to_owned),
+            Some(format!("synq-bench-combiner/v{BENCH_SCHEMA_REV}"))
+        );
+        assert!(read_bench_file(&written, "combiner").is_ok());
+        // A v99 combiner file must be rejected with the clear-rebuild error.
+        let future = Json::Obj(vec![(
+            "schema".into(),
+            Json::Str("synq-bench-combiner/v99".into()),
+        )]);
+        let err = check_bench_schema(&future, "combiner").unwrap_err();
+        assert!(err.contains("unknown schema revision"), "got: {err}");
+        let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
+        assert_eq!(sweep.series.len(), 2);
+        // PR 8: every BENCH file records the host/run config block.
+        let config = doc.get("config").expect("config block present");
+        assert!(config.get("cores").and_then(Json::as_f64).unwrap() >= 1.0);
+        let ks = config
+            .get("oversub_factors")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert!(!ks.is_empty() && ks.iter().all(|k| k.as_f64().unwrap() >= 2.0));
+        assert!(config.get("quick").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn refresh_preserves_the_originating_runs_config() {
+        // A figure generated under one configuration must keep that config
+        // through a later write (e.g. a `summary` refresh in a different
+        // environment), and a figure round-trips its config through JSON.
+        let mut r = sample();
+        let original = Json::Obj(vec![
+            ("cores".into(), Json::Num(96.0)),
+            (
+                "oversub_factors".into(),
+                Json::Arr(vec![Json::Num(2.0), Json::Num(32.0)]),
+            ),
+            ("quick".into(), Json::Bool(false)),
+        ]);
+        r.config = Some(original.clone());
+        let back = FigureReport::from_json(&Json::parse(&r.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(back.config.as_ref(), Some(&original));
+
+        let dir = std::env::temp_dir().join(format!("synq-cfgkeep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_combiner.json");
+        std::env::set_var("SYNQ_COMBINER_PATH", &path);
+        let written = write_bench_combiner(&back).unwrap();
+        std::env::remove_var("SYNQ_COMBINER_PATH");
+        let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("cores"))
+                .and_then(Json::as_f64),
+            Some(96.0),
+            "refresh must not stamp the current host's config onto old data"
+        );
+        // A config-less (pre-PR-8) figure falls back to the environment.
+        let mut legacy = sample();
+        legacy.config = None;
+        assert!(report_config(&legacy).get("cores").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_block_is_well_formed() {
+        let config = bench_config_json();
+        assert!(config.get("cores").and_then(Json::as_f64).unwrap() >= 1.0);
+        let ks = config
+            .get("oversub_factors")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert!(!ks.is_empty() && ks.iter().all(|k| k.as_f64().unwrap() >= 2.0));
+        assert!(config.get("quick").is_some());
     }
 
     #[test]

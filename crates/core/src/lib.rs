@@ -48,6 +48,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod channel;
+pub mod combiner;
 pub mod contention;
 pub mod dual_queue;
 pub mod dual_stack;
@@ -58,6 +59,7 @@ pub mod striped;
 pub mod transferer;
 
 pub use channel::{SyncChannel, TimedSyncChannel};
+pub use combiner::{CombinerPermit, CombinerSyncQueue, CombinerSyncStack};
 pub use dual_queue::{QueuePermit, SyncDualQueue};
 pub use dual_stack::{StackPermit, SyncDualStack};
 pub use pollable::{PendingTransfer, PollTransferer, StartTransfer};

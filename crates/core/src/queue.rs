@@ -1,15 +1,17 @@
 //! The `SynchronousQueue` facade: fair or unfair mode behind one type,
 //! mirroring `java.util.concurrent.SynchronousQueue`.
 
+use crate::combiner::CombinerSyncQueue;
 use crate::dual_queue::SyncDualQueue;
 use crate::dual_stack::SyncDualStack;
 use crate::transferer::{Deadline, TransferOutcome, Transferer};
 use std::time::Duration;
 use synq_primitives::{CancelToken, SpinPolicy};
 
-enum Inner<T> {
+enum Inner<T: Send> {
     Fair(SyncDualQueue<T>),
     Unfair(SyncDualStack<T>),
+    Combining(CombinerSyncQueue<T>),
 }
 
 /// A synchronous queue: every `put` waits for a `take` and vice versa.
@@ -39,7 +41,7 @@ enum Inner<T> {
 /// assert_eq!(q.offer_timeout(5, Duration::from_millis(10)), Err(5));
 /// assert_eq!(q.poll(), None);
 /// ```
-pub struct SynchronousQueue<T> {
+pub struct SynchronousQueue<T: Send> {
     inner: Inner<T>,
 }
 
@@ -83,9 +85,31 @@ impl<T: Send> SynchronousQueue<T> {
         }
     }
 
-    /// True if this queue pairs FIFO.
+    /// Combining (flat-combining, FIFO-within-a-sweep) mode — the
+    /// delegation alternative to both CAS-based modes, strongest under
+    /// oversubscription (see [`CombinerSyncQueue`]).
+    pub fn combining() -> Self {
+        SynchronousQueue {
+            inner: Inner::Combining(CombinerSyncQueue::new()),
+        }
+    }
+
+    /// Combining mode with an explicit spin policy (ablations).
+    pub fn combining_with_spin(spin: SpinPolicy) -> Self {
+        SynchronousQueue {
+            inner: Inner::Combining(CombinerSyncQueue::with_spin(spin)),
+        }
+    }
+
+    /// True if this queue pairs FIFO (the combining mode is FIFO within
+    /// each sweep batch).
     pub fn is_fair(&self) -> bool {
-        matches!(self.inner, Inner::Fair(_))
+        matches!(self.inner, Inner::Fair(_) | Inner::Combining(_))
+    }
+
+    /// True if this queue delegates pairing to a combiner thread.
+    pub fn is_combining(&self) -> bool {
+        matches!(self.inner, Inner::Combining(_))
     }
 
     /// Transfers `value`, waiting for a consumer.
@@ -152,6 +176,7 @@ impl<T: Send> SynchronousQueue<T> {
         match &self.inner {
             Inner::Fair(q) => q.linked_nodes(),
             Inner::Unfair(s) => s.linked_nodes(),
+            Inner::Combining(c) => c.linked_records(),
         }
     }
 }
@@ -166,15 +191,17 @@ impl<T: Send> Transferer<T> for SynchronousQueue<T> {
         match &self.inner {
             Inner::Fair(q) => q.transfer(item, deadline, token),
             Inner::Unfair(s) => s.transfer(item, deadline, token),
+            Inner::Combining(c) => c.transfer(item, deadline, token),
         }
     }
 }
 
-impl<T> std::fmt::Debug for SynchronousQueue<T> {
+impl<T: Send> std::fmt::Debug for SynchronousQueue<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mode = match self.inner {
             Inner::Fair(_) => "fair",
             Inner::Unfair(_) => "unfair",
+            Inner::Combining(_) => "combining",
         };
         f.debug_struct("SynchronousQueue")
             .field("mode", &mode)
@@ -205,7 +232,11 @@ mod tests {
 
     #[test]
     fn both_modes_transfer() {
-        for q in [SynchronousQueue::fair(), SynchronousQueue::unfair()] {
+        for q in [
+            SynchronousQueue::fair(),
+            SynchronousQueue::unfair(),
+            SynchronousQueue::combining(),
+        ] {
             let q = Arc::new(q);
             let q2 = Arc::clone(&q);
             let t = thread::spawn(move || q2.take());
@@ -219,6 +250,7 @@ mod tests {
         for q in [
             SynchronousQueue::<u8>::fair(),
             SynchronousQueue::<u8>::unfair(),
+            SynchronousQueue::<u8>::combining(),
         ] {
             assert_eq!(q.poll(), None);
             assert_eq!(q.offer(3), Err(3));
@@ -230,6 +262,7 @@ mod tests {
         for q in [
             SynchronousQueue::<u8>::fair(),
             SynchronousQueue::<u8>::unfair(),
+            SynchronousQueue::<u8>::combining(),
         ] {
             assert_eq!(q.poll_timeout(Duration::from_millis(5)), None);
             assert_eq!(q.offer_timeout(9, Duration::from_millis(5)), Err(9));
@@ -242,5 +275,16 @@ mod tests {
         assert!(q.is_fair());
         let q = SynchronousQueue::<u8>::unfair_with_spin(SpinPolicy::fixed(4));
         assert!(!q.is_fair());
+        let q = SynchronousQueue::<u8>::combining_with_spin(SpinPolicy::fixed(4));
+        assert!(q.is_combining() && q.is_fair());
+    }
+
+    #[test]
+    fn combining_mode_reports_itself() {
+        let q: SynchronousQueue<u8> = SynchronousQueue::combining();
+        assert!(q.is_combining());
+        assert!(format!("{q:?}").contains("combining"));
+        assert!(!SynchronousQueue::<u8>::fair().is_combining());
+        assert_eq!(q.linked_nodes(), 0);
     }
 }

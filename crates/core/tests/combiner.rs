@@ -1,0 +1,268 @@
+//! Integration tests for the flat-combining structures: pairing and drop
+//! conservation under arbitrary shapes, single-publisher equivalence with
+//! the plain dual queue, and the cancel-during-sweep race.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use synq::{CombinerSyncQueue, CombinerSyncStack, SyncChannel, SyncDualQueue, TimedSyncChannel};
+
+/// A payload that tracks its own liveness: exactly one decrement per
+/// construction, however many times it moves between requesting threads
+/// and the combiner that pairs them.
+struct Payload {
+    id: usize,
+    live: Arc<AtomicIsize>,
+}
+
+impl Payload {
+    fn new(id: usize, live: &Arc<AtomicIsize>) -> Self {
+        live.fetch_add(1, Ordering::Relaxed);
+        Payload {
+            id,
+            live: Arc::clone(live),
+        }
+    }
+}
+
+impl Drop for Payload {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs `producers`×`per` timed sends against `consumers` timed receivers
+/// on `channel`, then checks the exactly-one-pairing contract: every id is
+/// either received once or refused (timed out) back to its producer once,
+/// never both, and every payload is dropped exactly once.
+fn check_conservation(
+    channel: Arc<dyn TimedSyncChannel<Payload>>,
+    producers: usize,
+    consumers: usize,
+    per: usize,
+) -> Result<(), TestCaseError> {
+    let live = Arc::new(AtomicIsize::new(0));
+    let stop = Arc::new(AtomicUsize::new(0));
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let refused = Arc::new(Mutex::new(Vec::new()));
+
+    let mut handles = Vec::new();
+    for p in 0..producers {
+        let channel = Arc::clone(&channel);
+        let live = Arc::clone(&live);
+        let refused = Arc::clone(&refused);
+        handles.push(thread::spawn(move || {
+            for i in 0..per {
+                let payload = Payload::new(p * per + i, &live);
+                if let Err(back) = channel.offer_timeout(payload, Duration::from_micros(200)) {
+                    refused.lock().unwrap().push(back.id);
+                }
+            }
+        }));
+    }
+    let mut takers = Vec::new();
+    for _ in 0..consumers {
+        let channel = Arc::clone(&channel);
+        let stop = Arc::clone(&stop);
+        let received = Arc::clone(&received);
+        takers.push(thread::spawn(move || {
+            while stop.load(Ordering::Relaxed) == 0 {
+                if let Some(p) = channel.poll_timeout(Duration::from_micros(100)) {
+                    received.lock().unwrap().push(p.id);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(1, Ordering::Relaxed);
+    for t in takers {
+        t.join().unwrap();
+    }
+    // A producer may have matched at the buzzer, after every consumer
+    // already left: drain the tail.
+    while let Some(p) = channel.poll_timeout(Duration::from_millis(2)) {
+        received.lock().unwrap().push(p.id);
+    }
+
+    let mut seen: Vec<usize> = received.lock().unwrap().clone();
+    seen.extend(refused.lock().unwrap().iter().copied());
+    seen.sort_unstable();
+    let expected: Vec<usize> = (0..producers * per).collect();
+    prop_assert_eq!(
+        seen,
+        expected,
+        "every send must be received once xor refused once"
+    );
+    prop_assert_eq!(live.load(Ordering::Relaxed), 0, "payload drop conservation");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Combiner queue: exactly-one-pairing and drop conservation across
+    /// producer/consumer shapes; timed-out requests constantly race the
+    /// sweeping combiner's claim.
+    #[test]
+    fn combiner_queue_pairs_exactly_once(
+        producers in 1usize..=3,
+        consumers in 1usize..=3,
+        per in 1usize..=25,
+    ) {
+        let q: Arc<CombinerSyncQueue<Payload>> = Arc::new(CombinerSyncQueue::new());
+        check_conservation(q, producers, consumers, per)?;
+    }
+
+    /// Same contract for the combiner stack.
+    #[test]
+    fn combiner_stack_pairs_exactly_once(
+        producers in 1usize..=3,
+        consumers in 1usize..=3,
+        per in 1usize..=25,
+    ) {
+        let s: Arc<CombinerSyncStack<Payload>> = Arc::new(CombinerSyncStack::new());
+        check_conservation(s, producers, consumers, per)?;
+    }
+}
+
+/// Runs the same single-producer/single-consumer workload against a
+/// channel and returns the ids in arrival order.
+fn fifo_run(channel: Arc<dyn SyncChannel<u64>>, n: u64) -> Vec<u64> {
+    let rx = Arc::clone(&channel);
+    let taker = thread::spawn(move || (0..n).map(|_| rx.take()).collect::<Vec<_>>());
+    for i in 0..n {
+        channel.put(i);
+    }
+    taker.join().unwrap()
+}
+
+#[test]
+fn single_publisher_combiner_queue_is_equivalent_to_dual_queue() {
+    const N: u64 = if cfg!(miri) { 40 } else { 500 };
+    // With one publisher per side every sweep pairs at most one request,
+    // so the combiner queue must be observationally identical to the plain
+    // dual queue: strict FIFO order under a put/take stream...
+    let combiner: Arc<CombinerSyncQueue<u64>> = Arc::new(CombinerSyncQueue::new());
+    let plain: Arc<SyncDualQueue<u64>> = Arc::new(SyncDualQueue::new());
+    let a = fifo_run(Arc::clone(&combiner) as _, N);
+    let b = fifo_run(Arc::clone(&plain) as _, N);
+    assert_eq!(a, b);
+    assert_eq!(a, (0..N).collect::<Vec<_>>());
+    // ...and the same non-blocking semantics on an empty structure.
+    assert_eq!(combiner.poll(), plain.poll());
+    assert_eq!(combiner.offer(9), plain.offer(9));
+    assert_eq!(
+        combiner.poll_timeout(Duration::from_millis(1)),
+        plain.poll_timeout(Duration::from_millis(1))
+    );
+    assert_eq!(
+        combiner.offer_timeout(3, Duration::from_millis(1)),
+        plain.offer_timeout(3, Duration::from_millis(1))
+    );
+    // Every transfer went through a sweep (self-service or delegated).
+    assert!(combiner.sweeps() > 0);
+    assert!(combiner.swept_requests() >= N);
+}
+
+/// The cancel-during-sweep race: producers time out on a hair trigger
+/// while consumers keep electing combiners, so `WaitSlot::try_cancel`
+/// races the sweep's `try_claim` on nearly every request. Whoever wins,
+/// each payload must be delivered xor refused and dropped exactly once —
+/// a cancelled record must never leak its item to a later sweep, and a
+/// claimed record must never be refused back to its producer.
+#[test]
+fn cancel_during_sweep_race_delivers_xor_refuses() {
+    const ROUNDS: usize = if cfg!(miri) { 30 } else { 600 };
+    let q: Arc<CombinerSyncQueue<Payload>> = Arc::new(CombinerSyncQueue::new());
+    let live = Arc::new(AtomicIsize::new(0));
+    let refused = Arc::new(AtomicUsize::new(0));
+    let received = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicUsize::new(0));
+
+    let taker = {
+        let q = Arc::clone(&q);
+        let stop = Arc::clone(&stop);
+        let received = Arc::clone(&received);
+        thread::spawn(move || {
+            while stop.load(Ordering::Relaxed) == 0 {
+                if q.poll_timeout(Duration::from_micros(50)).is_some() {
+                    received.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        })
+    };
+    for i in 0..ROUNDS {
+        let payload = Payload::new(i, &live);
+        // Alternate between an immediate-cancel offer (deadline already
+        // unreachable for a parked sweep) and a short one that usually
+        // pairs, to hit both sides of the claim/cancel race.
+        let timeout = if i % 2 == 0 {
+            Duration::from_nanos(1)
+        } else {
+            Duration::from_micros(100)
+        };
+        if q.offer_timeout(payload, timeout).is_err() {
+            refused.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    stop.store(1, Ordering::Relaxed);
+    taker.join().unwrap();
+    while q.poll_timeout(Duration::from_millis(2)).is_some() {
+        received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    assert_eq!(
+        received.load(Ordering::Relaxed) + refused.load(Ordering::Relaxed),
+        ROUNDS,
+        "every offer must be delivered xor refused"
+    );
+    assert_eq!(live.load(Ordering::Relaxed), 0, "payload drop conservation");
+}
+
+#[test]
+fn contended_oversubscription_batches_requests_and_conserves_values() {
+    // Threads ≫ cores: the scheduler-subversion scenario the combiner is
+    // for. Every value must still pair exactly once, and with this many
+    // concurrent publishers the sweeps must actually batch (more requests
+    // claimed than sweeps run).
+    const SIDES: usize = 8;
+    const PER: usize = 200;
+    let q: Arc<CombinerSyncQueue<usize>> = Arc::new(CombinerSyncQueue::new());
+    let sum = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for p in 0..SIDES {
+        let q = Arc::clone(&q);
+        handles.push(thread::spawn(move || {
+            for i in 0..PER {
+                q.put(p * PER + i);
+            }
+        }));
+    }
+    for _ in 0..SIDES {
+        let q = Arc::clone(&q);
+        let sum = Arc::clone(&sum);
+        handles.push(thread::spawn(move || {
+            for _ in 0..PER {
+                sum.fetch_add(q.take(), Ordering::Relaxed);
+            }
+        }));
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for h in handles {
+        assert!(Instant::now() < deadline, "combiner handoff wedged");
+        h.join().unwrap();
+    }
+    assert_eq!(sum.load(Ordering::Relaxed), (0..SIDES * PER).sum::<usize>());
+    assert!(q.sweeps() > 0, "no combiner was ever elected");
+    assert!(
+        q.swept_requests() > q.sweeps(),
+        "16 threads must average more than one request per sweep \
+         ({} requests / {} sweeps)",
+        q.swept_requests(),
+        q.sweeps()
+    );
+}

@@ -218,6 +218,32 @@ probes! {
     /// Scans (hazard) that freed nothing at all: every candidate was pinned
     /// by a slot. A growing count flags a stalled or wedged reader.
     ReclaimStalls => "reclaim.stalls",
+
+    // Flat-combining rendezvous (DESIGN §4.13): one combiner thread sweeps
+    // the publication list and batch-pairs putters with takers.
+    /// Combiner sweeps: full passes over the publication list under the
+    /// combiner lock. `requests / sweeps` is the batch size the assert leg
+    /// checks under oversubscription.
+    CombinerSweeps => "combiner.sweeps",
+    /// Pending requests claimed during sweeps (paired *or* handed back).
+    CombinerRequests => "combiner.requests",
+    /// Requests resolved while their owner waited — the delegation path: a
+    /// *different* thread's sweep completed the handoff.
+    CombinerDelegated => "combiner.delegated",
+    /// Requests resolved by their owner's own lock acquisition (the owner
+    /// was the combiner and served itself within its sweep).
+    CombinerSelfService => "combiner.self_service",
+    /// Publication records newly allocated and linked into the list.
+    CombinerRecordEnrolls => "combiner.record_enrolls",
+    /// Publications that reused the caller's cached per-thread record (no
+    /// allocation, no list CAS — the steady-state fast path).
+    CombinerRecordRecycles => "combiner.record_recycles",
+    /// Records aged out (unlinked to the graveyard) after sitting quiet for
+    /// the structure's age limit of consecutive sweeps.
+    CombinerRecordAged => "combiner.record_aged",
+    /// Combiner-lock CAS attempts that found the lock held (the loser
+    /// published and went to wait; the holder's release re-check covers it).
+    CombinerLockFails => "combiner.lock_fails",
 }
 
 impl Probe {

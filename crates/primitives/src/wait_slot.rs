@@ -151,6 +151,71 @@ impl<T> WaitSlot<T> {
         }
     }
 
+    /// Shared-reference half of [`Self::reset`]: drops any pending item and
+    /// clears the item flags and waiter mailbox, but leaves the state word
+    /// *terminal*. The flat-combining publication records recycle their
+    /// embedded slot through a `&self` (the record stays linked in a shared
+    /// intrusive list), so `&mut`-based `reset` is unavailable; keeping the
+    /// state terminal until [`Self::reopen`] runs is what keeps a straggling
+    /// fulfiller's `try_claim` failing throughout the re-arm window.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the slot's logical owner, with the slot in a
+    /// terminal state (or never published) and no fulfiller holding a live
+    /// claim. Concurrent *failed* claim/cancel attempts are fine — they
+    /// only touch the state word, which this method does not.
+    pub unsafe fn recycle(&self) {
+        if self.filled.load(Ordering::Relaxed) && !self.consumed.swap(true, Ordering::Relaxed) {
+            // SAFETY: filled && !consumed means an initialized T nobody
+            // moved out; the caller's exclusivity contract plus the flag
+            // flip make this the only read.
+            unsafe { (*self.item.get()).assume_init_drop() };
+        }
+        self.filled.store(false, Ordering::Relaxed);
+        self.consumed.store(false, Ordering::Relaxed);
+        self.waiter.take();
+    }
+
+    /// Re-opens a recycled slot for a new round: terminal → `WAITING`
+    /// (Release, publishing any item armed since [`Self::recycle`]).
+    ///
+    /// Call order matters: `recycle` → optional [`Self::put_item`] →
+    /// `reopen`. Arming the cell *before* the state store means any
+    /// fulfiller whose claim lands the instant the slot reopens sees a
+    /// fully armed request (its direction read of [`Self::has_item`] is
+    /// accurate), never a half-built one.
+    ///
+    /// # Safety
+    ///
+    /// Same ownership contract as [`Self::recycle`], which must have run
+    /// since the last terminal transition.
+    pub unsafe fn reopen(&self) {
+        debug_assert!(!matches!(
+            self.state.load(Ordering::Relaxed),
+            WAITING | CLAIMED
+        ));
+        self.state.store(WAITING, Ordering::Release);
+    }
+
+    /// Releases a claim without completing it: `CLAIMED → WAITING`. For
+    /// fulfillers that claim speculatively and may find no counterpart — a
+    /// combiner sweep claims every pending request it sees, pairs what it
+    /// can, and hands the leftovers back. The waiter's spin/park loop
+    /// treats `CLAIMED` as "match imminent", so an unclaimed slot simply
+    /// resumes normal waiting (the parked waiter's mailbox is untouched, so
+    /// a later real fulfiller still wakes it).
+    ///
+    /// # Safety
+    ///
+    /// The caller must have won [`Self::try_claim`], not called
+    /// [`Self::complete`], and left the item cell exactly as the claim
+    /// found it.
+    pub unsafe fn unclaim(&self) {
+        debug_assert_eq!(self.state.load(Ordering::Relaxed), CLAIMED);
+        self.state.store(WAITING, Ordering::Release);
+    }
+
     /// Current state word (Acquire). Terminal values license reading the
     /// item cell the fulfiller published.
     #[inline]
@@ -662,6 +727,53 @@ mod tests {
         assert!(slot.is_waiting());
         assert!(!slot.has_item());
         assert!(slot.try_claim());
+    }
+
+    #[test]
+    fn recycle_reopen_rearms_through_shared_ref() {
+        let payload = Arc::new(());
+        let slot = WaitSlot::with_item(Arc::clone(&payload));
+        assert!(slot.try_cancel());
+        // SAFETY: we are the only owner and the slot is terminal.
+        unsafe { slot.recycle() };
+        assert_eq!(Arc::strong_count(&payload), 1, "pending item dropped");
+        assert!(slot.is_cancelled(), "state stays terminal until reopen");
+        assert!(!slot.try_claim(), "claims keep failing mid-recycle");
+        unsafe { slot.put_item(Arc::new(())) };
+        unsafe { slot.reopen() };
+        assert!(slot.is_waiting());
+        assert!(slot.has_item());
+        assert!(slot.try_claim());
+        drop(unsafe { slot.take_item() });
+    }
+
+    #[test]
+    fn unclaim_returns_slot_to_fulfillable_waiting() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        assert!(slot.try_claim());
+        assert!(!slot.try_cancel(), "cancel loses while claimed");
+        // SAFETY: we won the claim above and wrote nothing.
+        unsafe { slot.unclaim() };
+        assert!(slot.is_waiting());
+        // A later fulfiller (or canceller) proceeds normally.
+        assert!(slot.try_claim());
+        unsafe { slot.fulfill(3) };
+        assert_eq!(unsafe { slot.take_item() }, 3);
+    }
+
+    #[test]
+    fn unclaim_does_not_consume_parked_waiter_mailbox() {
+        let slot: WaitSlot<u32> = WaitSlot::new();
+        let (waker, hits) = flag_waker();
+        assert!(slot
+            .poll_outcome(&waker, Deadline::Never, None)
+            .is_pending());
+        assert!(slot.try_claim());
+        unsafe { slot.unclaim() };
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "unclaim must not wake");
+        assert!(slot.try_claim());
+        unsafe { slot.fulfill(8) };
+        assert_eq!(hits.load(Ordering::SeqCst), 1, "real fulfiller still wakes");
     }
 
     #[test]
