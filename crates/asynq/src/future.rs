@@ -126,10 +126,10 @@ transfer_future! {
     RecvTimedFuture
 }
 
-pub(crate) fn send<T: Send, Q: PollTransferer<T>>(
-    structure: &Arc<Q>,
-    value: T,
-) -> SendFuture<'_, T, Q> {
+/// Future of an untimed send on any [`PollTransferer`] structure — the
+/// generic entry point the typed wrappers (and generic drivers like the
+/// `server` bench) build on.
+pub fn send<T: Send, Q: PollTransferer<T>>(structure: &Arc<Q>, value: T) -> SendFuture<'_, T, Q> {
     SendFuture {
         raw: RawTransfer {
             structure,
@@ -139,7 +139,8 @@ pub(crate) fn send<T: Send, Q: PollTransferer<T>>(
     }
 }
 
-pub(crate) fn recv<T: Send, Q: PollTransferer<T>>(structure: &Arc<Q>) -> RecvFuture<'_, T, Q> {
+/// Future of an untimed receive on any [`PollTransferer`] structure.
+pub fn recv<T: Send, Q: PollTransferer<T>>(structure: &Arc<Q>) -> RecvFuture<'_, T, Q> {
     RecvFuture {
         raw: RawTransfer {
             structure,
@@ -149,7 +150,9 @@ pub(crate) fn recv<T: Send, Q: PollTransferer<T>>(structure: &Arc<Q>) -> RecvFut
     }
 }
 
-pub(crate) fn send_timed<T: Send, Q: PollTransferer<T>>(
+/// Future of a timed send on any [`PollTransferer`] structure: resolves to
+/// `Ok(())` on handoff, `Err(item)` if `deadline` passes first.
+pub fn send_timed<T: Send, Q: PollTransferer<T>>(
     structure: &Arc<Q>,
     value: T,
     deadline: Deadline,
@@ -163,7 +166,9 @@ pub(crate) fn send_timed<T: Send, Q: PollTransferer<T>>(
     }
 }
 
-pub(crate) fn recv_timed<T: Send, Q: PollTransferer<T>>(
+/// Future of a timed receive on any [`PollTransferer`] structure: resolves
+/// to `Some(item)` on handoff, `None` if `deadline` passes first.
+pub fn recv_timed<T: Send, Q: PollTransferer<T>>(
     structure: &Arc<Q>,
     deadline: Deadline,
 ) -> RecvTimedFuture<'_, T, Q> {

@@ -43,10 +43,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod cancel;
 pub mod driver;
 pub mod future;
 pub mod timer;
 
+pub use cancel::{CancelGate, Cancelled};
 pub use driver::{block_on, block_on_all};
 pub use future::{RecvFuture, RecvTimedFuture, SendFuture, SendTimedFuture};
 

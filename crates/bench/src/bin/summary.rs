@@ -15,13 +15,13 @@ use std::process::ExitCode;
 use synq_bench::json::Json;
 use synq_bench::report::{
     async_path, check_bench_schema, combiner_path, headline_path, read_bench_file, reclaim_path,
-    ring_path, striped_path, wait_strategy_path, write_bench_async, write_bench_combiner,
-    write_bench_headline, write_bench_reclaim, write_bench_ring, write_bench_striped,
-    write_bench_wait_strategy, FigureReport,
+    ring_path, server_path, striped_path, wait_strategy_path, write_bench_async,
+    write_bench_combiner, write_bench_headline, write_bench_reclaim, write_bench_ring,
+    write_bench_server, write_bench_striped, write_bench_wait_strategy, FigureReport,
 };
 
 /// The repo-root perf-trajectory files: (resolved path, schema family).
-fn bench_files() -> [(std::path::PathBuf, &'static str); 7] {
+fn bench_files() -> [(std::path::PathBuf, &'static str); 8] {
     [
         (headline_path(), "headline"),
         (wait_strategy_path(), "wait-strategy"),
@@ -30,15 +30,64 @@ fn bench_files() -> [(std::path::PathBuf, &'static str); 7] {
         (ring_path(), "ring"),
         (reclaim_path(), "reclaim"),
         (combiner_path(), "combiner"),
+        (server_path(), "server"),
     ]
 }
 
-/// `--check`: every BENCH file must exist, parse, and carry a known schema.
+/// Keys under which a BENCH file may embed a figure report.
+const FIGURE_KEYS: [&str; 3] = ["sweep", "handoff", "executor"];
+
+/// Validates every schema rev 3 `latency` block embedded in `doc`: the
+/// percentiles of each must be monotone (p50 ≤ p90 ≤ p99 ≤ p999 ≤ max) —
+/// the invariant a histogram walk cannot violate, so a violation means a
+/// corrupt or hand-edited file. Returns how many series carried a block.
+fn check_latency_blocks(doc: &Json, path: &std::path::Path) -> Result<usize, String> {
+    let mut with_latency = 0;
+    for key in FIGURE_KEYS {
+        let Some(fig) = doc.get(key) else { continue };
+        let report = FigureReport::from_json(fig)
+            .map_err(|e| format!("{}: `{key}` figure: {e}", path.display()))?;
+        for s in &report.series {
+            let Some(lat) = &s.latency else { continue };
+            if !lat.is_monotone() {
+                return Err(format!(
+                    "{}: `{key}` series `{}`: latency percentiles not monotone \
+                     (p50={} p90={} p99={} p999={} max={})",
+                    path.display(),
+                    s.name,
+                    lat.p50,
+                    lat.p90,
+                    lat.p99,
+                    lat.p999,
+                    lat.max
+                ));
+            }
+            with_latency += 1;
+        }
+    }
+    Ok(with_latency)
+}
+
+/// `--check`: every BENCH file must exist, parse, and carry a known schema;
+/// any recorded latency block must have monotone percentiles; and the
+/// server file — whose whole point is the tail — must carry distributions
+/// for at least three queue variants.
 fn check_bench() -> ExitCode {
     let mut ok = true;
     for (path, family) in bench_files() {
-        match read_bench_file(&path, family) {
-            Ok(_) => eprintln!("ok: {}", path.display()),
+        let verdict = read_bench_file(&path, family).and_then(|doc| {
+            let n = check_latency_blocks(&doc, &path)?;
+            if family == "server" && n < 3 {
+                return Err(format!(
+                    "{}: server file has {n} latency series, need ≥ 3 queue variants",
+                    path.display()
+                ));
+            }
+            Ok(n)
+        });
+        match verdict {
+            Ok(0) => eprintln!("ok: {}", path.display()),
+            Ok(n) => eprintln!("ok: {} ({n} latency series)", path.display()),
             Err(e) => {
                 eprintln!("error: {e}");
                 ok = false;
@@ -181,6 +230,12 @@ fn run() -> Result<(), String> {
         guard_overwrite(&combiner_path(), "combiner")?;
         let path = write_bench_combiner(sweep)
             .map_err(|e| format!("failed to write BENCH_combiner.json: {e}"))?;
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(sweep) = reports.iter().find(|r| r.id == "server") {
+        guard_overwrite(&server_path(), "server")?;
+        let path = write_bench_server(sweep)
+            .map_err(|e| format!("failed to write BENCH_server.json: {e}"))?;
         eprintln!("wrote {}", path.display());
     }
     Ok(())

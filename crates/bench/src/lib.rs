@@ -16,16 +16,18 @@
 #![warn(missing_docs)]
 
 pub mod algos;
+pub mod hist;
 pub mod json;
 pub mod report;
 pub mod runner;
 pub mod workload;
 
 pub use algos::{make_blocking, make_timed_job, Algo, BLOCKING_ALGOS, TIMED_ALGOS};
+pub use hist::{Histogram, LatencySummary};
 pub use report::{FigureReport, Series};
 pub use workload::{
     batched_handoff_ns_per_transfer, executor_ns_per_task, handoff_ns_per_transfer,
-    mixed_handoff_ns_per_transfer, HandoffShape,
+    handoff_ns_per_transfer_recording, mixed_handoff_ns_per_transfer, HandoffShape,
 };
 
 /// Concurrency levels of Figures 3 and 6 (pairs / threads).
@@ -87,6 +89,19 @@ pub fn contended_pairs(quick: bool) -> Vec<usize> {
 /// shrinks transfer counts and sweeps so `cargo bench`/CI stay fast.
 pub fn quick_mode() -> bool {
     std::env::var("SYNQ_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
+
+/// `SYNQ_BENCH_LATENCY=1` makes the figure runners record a per-operation
+/// latency [`Histogram`] for each series and emit the schema rev 3
+/// `latency` block (two extra `Instant::now` calls per transfer — under
+/// 3 % of the cheapest handoff; see DESIGN §4.14). Off by default so the
+/// headline means stay directly comparable with earlier revisions. The
+/// `server` bin records distributions unconditionally — tails are its
+/// entire point.
+pub fn latency_enabled() -> bool {
+    std::env::var("SYNQ_BENCH_LATENCY")
         .map(|v| v != "0")
         .unwrap_or(false)
 }

@@ -1,5 +1,6 @@
 //! Table printing and JSON output for figure regeneration.
 
+use crate::hist::LatencySummary;
 use crate::json::Json;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -16,6 +17,11 @@ pub struct Series {
     /// built with `--features stats`; empty otherwise, and omitted from the
     /// JSON when empty. Schema rev 2 added this section.
     pub counters: Vec<(String, u64)>,
+    /// Per-operation latency distribution recorded over the series' whole
+    /// sweep (`SYNQ_BENCH_LATENCY=1`, or always for the `server` bin).
+    /// `None` when recording was off; omitted from the JSON then. Schema
+    /// rev 3 added this section.
+    pub latency: Option<LatencySummary>,
 }
 
 /// A regenerated figure: x-axis levels plus one series per algorithm.
@@ -76,11 +82,25 @@ impl FigureReport {
         values: Vec<f64>,
         counters: Vec<(String, u64)>,
     ) {
+        self.push_series_full(name, values, counters, None);
+    }
+
+    /// Adds a completed series with counters *and* a recorded latency
+    /// distribution (schema rev 3). Pass `None` when span recording was
+    /// off — the `latency` section is omitted from the JSON.
+    pub fn push_series_full(
+        &mut self,
+        name: String,
+        values: Vec<f64>,
+        counters: Vec<(String, u64)>,
+        latency: Option<LatencySummary>,
+    ) {
         assert_eq!(values.len(), self.levels.len());
         self.series.push(Series {
             name,
             values,
             counters,
+            latency,
         });
     }
 
@@ -140,6 +160,9 @@ impl FigureReport {
                                     ),
                                 ));
                             }
+                            if let Some(lat) = &s.latency {
+                                fields.push(("latency".into(), latency_to_json(lat)));
+                            }
                             Json::Obj(fields)
                         })
                         .collect(),
@@ -187,10 +210,15 @@ impl FigureReport {
                         })
                         .collect::<Result<Vec<_>, _>>()?,
                 };
+                let latency = match s.get("latency") {
+                    None => None,
+                    Some(l) => Some(latency_from_json(l)?),
+                };
                 Ok::<Series, String>(Series {
                     name: str_field(s, "name")?,
                     values,
                     counters,
+                    latency,
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -228,10 +256,71 @@ impl FigureReport {
     }
 }
 
+/// Serializes a [`LatencySummary`] as the schema rev 3 `latency` block:
+/// the fixed percentile set plus the non-empty histogram buckets as
+/// `[lower bound, count]` pairs.
+pub fn latency_to_json(lat: &LatencySummary) -> Json {
+    Json::Obj(vec![
+        ("count".into(), Json::Num(lat.count as f64)),
+        ("p50".into(), Json::Num(lat.p50 as f64)),
+        ("p90".into(), Json::Num(lat.p90 as f64)),
+        ("p99".into(), Json::Num(lat.p99 as f64)),
+        ("p999".into(), Json::Num(lat.p999 as f64)),
+        ("max".into(), Json::Num(lat.max as f64)),
+        (
+            "buckets".into(),
+            Json::Arr(
+                lat.buckets
+                    .iter()
+                    .map(|&(low, n)| Json::Arr(vec![Json::Num(low as f64), Json::Num(n as f64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a `latency` block written by [`latency_to_json`].
+pub fn latency_from_json(json: &Json) -> Result<LatencySummary, String> {
+    let num = |key: &str| {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .map(|v| v as u64)
+            .ok_or_else(|| format!("latency block missing numeric `{key}`"))
+    };
+    let buckets = json
+        .get("buckets")
+        .and_then(Json::as_array)
+        .ok_or("latency block missing array `buckets`")?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().ok_or("latency bucket is not an array")?;
+            match pair {
+                [low, n] => Ok((
+                    low.as_f64().ok_or("non-numeric bucket bound")? as u64,
+                    n.as_f64().ok_or("non-numeric bucket count")? as u64,
+                )),
+                _ => Err("latency bucket is not a [bound, count] pair".into()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(LatencySummary {
+        count: num("count")?,
+        p50: num("p50")?,
+        p90: num("p90")?,
+        p99: num("p99")?,
+        p999: num("p999")?,
+        max: num("max")?,
+        buckets,
+    })
+}
+
 /// Schema revision the writers emit. Rev 2 (PR 4) added the optional
 /// per-series `counters` section (probe-counter deltas from `synq-obs`);
-/// rev 1 files are identical minus that section, so readers accept both.
-pub const BENCH_SCHEMA_REV: u32 = 2;
+/// rev 3 (PR 9) added the optional per-series `latency` section (the
+/// recorded distribution's percentiles + histogram buckets). Each revision
+/// is the previous one plus an optional section, so readers accept
+/// v1 through v3.
+pub const BENCH_SCHEMA_REV: u32 = 3;
 
 /// Oldest schema revision the readers still understand.
 pub const BENCH_SCHEMA_OLDEST: u32 = 1;
@@ -242,7 +331,7 @@ fn schema_string(family: &str) -> String {
 
 /// Validates the `schema` field of a `BENCH_*.json` document against a
 /// schema family (`"headline"`, `"wait-strategy"`, `"async"`,
-/// `"striped"`, `"ring"`, `"reclaim"`, `"combiner"`). Returns the
+/// `"striped"`, `"ring"`, `"reclaim"`, `"combiner"`, `"server"`). Returns the
 /// revision on success; a descriptive error for a missing field, a
 /// different family, or a revision outside
 /// [`BENCH_SCHEMA_OLDEST`]..=[`BENCH_SCHEMA_REV`].
@@ -326,6 +415,11 @@ pub fn reclaim_path() -> PathBuf {
 /// Resolved path of `BENCH_combiner.json` (`SYNQ_COMBINER_PATH` override).
 pub fn combiner_path() -> PathBuf {
     bench_path("SYNQ_COMBINER_PATH", "BENCH_combiner.json")
+}
+
+/// Resolved path of `BENCH_server.json` (`SYNQ_SERVER_PATH` override).
+pub fn server_path() -> PathBuf {
+    bench_path("SYNQ_SERVER_PATH", "BENCH_server.json")
 }
 
 /// The host/run configuration block recorded in every BENCH file (PR 8):
@@ -495,6 +589,28 @@ pub fn write_bench_combiner(sweep: &FigureReport) -> std::io::Result<PathBuf> {
     let path = combiner_path();
     let fields = vec![
         ("schema".into(), Json::Str(schema_string("combiner"))),
+        ("config".into(), report_config(sweep)),
+        ("sweep".into(), sweep.to_json()),
+    ];
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(Json::Obj(fields).pretty().as_bytes())?;
+    Ok(path)
+}
+
+/// Writes the repo-root `BENCH_server.json` file: the dispatch-server
+/// scenario (async connections dispatching jobs into the executor pool
+/// through a rendezvous channel) per queue variant, across the steady /
+/// burst / timeout-storm / cancellation-wave phases. Every series carries
+/// a schema rev 3 `latency` block — tails, not means, are this file's
+/// entire point: p999 is the headline number for the global-FIFO vs
+/// striped vs combiner fairness comparison. The `counters` section records
+/// the always-on `server.requests` / `server.timeouts` / `server.cancels`
+/// / `server.burst_drops` totals. Returns the path written (overridable
+/// with `SYNQ_SERVER_PATH`).
+pub fn write_bench_server(sweep: &FigureReport) -> std::io::Result<PathBuf> {
+    let path = server_path();
+    let fields = vec![
+        ("schema".into(), Json::Str(schema_string("server"))),
         ("config".into(), report_config(sweep)),
         ("sweep".into(), sweep.to_json()),
     ];
@@ -769,6 +885,77 @@ mod tests {
         // The empty section is omitted entirely, keeping v2 files readable
         // by v1-era tooling that ignores unknown fields.
         assert_eq!(text.matches("counters").count(), 1);
+    }
+
+    fn sample_latency() -> LatencySummary {
+        LatencySummary {
+            count: 1000,
+            p50: 900,
+            p90: 2_100,
+            p99: 14_000,
+            p999: 220_000,
+            max: 231_047,
+            buckets: vec![(896, 600), (2_048, 390), (212_992, 10)],
+        }
+    }
+
+    #[test]
+    fn latency_roundtrips_and_is_omitted_when_absent() {
+        let mut r = FigureReport::new("f", "t", "x", "u", vec![1]);
+        r.push_series("plain".into(), vec![1.0]);
+        r.push_series_full(
+            "tailed".into(),
+            vec![2.0],
+            Vec::new(),
+            Some(sample_latency()),
+        );
+        let text = r.to_json().pretty();
+        let back = FigureReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert!(back.series[0].latency.is_none());
+        assert_eq!(back.series[1].latency, Some(sample_latency()));
+        assert!(back.series[1].latency.as_ref().unwrap().is_monotone());
+        // The absent section is omitted entirely, keeping rev 3 files
+        // readable by rev 1/2-era tooling that ignores unknown fields.
+        assert_eq!(text.matches("latency").count(), 1);
+    }
+
+    #[test]
+    fn latency_from_json_rejects_malformed_blocks() {
+        let no_buckets = Json::Obj(vec![("count".into(), Json::Num(1.0))]);
+        assert!(latency_from_json(&no_buckets)
+            .unwrap_err()
+            .contains("buckets"));
+        let bad_pair =
+            Json::parse(r#"{"count":1,"p50":1,"p90":1,"p99":1,"p999":1,"max":1,"buckets":[[1]]}"#)
+                .unwrap();
+        assert!(latency_from_json(&bad_pair).unwrap_err().contains("pair"));
+    }
+
+    #[test]
+    fn server_file_roundtrips_with_latency() {
+        let dir = std::env::temp_dir().join(format!("synq-server-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_server.json");
+        std::env::set_var("SYNQ_SERVER_PATH", &path);
+        let mut r = FigureReport::new("server", "dispatch server", "phase", "ns/request", vec![1]);
+        r.push_series_full(
+            "new-fair".into(),
+            vec![5_000.0],
+            Vec::new(),
+            Some(sample_latency()),
+        );
+        let written = write_bench_server(&r).unwrap();
+        std::env::remove_var("SYNQ_SERVER_PATH");
+        let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(&format!("synq-bench-server/v{BENCH_SCHEMA_REV}")[..])
+        );
+        assert!(read_bench_file(&written, "server").is_ok());
+        assert!(doc.get("config").is_some(), "config block recorded");
+        let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
+        assert_eq!(sweep.series[0].latency, Some(sample_latency()));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Shared drivers for the figure binaries.
 
 use crate::algos::{make_blocking, make_timed_job, Algo};
+use crate::hist::Histogram;
 use crate::report::{counter_deltas_since, FigureReport};
-use crate::workload::{executor_ns_per_task, handoff_ns_per_transfer, HandoffShape};
-use crate::{quick_mode, sweep, transfers_for};
+use crate::workload::{executor_ns_per_task, handoff_ns_per_transfer_recording, HandoffShape};
+use crate::{latency_enabled, quick_mode, sweep, transfers_for};
+use std::sync::Arc;
 use synq_obs::StatsSnapshot;
 
 /// Runs a handoff figure (Figures 3–5) over `algos` and prints progress to
-/// stderr.
+/// stderr. With `SYNQ_BENCH_LATENCY=1` every series additionally records
+/// its per-operation latency distribution across the whole sweep and
+/// carries the schema rev 3 `latency` block.
 pub fn run_handoff_figure(
     id: &str,
     title: &str,
@@ -17,22 +21,26 @@ pub fn run_handoff_figure(
     shape: impl Fn(usize) -> HandoffShape,
 ) -> FigureReport {
     let quick = quick_mode();
+    let record_latency = latency_enabled();
     let levels = sweep(levels, quick);
     let mut report = FigureReport::new(id, title, x_label, "ns/transfer", levels.clone());
     for &algo in algos {
         let before = StatsSnapshot::take();
+        let hist = record_latency.then(|| Arc::new(Histogram::new()));
         let mut values = Vec::with_capacity(levels.len());
         for &level in &levels {
             let s = shape(level);
             let transfers = transfers_for(s.producers + s.consumers, quick);
-            let ns = handoff_ns_per_transfer(make_blocking(algo), s, transfers);
+            let ns =
+                handoff_ns_per_transfer_recording(make_blocking(algo), s, transfers, hist.clone());
             eprintln!(
                 "  {id} {:>14} {x_label}={level:<3} -> {ns:>12.0} ns/transfer ({transfers} transfers)",
                 algo.name()
             );
             values.push(ns);
         }
-        report.push_series_with_counters(algo.name(), values, counter_deltas_since(&before));
+        let latency = hist.and_then(|h| h.summary());
+        report.push_series_full(algo.name(), values, counter_deltas_since(&before), latency);
     }
     report
 }

@@ -1,0 +1,166 @@
+//! Integration tests for the tail-latency histogram: a sorted-reference
+//! percentile oracle (property-based), a concurrent record + merge check,
+//! and the empty/single-sample edge cases. The whole file is miri-clean —
+//! the CI miri leg runs it with scaled-down case counts.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use synq_bench::{Histogram, LatencySummary};
+
+/// Exact percentile over a sorted sample set: the value at rank
+/// `ceil(pct/100 * n)` (1-based), the same nearest-rank definition the
+/// histogram approximates bucket-wise.
+fn oracle_percentile(sorted: &[u64], pct: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The histogram reports a bucket's *upper* edge (clamped to the observed
+/// min/max), so its percentile sits at or above the oracle, and — with
+/// 7 precision bits — at most `oracle / 128 + 1` above it (`+1` absorbs
+/// the floor in the bucket-width division).
+fn assert_within_hdr_error(hist_p: u64, oracle_p: u64, pct_label: &str) {
+    assert!(
+        hist_p >= oracle_p,
+        "{pct_label}: histogram {hist_p} below oracle {oracle_p}"
+    );
+    let bound = oracle_p / 128 + 1;
+    assert!(
+        hist_p - oracle_p <= bound,
+        "{pct_label}: histogram {hist_p} exceeds oracle {oracle_p} by more \
+         than {bound}"
+    );
+}
+
+const PCTS: [(f64, &str); 5] = [
+    (50.0, "p50"),
+    (90.0, "p90"),
+    (99.0, "p99"),
+    (99.9, "p999"),
+    (100.0, "max"),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 8 } else { 256 }))]
+
+    /// Every percentile the histogram reports must sit within the HDR
+    /// error envelope of the exact sorted-reference answer, across samples
+    /// spanning the sub-bucket (exact) range and six decades above it.
+    #[test]
+    fn percentiles_match_sorted_reference_oracle(
+        samples in proptest::collection::vec(
+            prop_oneof![0u64..128, 128u64..10_000, 10_000u64..100_000_000],
+            1..if cfg!(miri) { 64 } else { 512 },
+        ),
+    ) {
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for (pct, label) in PCTS {
+            let got = hist.value_at_percentile(pct).expect("non-empty");
+            assert_within_hdr_error(got, oracle_percentile(&sorted, pct), label);
+        }
+        prop_assert_eq!(hist.count(), sorted.len() as u64);
+        prop_assert_eq!(hist.max(), Some(*sorted.last().unwrap()));
+        let summary = hist.summary().expect("non-empty");
+        prop_assert!(summary.is_monotone(), "summary {summary:?}");
+    }
+
+    /// Values below 128 land in unit-width buckets: the histogram is exact
+    /// there, not merely within the error envelope.
+    #[test]
+    fn sub_bucket_percentiles_are_exact(
+        samples in proptest::collection::vec(0u64..128, 1..64),
+    ) {
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for (pct, label) in PCTS {
+            let got = hist.value_at_percentile(pct).expect("non-empty");
+            prop_assert_eq!(got, oracle_percentile(&sorted, pct), "{}", label);
+        }
+    }
+}
+
+/// Threads recording into private histograms merged afterwards must agree
+/// exactly — bucket counts, extrema, and summary — with the same values
+/// recorded concurrently into one shared histogram.
+#[test]
+fn concurrent_record_and_merge_agree_with_shared() {
+    const THREADS: u64 = if cfg!(miri) { 3 } else { 8 };
+    const PER_THREAD: u64 = if cfg!(miri) { 200 } else { 20_000 };
+    let shared = Arc::new(Histogram::new());
+    let merged = Histogram::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let private = Histogram::new();
+                // Deterministic per-thread values spread across decades.
+                let mut v = t * 2_654_435_761 + 1;
+                for _ in 0..PER_THREAD {
+                    v = v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(t);
+                    let sample = v % 50_000_000;
+                    shared.record(sample);
+                    private.record(sample);
+                }
+                private
+            })
+        })
+        .collect();
+    for h in handles {
+        merged.merge(&h.join().unwrap());
+    }
+    assert_eq!(merged.count(), THREADS * PER_THREAD);
+    assert_eq!(merged.count(), shared.count());
+    assert_eq!(merged.max(), shared.max());
+    assert_eq!(merged.min(), shared.min());
+    assert_eq!(merged.nonzero_buckets(), shared.nonzero_buckets());
+    assert_eq!(merged.summary(), shared.summary());
+}
+
+#[test]
+fn empty_histogram_has_no_percentiles_or_summary() {
+    let hist = Histogram::new();
+    assert_eq!(hist.count(), 0);
+    assert_eq!(hist.value_at_percentile(50.0), None);
+    assert_eq!(hist.value_at_percentile(100.0), None);
+    assert_eq!(hist.summary(), None);
+    assert!(hist.nonzero_buckets().is_empty());
+}
+
+#[test]
+fn single_sample_is_every_percentile() {
+    for value in [0, 1, 127, 128, 999_999, u64::MAX] {
+        let hist = Histogram::new();
+        hist.record(value);
+        for (pct, label) in PCTS {
+            assert_eq!(
+                hist.value_at_percentile(pct),
+                Some(value),
+                "{label} of single sample {value}"
+            );
+        }
+        let summary = hist.summary().unwrap();
+        assert_eq!(
+            summary,
+            LatencySummary {
+                count: 1,
+                p50: value,
+                p90: value,
+                p99: value,
+                p999: value,
+                max: value,
+                buckets: hist.nonzero_buckets(),
+            }
+        );
+        assert!(summary.is_monotone());
+    }
+}

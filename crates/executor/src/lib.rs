@@ -268,9 +268,44 @@ impl ThreadPool {
             .largest_pool_size
             .fetch_max(slot + 1, Ordering::AcqRel);
         let pool = Arc::clone(inner);
-        let handle = std::thread::spawn(move || worker_loop(pool, job, core));
+        let handle = std::thread::spawn(move || worker_loop(pool, Some(job), core));
         inner.handles.lock().unwrap().push(handle);
         Ok(())
+    }
+
+    /// Spawns the configured core workers up front, so work injected
+    /// through the channel *directly* (e.g. async producers rendezvousing
+    /// on the pool's channel instead of calling [`ThreadPool::execute`])
+    /// finds takers parked in `take` immediately. Without this, a pool
+    /// used purely as a set of channel consumers would never grow —
+    /// growth normally happens on the `execute` slow path. Idempotent:
+    /// workers already counted (spawned or live) are not duplicated.
+    /// Returns the number of workers spawned by this call.
+    pub fn prestart_core_workers(&self) -> usize {
+        let inner = &self.inner;
+        let mut spawned = 0;
+        loop {
+            if inner.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let limit = inner.config.core_pool_size.min(inner.config.max_pool_size);
+            let slot = inner
+                .worker_count
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                    (n < limit).then_some(n + 1)
+                });
+            let Ok(prev) = slot else { break };
+            inner
+                .largest_pool_size
+                .fetch_max(prev + 1, Ordering::AcqRel);
+            let pool = Arc::clone(inner);
+            // Every prestarted slot is below `core_pool_size`: a core
+            // worker, waiting with `Deadline::Never`.
+            let handle = std::thread::spawn(move || worker_loop(pool, None, true));
+            inner.handles.lock().unwrap().push(handle);
+            spawned += 1;
+        }
+        spawned
     }
 
     /// Stops accepting tasks and interrupts idle workers. Tasks already
@@ -336,9 +371,11 @@ impl ThreadPool {
     }
 }
 
-fn worker_loop(pool: Arc<PoolInner>, first_job: Job, core: bool) {
-    first_job();
-    pool.completed.fetch_add(1, Ordering::AcqRel);
+fn worker_loop(pool: Arc<PoolInner>, first_job: Option<Job>, core: bool) {
+    if let Some(job) = first_job {
+        job();
+        pool.completed.fetch_add(1, Ordering::AcqRel);
+    }
     loop {
         // Core workers wait indefinitely (only shutdown releases them);
         // cached workers retire after the keep-alive lapses.
@@ -423,6 +460,58 @@ mod tests {
             pool.worker_count()
         );
         pool.shutdown();
+        pool.join();
+    }
+
+    #[test]
+    fn prestarted_core_workers_consume_direct_channel_puts() {
+        let channel = Arc::new(SynchronousQueue::<Job>::fair());
+        let pool = ThreadPool::new(
+            Arc::clone(&channel) as Arc<dyn TimedSyncChannel<Job>>,
+            PoolConfig {
+                core_pool_size: 2,
+                max_pool_size: 8,
+                keep_alive: Duration::from_secs(60),
+            },
+        );
+        assert_eq!(pool.prestart_core_workers(), 2);
+        assert_eq!(pool.worker_count(), 2);
+        // Prestarting ran no job; idempotent re-invocation spawns nothing.
+        assert_eq!(pool.completed_tasks(), 0);
+        assert_eq!(pool.prestart_core_workers(), 0);
+        // Jobs injected straight through the channel — never via
+        // `execute` — are taken by the prestarted workers.
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let d = Arc::clone(&done);
+            channel.put(Box::new(move || {
+                d.fetch_add(1, Ordering::SeqCst);
+            }) as Job);
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while done.load(Ordering::SeqCst) < 10 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+        assert_eq!(pool.completed_tasks(), 10);
+        assert_eq!(pool.worker_count(), 2, "no growth without execute");
+        pool.shutdown();
+        pool.join();
+        assert_eq!(pool.worker_count(), 0);
+    }
+
+    #[test]
+    fn prestart_after_shutdown_spawns_nothing() {
+        let pool = ThreadPool::new(
+            Arc::new(SynchronousQueue::<Job>::fair()),
+            PoolConfig {
+                core_pool_size: 4,
+                max_pool_size: 8,
+                keep_alive: Duration::from_secs(60),
+            },
+        );
+        pool.shutdown();
+        assert_eq!(pool.prestart_core_workers(), 0);
         pool.join();
     }
 

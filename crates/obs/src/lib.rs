@@ -244,6 +244,21 @@ probes! {
     /// Combiner-lock CAS attempts that found the lock held (the loser
     /// published and went to wait; the holder's release re-check covers it).
     CombinerLockFails => "combiner.lock_fails",
+
+    // Dispatch-server scenario (the `server` bench bin): async connections
+    // dispatching jobs into the executor pool through a rendezvous channel.
+    /// Requests issued by server-scenario connections (every dispatch
+    /// attempt across the steady, burst, storm, and wave phases).
+    ServerRequests => "server.requests",
+    /// Dispatches abandoned because the patience deadline lapsed before a
+    /// worker took the job (the timeout-storm signal).
+    ServerTimeouts => "server.timeouts",
+    /// Dispatches cancelled by a cancellation wave: the in-flight send was
+    /// dropped before any worker took the job.
+    ServerCancels => "server.cancels",
+    /// Burst-phase `try_send`s that found no worker parked in `poll` and
+    /// dropped the request instead of waiting.
+    ServerBurstDrops => "server.burst_drops",
 }
 
 impl Probe {
