@@ -47,6 +47,7 @@ pub mod cancel;
 pub mod driver;
 pub mod future;
 pub mod timer;
+pub mod wheel;
 
 pub use cancel::{CancelGate, Cancelled};
 pub use driver::{block_on, block_on_all};

@@ -5,104 +5,142 @@
 //! reports `Pending` and relies on *someone* re-polling once the deadline
 //! passes. On a full-featured runtime that someone is the runtime's own
 //! timer wheel; the `*_timed` futures in this crate work on *any* runtime,
-//! so they fall back to this module — one lazily spawned thread holding a
-//! deadline-ordered heap of [`Waker`]s.
+//! so they fall back to this module — one lazily spawned driver thread over
+//! a [`crate::wheel::TimerWheel`].
 //!
 //! Registrations are fire-and-forget: a waker fires *at or after* its
 //! instant, is never cancelled, and may fire after the future it belongs
 //! to has already resolved — a spurious wake, which the poll contract
 //! makes harmless. Re-registering on every poll (what the futures do) is
 //! likewise fine; the poll contract only obliges the *most recent* waker.
+//!
+//! Before PR 10 this module *was* the timer: one `Mutex<BinaryHeap>` that
+//! every registration and every expiry serialised on. Now registration goes
+//! straight into the wheel's per-slot locks (typically uncontended) and the
+//! driver thread only coordinates with inserters through a tiny dirty-flag
+//! mutex around its sleep decision:
+//!
+//! * the driver clears `dirty`, drains the wheel, computes the next
+//!   deadline, and — **only if `dirty` is still clear** — commits to sleep
+//!   until then (a futex-timed park on Linux, via
+//!   [`synq_primitives::Parker`]);
+//! * `wake_at` arms the wheel first, then sets `dirty` and unparks the
+//!   driver if its committed wake-up is too late (or it committed to sleep
+//!   forever).
+//!
+//! An insert that lands mid-scan thus either makes the driver re-scan
+//! (`dirty` observed set at commit time) or beats the commit and adjusts it
+//! via unpark; the banked-permit semantics of the parker make a spurious
+//! unpark a cheap no-op. A registration never blocks behind the driver's
+//! sleep or behind expiry processing.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex, OnceLock};
+use crate::wheel::{Insert, TimerWheel};
+use std::sync::{Mutex, OnceLock};
 use std::task::Waker;
 use std::time::Instant;
+use synq_primitives::{Parker, Unparker};
 
-struct Entry {
-    at: Instant,
-    waker: Waker,
-}
-
-// The heap orders entries by deadline only.
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at.cmp(&other.at)
-    }
+/// The driver's published sleep decision, used by `wake_at` to decide
+/// whether an unpark is needed.
+struct Coord {
+    /// Set by `wake_at` after arming the wheel; cleared by the driver right
+    /// before it scans. "The wheel changed since your scan started."
+    dirty: bool,
+    /// The deadline the driver committed to sleep until (`None`: either
+    /// sleeping unbounded or currently mid-scan — both mean "unpark me").
+    next_wake: Option<Instant>,
 }
 
 struct Timer {
-    queue: Mutex<BinaryHeap<Reverse<Entry>>>,
-    cvar: Condvar,
+    wheel: TimerWheel,
+    coord: Mutex<Coord>,
+    unparker: Unparker,
 }
 
 static TIMER: OnceLock<&'static Timer> = OnceLock::new();
 
 fn timer() -> &'static Timer {
     TIMER.get_or_init(|| {
+        let parker = Parker::new();
         // Leaked on purpose: the timer thread lives for the process and a
         // `static` reference lets it share the state with no refcounting.
         let t: &'static Timer = Box::leak(Box::new(Timer {
-            queue: Mutex::new(BinaryHeap::new()),
-            cvar: Condvar::new(),
+            wheel: TimerWheel::new(Instant::now()),
+            coord: Mutex::new(Coord {
+                dirty: false,
+                next_wake: None,
+            }),
+            unparker: parker.unparker(),
         }));
         std::thread::Builder::new()
             .name("synq-async-timer".into())
-            .spawn(move || run(t))
+            .spawn(move || run(t, parker))
             .expect("spawn timer thread");
         t
     })
 }
 
-fn run(t: &'static Timer) {
-    let mut q = t.queue.lock().expect("timer poisoned");
+fn run(t: &'static Timer, parker: Parker) {
     loop {
-        let now = Instant::now();
-        // Fire everything due, collecting wakers so `wake` (which can run
-        // arbitrary executor code) happens outside the lock.
-        let mut due = Vec::new();
-        while q.peek().is_some_and(|Reverse(e)| e.at <= now) {
-            due.push(q.pop().expect("peeked").0.waker);
+        {
+            let mut c = t.coord.lock().expect("timer poisoned");
+            c.dirty = false;
+            c.next_wake = None;
         }
-        if !due.is_empty() {
-            drop(q);
-            for w in due {
-                w.wake();
-            }
-            q = t.queue.lock().expect("timer poisoned");
-            continue;
+        // Fire everything due. `wake` can run arbitrary executor code, so
+        // the wheel hands the wakers out instead of invoking them inside
+        // its locks.
+        for w in t.wheel.advance(Instant::now()) {
+            w.wake();
         }
-        q = match q.peek() {
-            None => t.cvar.wait(q).expect("timer poisoned"),
-            Some(Reverse(e)) => {
-                let timeout = e.at.saturating_duration_since(now);
-                t.cvar.wait_timeout(q, timeout).expect("timer poisoned").0
+        let next = t.wheel.next_deadline();
+        {
+            let mut c = t.coord.lock().expect("timer poisoned");
+            if c.dirty {
+                // An insert raced the scan: its deadline may be earlier
+                // than `next` (or may already be due). Re-scan.
+                continue;
             }
-        };
+            c.next_wake = next;
+        }
+        match next {
+            Some(at) => {
+                parker.park_deadline(at);
+            }
+            None => parker.park(),
+        }
     }
 }
 
 /// Schedules `waker` to be woken at (or shortly after) `at`.
 pub fn wake_at(at: Instant, waker: Waker) {
+    // Already expired by wall clock: fire here rather than bouncing
+    // through the driver thread. Checked against `Instant::now()` and not
+    // the wheel cursor — the cursor lags real time whenever the driver is
+    // parked, and an inline fire needs no coordination with it.
+    if at <= Instant::now() {
+        waker.wake();
+        return;
+    }
     let t = timer();
-    let mut q = t.queue.lock().expect("timer poisoned");
-    let earliest_changed = q.peek().is_none_or(|Reverse(e)| at < e.at);
-    q.push(Reverse(Entry { at, waker }));
-    drop(q);
-    if earliest_changed {
-        t.cvar.notify_one();
+    match t.wheel.insert(at, waker) {
+        Insert::Due(w) => {
+            // Expired between the check above and the insert (or due at
+            // the cursor's current tick already).
+            w.wake();
+            return;
+        }
+        Insert::Armed => {}
+    }
+    let mut c = t.coord.lock().expect("timer poisoned");
+    c.dirty = true;
+    // `None` means the driver is either mid-scan (the dirty flag alone
+    // would do) or parked with no deadline (it must be woken) — unparking
+    // covers both, and a superfluous permit is banked, not lost.
+    let needs_unpark = c.next_wake.is_none_or(|nw| at < nw);
+    drop(c);
+    if needs_unpark {
+        t.unparker.unpark();
     }
 }
 
@@ -164,5 +202,42 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(far.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn past_deadline_fires_inline() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        wake_at(
+            Instant::now() - Duration::from_millis(5),
+            counting_waker(Arc::clone(&hits)),
+        );
+        // `Insert::Due` fires on the registering thread, synchronously.
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn timeout_storm_fires_everything() {
+        // A burst of near deadlines across many ticks: all must fire, and
+        // promptly. This is the regression guard for the storm behaviour
+        // the wheel was introduced to fix.
+        let hits = Arc::new(AtomicUsize::new(0));
+        let n = 512;
+        for i in 0..n {
+            wake_at(
+                Instant::now() + Duration::from_millis(1 + (i % 40) as u64),
+                counting_waker(Arc::clone(&hits)),
+            );
+        }
+        let start = Instant::now();
+        while hits.load(Ordering::SeqCst) < n {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "storm lost wakeups: {}/{} after {:?}",
+                hits.load(Ordering::SeqCst),
+                n,
+                start.elapsed()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 }

@@ -1,0 +1,564 @@
+//! Hierarchical hashed timer wheel: the data structure under [`crate::timer`].
+//!
+//! The original global timer kept every pending deadline in one
+//! `Mutex<BinaryHeap>`; a timeout storm serialised all registrations on that
+//! lock and paid `O(log n)` per push under it. The wheel shards the same
+//! state [`LEVELS`] x [`SLOTS`] ways — one tiny mutex per slot — so
+//! registrations for different ticks never contend, and firing a tick only
+//! touches the slots that are actually occupied (a per-level occupancy
+//! bitmap makes the empty case a couple of atomic loads).
+//!
+//! # Layout
+//!
+//! Time is quantised into [`TICK`] (100 µs) ticks counted from the wheel's
+//! `origin`. Level `l` covers deadlines `64^l ..64^(l+1)` ticks ahead of the
+//! cursor in slots of `64^l` ticks each; with 4 levels the horizon is
+//! `64^4` ticks ≈ 28 min, and anything further is clamped into the top
+//! level (it cascades — is re-placed — as the cursor approaches, which only
+//! costs a re-shelving every `64^3` ticks). A deadline is mapped to
+//! `at_ticks` by *ceiling* division so an entry never fires before its
+//! instant; the public contract is fire **at or after**.
+//!
+//! # Concurrency protocol
+//!
+//! `insert` is designed to run concurrently with `advance` (which a single
+//! driver thread calls under an internal lock). The race to beat: an entry
+//! placed in a slot whose processing point the cursor passes *while the
+//! insert is in flight* would silently wait a whole ring revolution. The
+//! defence is a Dekker-style handshake on (`cursor`, occupancy bitmap):
+//!
+//! * `advance` publishes the new cursor (`SeqCst` store) **before** reading
+//!   occupancy and draining slots;
+//! * `insert` pushes the entry and sets the occupancy bit (under the slot
+//!   lock, `SeqCst`) **before** re-reading the cursor.
+//!
+//! In every interleaving at least one side sees the other: either the
+//! driver's occupancy read observes the new bit (it drains the slot and
+//! fires/re-places the entry), or the inserter's cursor re-read observes
+//! that the cursor reached its entry's cascade point — in which case it
+//! tries to take the entry back out by id: success means the insert retries
+//! against the fresh cursor; failure means the driver already owns it.
+//! Slot mutexes double as the happens-before edge between the two sides.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::task::Waker;
+use std::time::{Duration, Instant};
+
+/// Wheel resolution: deadlines are rounded *up* to the next tick boundary.
+/// 100 µs keeps timeout lateness an order of magnitude below the storm
+/// patience the server bench applies (the old heap timer slept to exact
+/// deadlines, so coarse rounding here would be a regression it never had),
+/// while the occupancy-guided `advance` keeps empty ticks near-free.
+pub const TICK: Duration = Duration::from_micros(100);
+
+const TICK_NANOS: u128 = 100_000;
+
+/// Hierarchy depth.
+pub const LEVELS: usize = 4;
+
+/// Slots per level (64, so slot indices are 6 bits of `at_ticks`).
+pub const SLOTS: usize = 64;
+
+const SLOT_BITS: u32 = 6;
+
+/// One registered timeout.
+struct Entry {
+    /// Absolute deadline in ticks from the wheel origin (ceiling-rounded).
+    at_ticks: u64,
+    /// Unique id, so a racing inserter can reclaim exactly its own entry.
+    id: u64,
+    waker: Waker,
+}
+
+/// One slot ring: 64 independently locked buckets plus an occupancy bitmap
+/// (bit `s` set iff slot `s` is nonempty; maintained under the slot lock).
+struct Level {
+    occupancy: AtomicU64,
+    slots: [Mutex<Vec<Entry>>; SLOTS],
+}
+
+impl Level {
+    fn new() -> Self {
+        Level {
+            occupancy: AtomicU64::new(0),
+            slots: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Pushes under the slot lock and maintains the bitmap invariant.
+    fn push(&self, slot: usize, entry: Entry) {
+        let mut s = self.slots[slot].lock().expect("wheel slot poisoned");
+        s.push(entry);
+        self.occupancy.fetch_or(1 << slot, Ordering::SeqCst);
+    }
+
+    /// Takes the whole slot, clearing its bit. Returns an empty vec cheaply
+    /// when a stale-looking bit raced with a concurrent drain.
+    fn drain(&self, slot: usize) -> Vec<Entry> {
+        let mut s = self.slots[slot].lock().expect("wheel slot poisoned");
+        self.occupancy.fetch_and(!(1 << slot), Ordering::SeqCst);
+        std::mem::take(&mut *s)
+    }
+
+    /// Removes the entry with `id` from `slot`, if it is still there.
+    fn remove(&self, slot: usize, id: u64) -> Option<Entry> {
+        let mut s = self.slots[slot].lock().expect("wheel slot poisoned");
+        let i = s.iter().position(|e| e.id == id)?;
+        let e = s.swap_remove(i);
+        if s.is_empty() {
+            self.occupancy.fetch_and(!(1 << slot), Ordering::SeqCst);
+        }
+        Some(e)
+    }
+}
+
+/// Result of [`TimerWheel::insert`].
+pub enum Insert {
+    /// The deadline is in the future; the wheel owns the waker now.
+    Armed,
+    /// The deadline already passed: the waker comes straight back and the
+    /// caller must invoke it (the wheel never wakes from `insert`, so
+    /// arbitrary executor code cannot run inside a registration).
+    Due(Waker),
+}
+
+/// A 4x64 hierarchical timer wheel. See the module docs for the layout and
+/// the insert/advance handshake.
+pub struct TimerWheel {
+    origin: Instant,
+    /// Last fully processed tick. Only `advance` (serialised by
+    /// `advance_lock`) stores it; `insert` reads it lock-free.
+    cursor: AtomicU64,
+    advance_lock: Mutex<()>,
+    next_id: AtomicU64,
+    levels: [Level; LEVELS],
+}
+
+impl std::fmt::Debug for TimerWheel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("cursor", &self.cursor.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl TimerWheel {
+    /// An empty wheel whose tick 0 is `origin` (registrations at or before
+    /// `origin` are immediately due).
+    pub fn new(origin: Instant) -> Self {
+        TimerWheel {
+            origin,
+            cursor: AtomicU64::new(0),
+            advance_lock: Mutex::new(()),
+            next_id: AtomicU64::new(0),
+            levels: std::array::from_fn(|_| Level::new()),
+        }
+    }
+
+    /// `now` in whole elapsed ticks (floor): the last tick boundary reached.
+    fn ticks_floor(&self, now: Instant) -> u64 {
+        let nanos = now.saturating_duration_since(self.origin).as_nanos();
+        (nanos / TICK_NANOS).min(u64::MAX as u128) as u64
+    }
+
+    /// A deadline in ticks, rounded *up* so firing at `at_ticks` is never
+    /// early.
+    fn ticks_ceil(&self, at: Instant) -> u64 {
+        let nanos = at.saturating_duration_since(self.origin).as_nanos();
+        (nanos.div_ceil(TICK_NANOS)).min(u64::MAX as u128) as u64
+    }
+
+    /// (level, slot) for a future deadline, relative to cursor position `c`.
+    fn place(at_ticks: u64, c: u64) -> (usize, usize) {
+        debug_assert!(at_ticks > c);
+        let delta = at_ticks - c;
+        // Smallest level whose span covers the delta, clamped to the top.
+        let mut level = 0;
+        while level + 1 < LEVELS && delta >= 1u64 << (SLOT_BITS * (level as u32 + 1)) {
+            level += 1;
+        }
+        let slot = ((at_ticks >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        (level, slot)
+    }
+
+    /// The tick at which the driver drains the slot a `(level, at_ticks)`
+    /// entry lives in: the enclosing `64^level` boundary (for level 0, the
+    /// deadline itself).
+    fn cascade_tick(level: usize, at_ticks: u64) -> u64 {
+        at_ticks & !((1u64 << (SLOT_BITS * level as u32)) - 1)
+    }
+
+    /// Registers `waker` to fire at-or-after `at`. Wait-free against other
+    /// inserters of different ticks; safe against a concurrent [`advance`].
+    ///
+    /// [`advance`]: TimerWheel::advance
+    pub fn insert(&self, at: Instant, waker: Waker) -> Insert {
+        let at_ticks = self.ticks_ceil(at);
+        let mut waker = waker;
+        loop {
+            let c = self.cursor.load(Ordering::SeqCst);
+            if at_ticks <= c {
+                return Insert::Due(waker);
+            }
+            let (level, slot) = Self::place(at_ticks, c);
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            self.levels[level].push(
+                slot,
+                Entry {
+                    at_ticks,
+                    id,
+                    waker,
+                },
+            );
+            // Dekker re-check (see module docs): if the cursor has reached
+            // the point at which this slot gets drained, the driver may have
+            // swept it just before our push landed.
+            let c2 = self.cursor.load(Ordering::SeqCst);
+            if c2 < Self::cascade_tick(level, at_ticks) {
+                return Insert::Armed;
+            }
+            match self.levels[level].remove(slot, id) {
+                // Our entry is still there, but possibly stranded: take it
+                // back and re-place against the fresh cursor (which may make
+                // it due, or move it to a lower level).
+                Some(e) => waker = e.waker,
+                // The driver drained it first; it will fire or re-place it.
+                None => return Insert::Armed,
+            }
+        }
+    }
+
+    /// Advances the cursor to `now`, collecting every waker whose deadline
+    /// was reached. The caller invokes the wakers (outside all wheel locks).
+    /// Serialised internally; intended for a single driver thread.
+    pub fn advance(&self, now: Instant) -> Vec<Waker> {
+        let _g = self.advance_lock.lock().expect("wheel advance poisoned");
+        let target = self.ticks_floor(now);
+        let mut cur = self.cursor.load(Ordering::SeqCst);
+        let mut fired = Vec::new();
+        if target <= cur {
+            return fired;
+        }
+        // Fast path: nothing armed anywhere. Claim the span, then re-check
+        // occupancy (Dekker: an insert racing with this jump either sees the
+        // new cursor and reclaims, or its bit is visible to our re-check).
+        if self.all_empty() {
+            self.cursor.store(target, Ordering::SeqCst);
+            if self.all_empty() {
+                return fired;
+            }
+            self.sweep_all(target, &mut fired);
+            return fired;
+        }
+        while cur < target {
+            // Stop at the next cascade boundary (multiple of 64 ticks) or at
+            // the target, whichever comes first. Level-0 entries need no
+            // per-tick stepping because the sweep below visits every
+            // occupied level-0 slot, not just the one for the current tick.
+            let boundary = ((cur >> SLOT_BITS) + 1) << SLOT_BITS;
+            let stop = boundary.min(target);
+            // Publish before draining — the insert handshake relies on it.
+            self.cursor.store(stop, Ordering::SeqCst);
+            if stop.is_multiple_of(1 << SLOT_BITS) {
+                // Cascade every level whose period divides `stop`, top-down
+                // so re-placed entries land in levels swept afterwards.
+                for level in (1..LEVELS).rev() {
+                    if stop.is_multiple_of(1u64 << (SLOT_BITS * level as u32)) {
+                        let slot =
+                            ((stop >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+                        if self.levels[level].occupancy.load(Ordering::SeqCst) & (1 << slot) != 0 {
+                            for e in self.levels[level].drain(slot) {
+                                self.fire_or_replace(e, stop, &mut fired);
+                            }
+                        }
+                    }
+                }
+            }
+            self.sweep_level0(stop, &mut fired);
+            cur = stop;
+            if self.all_empty() {
+                // Nothing left anywhere: jump the remaining span, with the
+                // same post-store re-check as the fast path above.
+                self.cursor.store(target, Ordering::SeqCst);
+                if !self.all_empty() {
+                    self.sweep_all(target, &mut fired);
+                }
+                return fired;
+            }
+        }
+        fired
+    }
+
+    /// Earliest pending deadline, if any. Occupancy-guided scan; meant for
+    /// the driver deciding how long to sleep, not for hot paths. A racing
+    /// insert can be missed — the driver's dirty-flag protocol re-runs the
+    /// scan in that case (see `timer.rs`).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        let mut min: Option<u64> = None;
+        for level in &self.levels {
+            let mut occ = level.occupancy.load(Ordering::SeqCst);
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let s = level.slots[slot].lock().expect("wheel slot poisoned");
+                for e in s.iter() {
+                    min = Some(min.map_or(e.at_ticks, |m: u64| m.min(e.at_ticks)));
+                }
+            }
+        }
+        min.map(|ticks| self.origin + Duration::from_nanos(ticks.saturating_mul(TICK_NANOS as u64)))
+    }
+
+    fn all_empty(&self) -> bool {
+        self.levels
+            .iter()
+            .all(|l| l.occupancy.load(Ordering::SeqCst) == 0)
+    }
+
+    /// Fires `e` if due at `cursor_now`, else re-places it (used while
+    /// cascading; the advance lock is held, so the cursor is stable).
+    fn fire_or_replace(&self, e: Entry, cursor_now: u64, fired: &mut Vec<Waker>) {
+        if e.at_ticks <= cursor_now {
+            fired.push(e.waker);
+        } else {
+            let (level, slot) = Self::place(e.at_ticks, cursor_now);
+            self.levels[level].push(slot, e);
+        }
+    }
+
+    /// Drains every occupied level-0 slot, firing due entries and keeping
+    /// future ones in place.
+    fn sweep_level0(&self, cursor_now: u64, fired: &mut Vec<Waker>) {
+        let mut occ = self.levels[0].occupancy.load(Ordering::SeqCst);
+        while occ != 0 {
+            let slot = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            let mut s = self.levels[0].slots[slot]
+                .lock()
+                .expect("wheel slot poisoned");
+            if s.iter().any(|e| e.at_ticks <= cursor_now) {
+                let mut keep = Vec::with_capacity(s.len());
+                for e in s.drain(..) {
+                    if e.at_ticks <= cursor_now {
+                        fired.push(e.waker);
+                    } else {
+                        keep.push(e);
+                    }
+                }
+                if keep.is_empty() {
+                    self.levels[0]
+                        .occupancy
+                        .fetch_and(!(1 << slot), Ordering::SeqCst);
+                }
+                *s = keep;
+            }
+        }
+    }
+
+    /// Full-wheel rescue sweep used after a cursor jump raced an insert:
+    /// fires everything due at `cursor_now` and re-places the rest.
+    fn sweep_all(&self, cursor_now: u64, fired: &mut Vec<Waker>) {
+        for level in (0..LEVELS).rev() {
+            let mut occ = self.levels[level].occupancy.load(Ordering::SeqCst);
+            while occ != 0 {
+                let slot = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                for e in self.levels[level].drain(slot) {
+                    self.fire_or_replace(e, cursor_now, fired);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+    use std::sync::Arc;
+
+    /// A waker that records its entry's index into a shared log when woken.
+    fn tagged_waker(log: Arc<Mutex<Vec<usize>>>, idx: usize) -> Waker {
+        struct W(Arc<Mutex<Vec<usize>>>, usize);
+        impl std::task::Wake for W {
+            fn wake(self: Arc<Self>) {
+                self.0.lock().unwrap().push(self.1);
+            }
+        }
+        Waker::from(Arc::new(W(log, idx)))
+    }
+
+    fn counting_waker(hits: Arc<AtomicUsize>) -> Waker {
+        struct W(Arc<AtomicUsize>);
+        impl std::task::Wake for W {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, AOrd::SeqCst);
+            }
+        }
+        Waker::from(Arc::new(W(hits)))
+    }
+
+    #[test]
+    fn fires_at_or_after_deadline_never_before() {
+        let origin = Instant::now();
+        let w = TimerWheel::new(origin);
+        let hits = Arc::new(AtomicUsize::new(0));
+        assert!(matches!(
+            w.insert(
+                origin + Duration::from_millis(10),
+                counting_waker(Arc::clone(&hits))
+            ),
+            Insert::Armed
+        ));
+        // 9.5 ms: one tick short of the (ceiling-rounded) deadline.
+        assert!(w.advance(origin + Duration::from_micros(9_500)).is_empty());
+        let due = w.advance(origin + Duration::from_millis(10));
+        assert_eq!(due.len(), 1);
+        for waker in due {
+            waker.wake();
+        }
+        assert_eq!(hits.load(AOrd::SeqCst), 1);
+        // Exactly once: nothing left.
+        assert!(w.advance(origin + Duration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn sub_tick_deadline_rounds_up() {
+        let origin = Instant::now();
+        let w = TimerWheel::new(origin);
+        let hits = Arc::new(AtomicUsize::new(0));
+        // 20 µs from origin: must round up to tick 1, not down to "due".
+        assert!(matches!(
+            w.insert(origin + Duration::from_micros(20), counting_waker(hits)),
+            Insert::Armed
+        ));
+        assert!(w.advance(origin + Duration::from_micros(90)).is_empty());
+        assert_eq!(w.advance(origin + TICK).len(), 1);
+    }
+
+    #[test]
+    fn past_deadline_is_due_immediately() {
+        let origin = Instant::now();
+        let w = TimerWheel::new(origin);
+        let hits = Arc::new(AtomicUsize::new(0));
+        assert!(matches!(
+            w.insert(origin, counting_waker(hits)),
+            Insert::Due(_)
+        ));
+    }
+
+    #[test]
+    fn next_deadline_is_the_minimum() {
+        let origin = Instant::now();
+        let w = TimerWheel::new(origin);
+        assert!(w.next_deadline().is_none());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (i, ms) in [70_u64, 3, 4000].into_iter().enumerate() {
+            w.insert(
+                origin + Duration::from_millis(ms),
+                tagged_waker(Arc::clone(&log), i),
+            );
+        }
+        assert_eq!(w.next_deadline(), Some(origin + Duration::from_millis(3)));
+        w.advance(origin + Duration::from_millis(10));
+        assert_eq!(w.next_deadline(), Some(origin + Duration::from_millis(70)));
+    }
+
+    #[test]
+    fn cascades_across_levels_and_horizon_clamp() {
+        let origin = Instant::now();
+        let w = TimerWheel::new(origin);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Level 1 (~0.5 s), level 2 (~5 min), level 3 (~5 h: past the 64^3
+        // slot span, still inside level 3), and beyond-horizon (~2 days:
+        // clamped into level 3 and re-shelved as the cursor approaches).
+        let delays_ms = [500_u64, 300_000, 18_000_000, 180_000_000];
+        for (i, ms) in delays_ms.into_iter().enumerate() {
+            assert!(matches!(
+                w.insert(
+                    origin + Duration::from_millis(ms),
+                    tagged_waker(Arc::clone(&log), i),
+                ),
+                Insert::Armed
+            ));
+        }
+        // Walk time forward in coarse, uneven jumps well past everything.
+        let mut fired = Vec::new();
+        for step_ms in [137_u64, 499, 600, 70_000, 400_000, 17_000_000, 200_000_000] {
+            for waker in w.advance(origin + Duration::from_millis(step_ms)) {
+                waker.wake();
+            }
+            fired.push(log.lock().unwrap().clone());
+        }
+        // Each fires exactly once, in deadline order across steps.
+        let final_log = log.lock().unwrap().clone();
+        assert_eq!(final_log, vec![0, 1, 2, 3]);
+        // And never before its deadline: entry 0 (500 ms) must not be in
+        // the 499 ms snapshot.
+        assert!(fired[1].is_empty());
+    }
+
+    proptest::proptest! {
+        /// Oracle check: every registration fires exactly once, never
+        /// before its (ceiling-rounded) deadline tick, and exactly in the
+        /// advance step that first covers it — compared against a plain
+        /// sorted list of deadlines.
+        #[test]
+        fn firing_matches_sorted_oracle(
+            delays_us in proptest::collection::vec(0_u64..=400_000_000, 1..48),
+            steps_us in proptest::collection::vec(1_u64..=150_000_000, 1..12),
+        ) {
+            let origin = Instant::now();
+            let w = TimerWheel::new(origin);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            // Oracle: deadline of entry i in ticks (1 tick = 1 ms = 1000 us,
+            // ceiling-rounded, matching the wheel's contract).
+            let at_ticks: Vec<u64> = delays_us.iter().map(|us| us.div_ceil(1000)).collect();
+            for (i, us) in delays_us.iter().enumerate() {
+                match w.insert(
+                    origin + Duration::from_micros(*us),
+                    tagged_waker(Arc::clone(&log), i),
+                ) {
+                    Insert::Armed => {}
+                    // Only a zero-tick deadline can be due on a fresh wheel.
+                    Insert::Due(waker) => {
+                        proptest::prop_assert_eq!(at_ticks[i], 0);
+                        waker.wake();
+                    }
+                }
+            }
+            let mut now_us = 0_u64;
+            let mut prev_ticks = 0_u64;
+            let mut steps = steps_us.clone();
+            // Final step far past every deadline: everything must drain.
+            steps.push(500_000_000);
+            for step in steps {
+                now_us += step;
+                let target_ticks = now_us / 1000; // floor, like the wheel
+                let before = log.lock().unwrap().len();
+                for waker in w.advance(origin + Duration::from_micros(now_us)) {
+                    waker.wake();
+                }
+                let log_now = log.lock().unwrap().clone();
+                // Exactly the oracle's due set fired in this step.
+                let mut got: Vec<usize> = log_now[before..].to_vec();
+                got.sort_unstable();
+                let mut want: Vec<usize> = (0..at_ticks.len())
+                    .filter(|&i| at_ticks[i] > prev_ticks && at_ticks[i] <= target_ticks)
+                    .collect();
+                // Entries due at tick 0 were fired at insert time.
+                if prev_ticks == 0 {
+                    want.retain(|&i| at_ticks[i] != 0);
+                }
+                want.sort_unstable();
+                proptest::prop_assert_eq!(got, want);
+                prev_ticks = target_ticks;
+            }
+            // Everything fired exactly once.
+            let mut all = log.lock().unwrap().clone();
+            all.sort_unstable();
+            proptest::prop_assert_eq!(all, (0..at_ticks.len()).collect::<Vec<_>>());
+        }
+    }
+}

@@ -143,6 +143,12 @@ impl Phase {
 /// scenario counters (bin-local so the CI assert works without stats).
 struct Shared {
     hist: Histogram,
+    /// Storm-phase spans only, *including* lapsed dispatches — its tail is
+    /// how late past the 50 µs patience the timeout path actually fired,
+    /// the wakeup-lateness figure the timer wheel is accountable for.
+    /// Exported as `server.storm_*` counters (the all-phase `latency`
+    /// block keeps its PR 9 meaning).
+    storm_hist: Histogram,
     requests: AtomicU64,
     timeouts: AtomicU64,
     cancels: AtomicU64,
@@ -157,6 +163,7 @@ impl Shared {
     fn new(cfg: &Config) -> Shared {
         Shared {
             hist: Histogram::new(),
+            storm_hist: Histogram::new(),
             requests: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             cancels: AtomicU64::new(0),
@@ -235,7 +242,9 @@ async fn connection_n<Q>(
                     shared.make_job(),
                     Deadline::after(shared.storm_patience),
                 );
-                match send.await {
+                let outcome = send.await;
+                shared.storm_hist.record(t0.elapsed().as_nanos() as u64);
+                match outcome {
                     Ok(()) => shared.hist.record(t0.elapsed().as_nanos() as u64),
                     Err(_) => {
                         shared.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -374,6 +383,21 @@ where
     counters.push(("server.timeouts".into(), totals.timeouts));
     counters.push(("server.cancels".into(), totals.cancels));
     counters.push(("server.burst_drops".into(), totals.burst_drops));
+    // The storm-phase distribution rides along as counters: every storm
+    // dispatch (lapsed or not) is in it, so `storm_p999_ns` is the phase's
+    // tail with timeout lateness included — the number the acceptance gate
+    // compares across PRs.
+    if let Some(storm) = shared.storm_hist.summary() {
+        eprintln!(
+            "  server {name:>20} storm  -> p50={} p99={} p999={} max={} ns ({} spans)",
+            storm.p50, storm.p99, storm.p999, storm.max, storm.count
+        );
+        counters.push(("server.storm_spans".into(), storm.count));
+        counters.push(("server.storm_p50_ns".into(), storm.p50));
+        counters.push(("server.storm_p99_ns".into(), storm.p99));
+        counters.push(("server.storm_p999_ns".into(), storm.p999));
+        counters.push(("server.storm_max_ns".into(), storm.max));
+    }
     let latency = shared.hist.summary();
     if let Some(lat) = &latency {
         eprintln!(

@@ -14,14 +14,15 @@
 use std::process::ExitCode;
 use synq_bench::json::Json;
 use synq_bench::report::{
-    async_path, check_bench_schema, combiner_path, headline_path, read_bench_file, reclaim_path,
-    ring_path, server_path, striped_path, wait_strategy_path, write_bench_async,
-    write_bench_combiner, write_bench_headline, write_bench_reclaim, write_bench_ring,
-    write_bench_server, write_bench_striped, write_bench_wait_strategy, FigureReport,
+    async_path, check_bench_schema, combiner_path, headline_path, park_path, read_bench_file,
+    reclaim_path, ring_path, server_path, striped_path, wait_strategy_path, write_bench_async,
+    write_bench_combiner, write_bench_headline, write_bench_park, write_bench_reclaim,
+    write_bench_ring, write_bench_server, write_bench_striped, write_bench_wait_strategy,
+    FigureReport,
 };
 
 /// The repo-root perf-trajectory files: (resolved path, schema family).
-fn bench_files() -> [(std::path::PathBuf, &'static str); 8] {
+fn bench_files() -> [(std::path::PathBuf, &'static str); 9] {
     [
         (headline_path(), "headline"),
         (wait_strategy_path(), "wait-strategy"),
@@ -31,6 +32,7 @@ fn bench_files() -> [(std::path::PathBuf, &'static str); 8] {
         (reclaim_path(), "reclaim"),
         (combiner_path(), "combiner"),
         (server_path(), "server"),
+        (park_path(), "park"),
     ]
 }
 
@@ -236,6 +238,12 @@ fn run() -> Result<(), String> {
         guard_overwrite(&server_path(), "server")?;
         let path = write_bench_server(sweep)
             .map_err(|e| format!("failed to write BENCH_server.json: {e}"))?;
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(sweep) = reports.iter().find(|r| r.id == "park") {
+        guard_overwrite(&park_path(), "park")?;
+        let path =
+            write_bench_park(sweep).map_err(|e| format!("failed to write BENCH_park.json: {e}"))?;
         eprintln!("wrote {}", path.display());
     }
     Ok(())

@@ -331,7 +331,8 @@ fn schema_string(family: &str) -> String {
 
 /// Validates the `schema` field of a `BENCH_*.json` document against a
 /// schema family (`"headline"`, `"wait-strategy"`, `"async"`,
-/// `"striped"`, `"ring"`, `"reclaim"`, `"combiner"`, `"server"`). Returns the
+/// `"striped"`, `"ring"`, `"reclaim"`, `"combiner"`, `"server"`,
+/// `"park"`). Returns the
 /// revision on success; a descriptive error for a missing field, a
 /// different family, or a revision outside
 /// [`BENCH_SCHEMA_OLDEST`]..=[`BENCH_SCHEMA_REV`].
@@ -420,6 +421,11 @@ pub fn combiner_path() -> PathBuf {
 /// Resolved path of `BENCH_server.json` (`SYNQ_SERVER_PATH` override).
 pub fn server_path() -> PathBuf {
     bench_path("SYNQ_SERVER_PATH", "BENCH_server.json")
+}
+
+/// Resolved path of `BENCH_park.json` (`SYNQ_PARK_PATH` override).
+pub fn park_path() -> PathBuf {
+    bench_path("SYNQ_PARK_PATH", "BENCH_park.json")
 }
 
 /// The host/run configuration block recorded in every BENCH file (PR 8):
@@ -619,6 +625,25 @@ pub fn write_bench_server(sweep: &FigureReport) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes the repo-root `BENCH_park.json` file: the wait-path
+/// microbenchmarks (PR 10) — park/unpark round trip and timed-wait churn
+/// for the platform-default (futex on Linux) and condvar parker backends,
+/// plus rendezvous handoff under the calibrated adaptive spin policy
+/// against fixed budgets. The `roundtrip/default` vs `roundtrip/condvar`
+/// gap is the committed evidence for the raw-futex win. Returns the path
+/// written (overridable with `SYNQ_PARK_PATH`).
+pub fn write_bench_park(sweep: &FigureReport) -> std::io::Result<PathBuf> {
+    let path = park_path();
+    let fields = vec![
+        ("schema".into(), Json::Str(schema_string("park"))),
+        ("config".into(), report_config(sweep)),
+        ("sweep".into(), sweep.to_json()),
+    ];
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(Json::Obj(fields).pretty().as_bytes())?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -744,6 +769,26 @@ mod tests {
             Some(format!("synq-bench-ring/v{BENCH_SCHEMA_REV}"))
         );
         assert!(read_bench_file(&written, "ring").is_ok());
+        assert!(doc.get("config").is_some(), "config block recorded");
+        let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
+        assert_eq!(sweep.series.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn park_file_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("synq-park-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_park.json");
+        std::env::set_var("SYNQ_PARK_PATH", &path);
+        let written = write_bench_park(&sample()).unwrap();
+        std::env::remove_var("SYNQ_PARK_PATH");
+        let doc = Json::parse(&std::fs::read_to_string(&written).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str).map(str::to_owned),
+            Some(format!("synq-bench-park/v{BENCH_SCHEMA_REV}"))
+        );
+        assert!(read_bench_file(&written, "park").is_ok());
         assert!(doc.get("config").is_some(), "config block recorded");
         let sweep = FigureReport::from_json(doc.get("sweep").unwrap()).unwrap();
         assert_eq!(sweep.series.len(), 2);

@@ -226,7 +226,9 @@ impl<T: Send, S: StripedLane<T>> Striped<T, S> {
         let cache_cap = (NODE_CACHE_CAP / lanes).clamp(MIN_LANE_CACHE, NODE_CACHE_CAP);
         Striped {
             lanes: (0..lanes)
-                .map(|_| Arc::new(S::make_lane(spin, cache_cap)))
+                // Lanes clone the policy, so a calibrated policy keeps one
+                // shared per-structure spin estimate across all lanes.
+                .map(|_| Arc::new(S::make_lane(spin.clone(), cache_cap)))
                 .collect(),
             _marker: PhantomData,
         }

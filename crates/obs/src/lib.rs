@@ -245,6 +245,24 @@ probes! {
     /// published and went to wait; the holder's release re-check covers it).
     CombinerLockFails => "combiner.lock_fails",
 
+    // Parker substrate (DESIGN §4.15): how permits actually move between
+    // threads — banked fast paths vs real descheduling syscalls.
+    /// Parks that consumed an already-banked permit without sleeping (the
+    /// no-syscall fast path on both the futex and condvar backends).
+    ParkFastPaths => "park.fast_paths",
+    /// Futex/condvar sleep attempts: one per `FUTEX_WAIT` syscall (Linux)
+    /// or condvar wait (fallback), including spurious-wake re-sleeps.
+    ParkFutexWaits => "park.futex_waits",
+    /// Wake syscalls issued: `unpark` found a sleeping (PARKED) peer and
+    /// paid one `FUTEX_WAKE`/`notify_one`.
+    ParkFutexWakes => "park.futex_wakes",
+    /// Unparks that banked the permit without a syscall (peer not asleep:
+    /// state was EMPTY or NOTIFIED).
+    ParkWakeSkips => "park.wake_skips",
+    /// Timed parks that expired without a permit (the timeout-retract
+    /// path: `swap(EMPTY)` observed PARKED).
+    ParkTimeouts => "park.timeouts",
+
     // Dispatch-server scenario (the `server` bench bin): async connections
     // dispatching jobs into the executor pool through a rendezvous channel.
     /// Requests issued by server-scenario connections (every dispatch

@@ -33,10 +33,29 @@ pub struct Backoff {
     step: std::cell::Cell<u32>,
 }
 
-/// 2^SPIN_LIMIT spins is the most a single `snooze` will busy-wait.
-const SPIN_LIMIT: u32 = 6;
-/// Past 2^YIELD_LIMIT total steps, `is_completed` reports saturation.
-const YIELD_LIMIT: u32 = 10;
+/// Seed of the exponential schedule: the very first backoff step busy-waits
+/// `BACKOFF_SPIN_SEED` iterations, doubling from there.
+pub const BACKOFF_SPIN_SEED: u32 = 1;
+
+/// Exponent of the spin phase's ceiling: steps grow `1, 2, 4, ... 2^BACKOFF_SPIN_LIMIT`
+/// and no single [`Backoff::spin`]/[`Backoff::snooze`] call busy-waits more
+/// than `2^BACKOFF_SPIN_LIMIT` iterations.
+pub const BACKOFF_SPIN_LIMIT: u32 = 6;
+
+/// The fully-grown spin step, `2^BACKOFF_SPIN_LIMIT` iterations. Kept equal
+/// to the adaptive wait budget's ceiling ([`crate::ADAPTIVE_SPIN_CAP`]) so
+/// the CAS-retry path and the spin-then-park path draw the "cheaper than a
+/// context switch" line at the same place; a compile-time assertion in
+/// `spin.rs` enforces the pairing.
+pub const BACKOFF_SPIN_CAP: u32 = BACKOFF_SPIN_SEED << BACKOFF_SPIN_LIMIT;
+
+/// Past `BACKOFF_YIELD_LIMIT` total steps (spin phase included),
+/// [`Backoff::is_completed`] reports saturation and callers typically park.
+pub const BACKOFF_YIELD_LIMIT: u32 = 10;
+
+// Short internal aliases; the public names above are the documented API.
+const SPIN_LIMIT: u32 = BACKOFF_SPIN_LIMIT;
+const YIELD_LIMIT: u32 = BACKOFF_YIELD_LIMIT;
 
 impl Backoff {
     /// Creates a fresh backoff with zero accumulated delay.

@@ -57,15 +57,17 @@ pub mod wait;
 pub mod wait_slot;
 pub mod waiter;
 
-pub use backoff::Backoff;
+pub use backoff::{
+    Backoff, BACKOFF_SPIN_CAP, BACKOFF_SPIN_LIMIT, BACKOFF_SPIN_SEED, BACKOFF_YIELD_LIMIT,
+};
 pub use cache_padded::CachePadded;
 pub use cancel::{CancelToken, Canceller};
 pub use deadline::Deadline;
 pub use fast_semaphore::FastSemaphore;
 pub use mcs_lock::{McsLock, McsLockGuard};
-pub use parker::{Parker, Unparker};
+pub use parker::{CondvarParker, CondvarUnparker, Parker, Unparker};
 pub use semaphore::Semaphore;
-pub use spin::SpinPolicy;
+pub use spin::{SpinCalibrator, SpinPolicy, ADAPTIVE_SPIN_CAP};
 pub use ticket_lock::{TicketLock, TicketLockGuard};
 pub use wait::{SpinOnly, WaitStrategy};
 pub use wait_slot::{WaitOutcome, WaitSlot, MIN_TOKEN};

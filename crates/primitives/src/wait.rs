@@ -35,12 +35,34 @@ pub trait WaitStrategy {
     fn deadline_poll_interval(&self) -> u32 {
         DEADLINE_POLL_INTERVAL
     }
+
+    /// Feedback from a finished wait: how many iterations it spun, how many
+    /// times it parked, and whether it ended in a match (as opposed to a
+    /// timeout or cancellation). The wait loop calls this exactly once per
+    /// wait, after the outcome is decided; adaptive strategies use it to
+    /// recalibrate their spin budget. The default is a no-op.
+    #[inline]
+    fn observe(&self, timed: bool, spun: u64, parked: u64, matched: bool) {
+        let _ = (timed, spun, parked, matched);
+    }
 }
 
 impl WaitStrategy for SpinPolicy {
     #[inline]
     fn spin_budget(&self, timed: bool) -> u32 {
         self.spins_for(timed)
+    }
+
+    #[inline]
+    fn observe(&self, _timed: bool, spun: u64, parked: u64, matched: bool) {
+        // Only matches teach us anything about handoff latency: an absent
+        // peer (timeout/cancel) says nothing about how fast a present one
+        // would have arrived.
+        if matched {
+            if let Some(c) = self.calibrator() {
+                c.record_handoff(spun.min(u64::from(u32::MAX)) as u32, parked > 0);
+            }
+        }
     }
 }
 

@@ -618,6 +618,14 @@ impl<T> WaitSlot<T> {
         if parked > 0 {
             synq_obs::probe!(WaitParks, parked);
         }
+        // One calibration sample per wait: adaptive strategies learn the
+        // spin/park split of this handoff (no-op for fixed policies).
+        strategy.observe(
+            deadline.is_timed(),
+            spun,
+            parked,
+            matches!(result, Ok(WaitOutcome::Matched(_))),
+        );
         match result {
             Ok(WaitOutcome::Matched(_)) => {
                 if parked == 0 {

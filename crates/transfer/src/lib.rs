@@ -266,7 +266,10 @@ impl<T: Send, R: Reclaimer> TransferQueue<T, R> {
 
     /// Buffered enqueue only if it can complete immediately. Unbounded
     /// queues always accept; bounded queues refuse (returning the value)
-    /// when the ring is full.
+    /// when the ring is full — or, as of PR 10, when producers are already
+    /// **registered waiting for space**: a just-freed slot belongs to the
+    /// woken waiter, so `try_put` may fail while `len() < capacity` for
+    /// the short handoff window (no-barge rule, DESIGN §4.15).
     pub fn try_put(&self, value: T) -> Result<(), T> {
         match self.put_with(value, Deadline::Now, None) {
             TransferOutcome::Transferred(_) => Ok(()),
@@ -291,8 +294,24 @@ impl<T: Send, R: Reclaimer> TransferQueue<T, R> {
         token: Option<&CancelToken>,
     ) -> TransferOutcome<T> {
         match &self.ring {
-            Some(ring) => self.bounded_put(ring, value, deadline, token),
+            Some(ring) => self.bounded_put(ring, value, deadline, token, true),
             None => self.producer(Some(value), PutMode::Async, deadline, token),
+        }
+    }
+
+    /// Immediate buffered enqueue that does **not** defer to registered
+    /// space waiters. For callers that already hold a registration on the
+    /// space list (the async permit) — deferring would deadlock against
+    /// their own entry, and their barge is the wakeup-retry the no-barge
+    /// rule protects.
+    fn try_put_as_waiter(&self, value: T) -> Result<(), T> {
+        let out = match &self.ring {
+            Some(ring) => self.bounded_put(ring, value, Deadline::Now, None, false),
+            None => self.producer(Some(value), PutMode::Async, Deadline::Now, None),
+        };
+        match out {
+            TransferOutcome::Transferred(_) => Ok(()),
+            other => Err(other.into_inner().expect("item returned")),
         }
     }
 
@@ -346,7 +365,10 @@ impl<T: Send, R: Reclaimer> TransferQueue<T, R> {
         }
     }
 
-    /// Receives a buffered or offered value without waiting.
+    /// Receives a buffered or offered value without waiting. Like
+    /// [`Self::try_put`], defers to consumers already registered on the
+    /// item wait list (no-barge rule): may return `None` while the ring
+    /// is momentarily non-empty if its items are spoken for.
     pub fn poll(&self) -> Option<T> {
         self.take_with(Deadline::Now, None).into_inner()
     }
@@ -359,9 +381,19 @@ impl<T: Send, R: Reclaimer> TransferQueue<T, R> {
     /// Fully general receive.
     pub fn take_with(&self, deadline: Deadline, token: Option<&CancelToken>) -> TransferOutcome<T> {
         match &self.ring {
-            Some(ring) => self.bounded_take(ring, deadline, token),
+            Some(ring) => self.bounded_take(ring, deadline, token, true),
             None => self.consumer(deadline, token),
         }
+    }
+
+    /// Immediate receive that does **not** defer to registered item
+    /// waiters; see [`Self::try_put_as_waiter`].
+    fn poll_as_waiter(&self) -> Option<T> {
+        match &self.ring {
+            Some(ring) => self.bounded_take(ring, Deadline::Now, None, false),
+            None => self.consumer(Deadline::Now, None),
+        }
+        .into_inner()
     }
 
     // --------------------------------------------------------- batch API
@@ -377,24 +409,42 @@ impl<T: Send, R: Reclaimer> TransferQueue<T, R> {
             }
             return;
         };
+        let mut entry: Option<Arc<WaitSlot<()>>> = None;
+        let mut consumed_match = false;
         while !items.is_empty() {
-            let pushed = ring.try_push_batch(items);
-            if pushed > 0 {
-                fence(Ordering::SeqCst);
-                self.item_waiters.notify(pushed);
-                continue;
+            // No-barge: a fresh batch defers to producers already queued
+            // for space (same rule as `bounded_put`).
+            if !(entry.is_none() && self.space_waiters.hint() > 0) {
+                let pushed = ring.try_push_batch(items);
+                if pushed > 0 {
+                    fence(Ordering::SeqCst);
+                    self.item_waiters.notify(pushed);
+                    continue;
+                }
             }
-            let waiter = self.space_waiters.register();
-            fence(Ordering::SeqCst);
-            if !ring.is_full() {
-                self.space_waiters.retract(&waiter);
-                continue;
+            if entry.as_ref().is_none_or(|e| !e.is_waiting()) {
+                let fresh = self.space_waiters.register();
+                fence(Ordering::SeqCst);
+                if let Some(old) = entry.replace(fresh) {
+                    self.space_waiters.remove(&old);
+                }
+                consumed_match = false;
+                if !ring.is_full() {
+                    continue;
+                }
             }
             probe!(RingFullWaits);
-            match waiter.await_outcome(Deadline::Never, None, &self.spin) {
-                WaitOutcome::Matched(_) => continue,
+            match entry.as_ref().expect("registered above").await_outcome(
+                Deadline::Never,
+                None,
+                &self.spin,
+            ) {
+                WaitOutcome::Matched(_) => consumed_match = true,
                 _ => unreachable!("untimed, uncancellable wait cannot expire"),
             }
+        }
+        if let Some(e) = entry {
+            self.release_waiter(&self.space_waiters, e, consumed_match);
         }
     }
 
@@ -571,99 +621,162 @@ impl<T: Send, R: Reclaimer> TransferQueue<T, R> {
     /// fence → notify on the producer side; register (SeqCst store) →
     /// fence → re-check `is_full` on this side. One of the two always
     /// observes the other.
+    /// `defer_to_waiters` is the **no-barge** rule (PR 10): a fresh arrival
+    /// that finds earlier producers already registered does not race them
+    /// for whatever space a consumer just freed — it queues up behind them.
+    /// Only callers with no registration of their own defer; a woken waiter
+    /// re-attempting must barge, or woken waiters would defer to each other
+    /// and the ring could sit non-full with every producer parked.
     fn bounded_put(
         &self,
         ring: &RingBuffer<T>,
         mut value: T,
         deadline: Deadline,
         token: Option<&CancelToken>,
+        defer_to_waiters: bool,
     ) -> TransferOutcome<T> {
-        loop {
-            match ring.try_push(value) {
-                Ok(()) => {
-                    fence(Ordering::SeqCst);
-                    self.item_waiters.notify(1);
-                    return TransferOutcome::Transferred(None);
+        let mut entry: Option<Arc<WaitSlot<()>>> = None;
+        // True while `entry` holds a notification we were woken by and have
+        // not yet converted into a successful push.
+        let mut consumed_match = false;
+        let outcome = loop {
+            if !(defer_to_waiters && entry.is_none() && self.space_waiters.hint() > 0) {
+                match ring.try_push(value) {
+                    Ok(()) => {
+                        fence(Ordering::SeqCst);
+                        self.item_waiters.notify(1);
+                        break TransferOutcome::Transferred(None);
+                    }
+                    Err(back) => value = back,
                 }
-                Err(back) => value = back,
             }
             if deadline.is_now() || deadline.expired() {
-                return TransferOutcome::Timeout(Some(value));
+                break TransferOutcome::Timeout(Some(value));
             }
             if token.is_some_and(|tk| tk.is_cancelled()) {
-                return TransferOutcome::Cancelled(Some(value));
+                break TransferOutcome::Cancelled(Some(value));
             }
-            let waiter = self.space_waiters.register();
-            fence(Ordering::SeqCst);
-            if !ring.is_full() {
-                self.space_waiters.retract(&waiter);
-                continue;
+            if entry.as_ref().is_none_or(|e| !e.is_waiting()) {
+                // (Re-)register. A spent (matched) entry is replaced
+                // *before* it is removed, so the registered count never
+                // dips to zero mid-handoff — a dip would open the barge
+                // window the in-place notify protocol closes.
+                let fresh = self.space_waiters.register();
+                fence(Ordering::SeqCst);
+                if let Some(old) = entry.replace(fresh) {
+                    self.space_waiters.remove(&old);
+                }
+                consumed_match = false;
+                if !ring.is_full() {
+                    continue;
+                }
             }
             probe!(RingFullWaits);
-            match waiter.await_outcome(deadline, token, &self.spin) {
-                WaitOutcome::Matched(_) => continue,
-                WaitOutcome::TimedOut => {
-                    self.space_waiters.remove(&waiter);
-                    return TransferOutcome::Timeout(Some(value));
-                }
-                WaitOutcome::Cancelled => {
-                    self.space_waiters.remove(&waiter);
-                    return TransferOutcome::Cancelled(Some(value));
-                }
+            match entry
+                .as_ref()
+                .expect("registered above")
+                .await_outcome(deadline, token, &self.spin)
+            {
+                WaitOutcome::Matched(_) => consumed_match = true,
+                WaitOutcome::TimedOut => break TransferOutcome::Timeout(Some(value)),
+                WaitOutcome::Cancelled => break TransferOutcome::Cancelled(Some(value)),
             }
+        };
+        if let Some(e) = entry {
+            self.release_waiter(
+                &self.space_waiters,
+                e,
+                consumed_match && matches!(outcome, TransferOutcome::Transferred(_)),
+            );
+        }
+        outcome
+    }
+
+    /// Unlinks a wait-list entry on exit from a bounded fast path.
+    /// `notification_used`: the entry's match was converted into a
+    /// completed ring operation, so the wakeup is consumed rather than
+    /// passed on.
+    fn release_waiter(&self, waiters: &WaiterQueue, e: Arc<WaitSlot<()>>, notification_used: bool) {
+        if e.is_cancelled() || notification_used {
+            // CANCELLED: `await_outcome` arbitration already settled the
+            // slot; a retract here would wrongly pass a notification on.
+            waiters.remove(&e);
+        } else {
+            // Still WAITING (or matched by a racing notify whose freed
+            // capacity we did not use): cancel-or-pass-on.
+            waiters.retract(&e);
         }
     }
 
     /// Bounded receive: ring items first, then waiting synchronous
     /// transfers, else wait on the item list. The `sync_transfers` gate is
     /// what keeps the pure buffered path off the epoch-pinned linked
-    /// protocol entirely.
+    /// protocol entirely. `defer_to_waiters` mirrors [`Self::bounded_put`]:
+    /// fresh arrivals queue up behind already-registered consumers instead
+    /// of stealing a just-pushed item out from under them.
     fn bounded_take(
         &self,
         ring: &RingBuffer<T>,
         deadline: Deadline,
         token: Option<&CancelToken>,
+        defer_to_waiters: bool,
     ) -> TransferOutcome<T> {
-        loop {
-            if let Some(v) = ring.try_pop() {
-                fence(Ordering::SeqCst);
-                self.space_waiters.notify(1);
-                return TransferOutcome::Transferred(Some(v));
-            }
-            if self.sync_transfers.load(Ordering::SeqCst) > 0 {
-                if let TransferOutcome::Transferred(v) = self.consumer(Deadline::Now, None) {
-                    return TransferOutcome::Transferred(v);
+        let mut entry: Option<Arc<WaitSlot<()>>> = None;
+        let mut consumed_match = false;
+        let outcome = loop {
+            if !(defer_to_waiters && entry.is_none() && self.item_waiters.hint() > 0) {
+                if let Some(v) = ring.try_pop() {
+                    fence(Ordering::SeqCst);
+                    self.space_waiters.notify(1);
+                    break TransferOutcome::Transferred(Some(v));
                 }
-                // The counted node was claimed or cancelled by someone
-                // else and the counter is momentarily stale; re-examine.
-                std::thread::yield_now();
-                continue;
+                if self.sync_transfers.load(Ordering::SeqCst) > 0 {
+                    if let TransferOutcome::Transferred(v) = self.consumer(Deadline::Now, None) {
+                        break TransferOutcome::Transferred(v);
+                    }
+                    // The counted node was claimed or cancelled by someone
+                    // else and the counter is momentarily stale; re-examine.
+                    std::thread::yield_now();
+                    continue;
+                }
             }
             if deadline.is_now() || deadline.expired() {
-                return TransferOutcome::Timeout(None);
+                break TransferOutcome::Timeout(None);
             }
             if token.is_some_and(|tk| tk.is_cancelled()) {
-                return TransferOutcome::Cancelled(None);
+                break TransferOutcome::Cancelled(None);
             }
-            let waiter = self.item_waiters.register();
-            fence(Ordering::SeqCst);
-            if !ring.is_empty() || self.sync_transfers.load(Ordering::SeqCst) > 0 {
-                self.item_waiters.retract(&waiter);
-                continue;
+            if entry.as_ref().is_none_or(|e| !e.is_waiting()) {
+                // Register-fresh-then-remove-old, as in `bounded_put`.
+                let fresh = self.item_waiters.register();
+                fence(Ordering::SeqCst);
+                if let Some(old) = entry.replace(fresh) {
+                    self.item_waiters.remove(&old);
+                }
+                consumed_match = false;
+                if !ring.is_empty() || self.sync_transfers.load(Ordering::SeqCst) > 0 {
+                    continue;
+                }
             }
             probe!(RingEmptyWaits);
-            match waiter.await_outcome(deadline, token, &self.spin) {
-                WaitOutcome::Matched(_) => continue,
-                WaitOutcome::TimedOut => {
-                    self.item_waiters.remove(&waiter);
-                    return TransferOutcome::Timeout(None);
-                }
-                WaitOutcome::Cancelled => {
-                    self.item_waiters.remove(&waiter);
-                    return TransferOutcome::Cancelled(None);
-                }
+            match entry
+                .as_ref()
+                .expect("registered above")
+                .await_outcome(deadline, token, &self.spin)
+            {
+                WaitOutcome::Matched(_) => consumed_match = true,
+                WaitOutcome::TimedOut => break TransferOutcome::Timeout(None),
+                WaitOutcome::Cancelled => break TransferOutcome::Cancelled(None),
             }
+        };
+        if let Some(e) = entry {
+            self.release_waiter(
+                &self.item_waiters,
+                e,
+                consumed_match && matches!(outcome, TransferOutcome::Transferred(_)),
+            );
         }
+        outcome
     }
 
     // ---------------------------------------------------------- internals
@@ -1178,10 +1291,26 @@ impl<T: Send> BufferedPermit<T> {
         }
     }
 
-    /// Withdraws a still-live wait-list entry (cancel-or-pass-on).
+    /// Withdraws a still-live wait-list entry (cancel-or-pass-on). Used on
+    /// drop: the permit never consumed the awaited condition, so a
+    /// notification that landed in its slot is handed to the next waiter.
     fn release_entry(&mut self) {
         if let Some(entry) = self.entry.take() {
             self.waiters().retract(&entry);
+        }
+    }
+
+    /// Unlinks the entry after the ring operation succeeded. A matched
+    /// entry's notification was just converted into that operation, so it
+    /// is consumed (plain remove); a still-waiting entry is retracted,
+    /// passing on any notification that races in.
+    fn finish_entry(&mut self) {
+        if let Some(entry) = self.entry.take() {
+            if entry.is_waiting() {
+                self.waiters().retract(&entry);
+            } else {
+                self.waiters().remove(&entry);
+            }
         }
     }
 }
@@ -1197,52 +1326,59 @@ impl<T: Send> PendingTransfer<T> for BufferedPermit<T> {
         let queue = &self.channel.queue;
         loop {
             // Re-attempt the operation first: a wakeup (or a spurious
-            // poll) means the condition may now hold.
+            // poll) means the condition may now hold. The `_as_waiter`
+            // variants skip the public paths' defer-to-waiters check —
+            // this permit is (or is about to become) the registered
+            // waiter those paths defer to.
             if self.producer {
                 let value = self.item.take().expect("producer permit owns its item");
-                match queue.try_put(value) {
+                match queue.try_put_as_waiter(value) {
                     Ok(()) => {
-                        self.release_entry();
+                        self.finish_entry();
                         self.done = true;
                         return Poll::Ready(TransferOutcome::Transferred(None));
                     }
                     Err(back) => self.item = Some(back),
                 }
-            } else if let Some(v) = queue.poll() {
-                self.release_entry();
+            } else if let Some(v) = queue.poll_as_waiter() {
+                self.finish_entry();
                 self.done = true;
                 return Poll::Ready(TransferOutcome::Transferred(Some(v)));
             }
-            match &self.entry {
-                None => {
-                    // Register, then loop to re-check the condition — the
-                    // Dekker pattern (see `waiters`), with the re-check
-                    // being the try_put/poll above.
-                    let entry = self.waiters().register();
-                    fence(Ordering::SeqCst);
-                    self.entry = Some(entry);
+            if self.entry.as_ref().is_none_or(|e| !e.is_waiting()) {
+                // (Re-)register, then loop to re-check the condition —
+                // the Dekker pattern (see `waiters`), with the re-check
+                // being the try_put/poll above. A spent (notified) entry
+                // is replaced *before* it is removed so the wait-list
+                // count never dips to zero mid-handoff (no barge window).
+                let fresh = self.waiters().register();
+                fence(Ordering::SeqCst);
+                if let Some(old) = self.entry.replace(fresh) {
+                    self.waiters().remove(&old);
                 }
-                Some(entry) => match entry.poll_outcome(waker, deadline, token) {
-                    Poll::Ready(WaitOutcome::Matched(_)) => {
-                        // Notification consumed; re-attempt with a fresh
-                        // registration if the race is lost again.
-                        self.entry = None;
-                    }
-                    Poll::Ready(verdict) => {
-                        // Our entry is terminally CANCELLED: physical
-                        // removal only (retract would pass a wakeup on).
-                        let entry = self.entry.take().expect("entry present");
-                        self.waiters().remove(&entry);
-                        self.done = true;
-                        let item = self.item.take();
-                        return Poll::Ready(match verdict {
-                            WaitOutcome::TimedOut => TransferOutcome::Timeout(item),
-                            WaitOutcome::Cancelled => TransferOutcome::Cancelled(item),
-                            WaitOutcome::Matched(_) => unreachable!("handled above"),
-                        });
-                    }
-                    Poll::Pending => return Poll::Pending,
-                },
+                continue;
+            }
+            let entry = self.entry.as_ref().expect("registered above");
+            match entry.poll_outcome(waker, deadline, token) {
+                Poll::Ready(WaitOutcome::Matched(_)) => {
+                    // Leave the entry registered while we retry: fresh
+                    // arrivals keep deferring until our retry lands (or
+                    // the re-arm above replaces the spent entry).
+                }
+                Poll::Ready(verdict) => {
+                    // Our entry is terminally CANCELLED: physical
+                    // removal only (retract would pass a wakeup on).
+                    let entry = self.entry.take().expect("entry present");
+                    self.waiters().remove(&entry);
+                    self.done = true;
+                    let item = self.item.take();
+                    return Poll::Ready(match verdict {
+                        WaitOutcome::TimedOut => TransferOutcome::Timeout(item),
+                        WaitOutcome::Cancelled => TransferOutcome::Cancelled(item),
+                        WaitOutcome::Matched(_) => unreachable!("handled above"),
+                    });
+                }
+                Poll::Pending => return Poll::Pending,
             }
         }
     }
@@ -1294,6 +1430,7 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use std::thread;
+    use std::time::Instant;
 
     #[test]
     fn async_put_buffers_fifo() {
@@ -1582,6 +1719,86 @@ mod tests {
             .unwrap_err();
         assert_eq!(back, "c");
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn try_put_defers_to_registered_space_waiter() {
+        // White-box no-barge check: while any producer is registered on
+        // the space list (as a woken waiter is, mid-handoff), a fresh
+        // try_put must fail even though the ring has room.
+        let q: TransferQueue<u32> = TransferQueue::bounded(4);
+        q.put(1);
+        let w = q.space_waiters.register();
+        assert_eq!(q.try_put(2), Err(2), "fresh arrival must defer");
+        q.space_waiters.retract(&w);
+        assert_eq!(q.try_put(2), Ok(()));
+        assert_eq!(q.poll(), Some(1));
+        assert_eq!(q.poll(), Some(2));
+    }
+
+    #[test]
+    fn poll_defers_to_registered_item_waiter() {
+        // Symmetric consumer-side check: a buffered item already spoken
+        // for by a registered consumer is not stolen by a fresh poll.
+        let q: TransferQueue<u32> = TransferQueue::bounded(4);
+        q.put(7);
+        let w = q.item_waiters.register();
+        assert_eq!(q.poll(), None, "item is spoken for");
+        q.item_waiters.retract(&w);
+        assert_eq!(q.poll(), Some(7));
+    }
+
+    #[test]
+    fn woken_producer_is_not_barged_and_wakes_promptly() {
+        // Regression for the ~1 s buffered-mode wakeup tails (PR 9's
+        // histograms): try_put thieves hammering a full ring while a
+        // blocked producer is woken must never steal the freed slot,
+        // and the handoff must complete well under the old tail.
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        let q = Arc::new(TransferQueue::bounded(2));
+        q.put(0u32); // bounded(2) is the true minimum ring size
+        q.put(5);
+        let q2 = Arc::clone(&q);
+        let waiter = thread::spawn(move || q2.put(1)); // full: registers + parks
+        while q.space_waiters.hint() == 0 {
+            thread::yield_now();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let stolen = Arc::new(AtomicUsize::new(0));
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let stop = Arc::clone(&stop);
+                let stolen = Arc::clone(&stolen);
+                thread::spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        if q.try_put(99).is_ok() {
+                            stolen.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                })
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(10)); // let the storm build
+        let start = Instant::now();
+        assert_eq!(q.take(), 0); // frees a slot; wakes the waiter
+        waiter.join().unwrap();
+        let wake = start.elapsed();
+        stop.store(true, Ordering::SeqCst);
+        for t in thieves {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            stolen.load(Ordering::SeqCst),
+            0,
+            "try_put barged past a registered waiter"
+        );
+        assert!(
+            wake < Duration::from_millis(500),
+            "buffered wakeup took {wake:?}, exceeding the regression bound"
+        );
+        assert_eq!(q.take(), 5);
+        assert_eq!(q.take(), 1);
     }
 
     #[test]

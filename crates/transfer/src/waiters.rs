@@ -67,19 +67,33 @@ impl WaiterQueue {
 
     /// Wakes up to `n` live waiters. Cancelled entries are discarded and
     /// do not count against `n`.
+    ///
+    /// Waiters are fulfilled **in place**: a notified entry stays on the
+    /// list (and in the hint) until its owner removes it after landing the
+    /// retried operation. That keeps the no-barge check in the bounded
+    /// fast paths honest — fresh arrivals see `hint() > 0` for the whole
+    /// pop-to-retry handoff window and keep deferring, instead of stealing
+    /// the freed slot out from under the woken waiter (the cause of the
+    /// ~1 s buffered-mode wakeup tails PR 9's histograms surfaced).
     pub(crate) fn notify(&self, n: usize) {
         if n == 0 || self.hint.load(Ordering::SeqCst) == 0 {
             return;
         }
         let mut q = self.entries.lock().unwrap();
         let mut woken = 0;
-        while woken < n {
-            let Some(slot) = q.pop_front() else { break };
-            if slot.try_fulfill_token(NOTIFIED).is_ok() {
+        let mut i = 0;
+        while woken < n && i < q.len() {
+            if q[i].try_fulfill_token(NOTIFIED).is_ok() {
                 woken += 1;
+                i += 1;
+            } else if q[i].is_cancelled() {
+                // Raced out (timed out / cancelled) and not yet removed by
+                // its owner: dead weight, collect it now.
+                q.remove(i);
+            } else {
+                // Notified earlier, retry still in flight: skip it.
+                i += 1;
             }
-            // A failed fulfill means the waiter raced us out (cancelled or
-            // already notified); it is dead weight either way — drop it.
         }
         self.hint.store(q.len(), Ordering::SeqCst);
     }
@@ -138,6 +152,10 @@ mod tests {
         let out = w.await_outcome(Deadline::Never, None, &SpinPolicy::default());
         assert!(matches!(out, WaitOutcome::Matched(NOTIFIED)));
         t.join().unwrap();
+        // In-place fulfillment: the notified waiter stays registered until
+        // its owner removes it after landing the retried operation.
+        assert_eq!(wq.hint(), 1);
+        wq.remove(&w);
         assert_eq!(wq.hint(), 0);
     }
 
@@ -152,6 +170,7 @@ mod tests {
         // The wakeup must have been passed to `second`.
         let out = second.await_outcome(Deadline::Never, None, &SpinPolicy::default());
         assert!(matches!(out, WaitOutcome::Matched(NOTIFIED)));
+        wq.remove(&second);
         assert_eq!(wq.hint(), 0);
     }
 
